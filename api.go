@@ -1,0 +1,261 @@
+package repro
+
+import (
+	"repro/internal/am"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fit"
+	"repro/internal/logp"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// --- Model types and solvers (internal/core) ---
+
+// Params parameterizes the homogeneous LoPC model; see core.Params.
+type Params = core.Params
+
+// AllToAllResult is the homogeneous model's per-cycle solution.
+type AllToAllResult = core.AllToAllResult
+
+// ClientServerParams parameterizes the work-pile model of Chapter 6.
+type ClientServerParams = core.ClientServerParams
+
+// ClientServerResult is the work-pile model's solution.
+type ClientServerResult = core.ClientServerResult
+
+// GeneralParams parameterizes the Appendix A model: arbitrary visit
+// ratios, heterogeneous work and handler costs, multi-hop requests.
+type GeneralParams = core.GeneralParams
+
+// GeneralResult is the Appendix A model's per-thread/per-node solution.
+type GeneralResult = core.GeneralResult
+
+// AllToAll solves the homogeneous all-to-all model (Chapter 5).
+func AllToAll(p Params) (AllToAllResult, error) { return core.AllToAll(p) }
+
+// TotalRuntime predicts the total runtime of an algorithm issuing n
+// blocking requests per thread: n·R.
+func TotalRuntime(p Params, n int) (float64, error) { return core.TotalRuntime(p, n) }
+
+// UpperBoundBeta returns β such that R* ≤ W + 2St + β·So (Eq. 5.12
+// generalized to any C²; β ≈ 3.45 at C² = 0, which the paper rounds to
+// 3.46).
+func UpperBoundBeta(c2 float64) float64 { return core.UpperBoundBeta(c2) }
+
+// ClientServer solves the work-pile model for a given client/server
+// split (Chapter 6).
+func ClientServer(p ClientServerParams) (ClientServerResult, error) {
+	return core.ClientServer(p)
+}
+
+// OptimalServers returns the Eq. 6.8 closed-form optimal server count
+// (real-valued).
+func OptimalServers(p ClientServerParams) float64 { return core.OptimalServers(p) }
+
+// OptimalServersInt returns the best integral server count.
+func OptimalServersInt(p ClientServerParams) (int, error) { return core.OptimalServersInt(p) }
+
+// ClientServerBounds returns the LogP-style optimistic throughput
+// bounds (server bound Ps/So, client bound Pc/(W+2St+2So)).
+func ClientServerBounds(p ClientServerParams) (server, client float64) {
+	return core.ClientServerBounds(p)
+}
+
+// PeakThroughput returns the model throughput at the real-valued
+// optimal allocation.
+func PeakThroughput(p ClientServerParams) float64 { return core.PeakThroughput(p) }
+
+// General solves the Appendix A model.
+func General(p GeneralParams) (GeneralResult, error) { return core.General(p) }
+
+// HomogeneousVisits, ClientServerVisits and MultiHopVisits build the
+// standard visit-ratio matrices for the General solver.
+func HomogeneousVisits(p int) [][]float64 { return core.HomogeneousVisits(p) }
+
+// ClientServerVisits builds the work-pile visit matrix (pc clients
+// followed by ps passive servers).
+func ClientServerVisits(pc, ps int) [][]float64 { return core.ClientServerVisits(pc, ps) }
+
+// MultiHopVisits builds a visit matrix whose rows sum to hops.
+func MultiHopVisits(p, hops int) [][]float64 { return core.MultiHopVisits(p, hops) }
+
+// MatVec derives the Chapter 3 matrix-vector parameters: the mean work
+// between puts and the number of puts per node.
+func MatVec(n, p int, tMulAdd float64) (w float64, messages int, err error) {
+	return core.MatVec(n, p, tMulAdd)
+}
+
+// NonBlockingResult is the non-blocking model's solution (extension of
+// the paper's conclusion: requests that overlap computation).
+type NonBlockingResult = core.NonBlockingResult
+
+// NonBlocking solves the non-blocking homogeneous model: throughput by
+// processor-time conservation (X = 1/(W+2So)), latency by open-queue
+// analysis at that fixed rate.
+func NonBlocking(p Params) (NonBlockingResult, error) { return core.NonBlocking(p) }
+
+// MultithreadedResult is the multithreaded extension's solution: T
+// switch-on-miss contexts per node hiding request latency.
+type MultithreadedResult = core.MultithreadedResult
+
+// Multithreaded solves the homogeneous pattern with T threads per node.
+func Multithreaded(p Params, t int) (MultithreadedResult, error) {
+	return core.Multithreaded(p, t)
+}
+
+// --- LogP baseline (internal/logp) ---
+
+// LogP is the contention-free baseline model of Culler et al.
+type LogP = logp.Params
+
+// --- Service/work distributions (internal/dist) ---
+
+// Distribution generates non-negative times and reports exact moments.
+type Distribution = dist.Distribution
+
+// Deterministic returns the constant distribution at v (C² = 0).
+func Deterministic(v float64) Distribution { return dist.NewDeterministic(v) }
+
+// Exponential returns the exponential distribution with mean m (C² = 1).
+func Exponential(m float64) Distribution { return dist.NewExponential(m) }
+
+// Uniform returns the uniform distribution on [low, high].
+func Uniform(low, high float64) Distribution { return dist.NewUniform(low, high) }
+
+// FromMeanSCV returns a distribution with the exact requested mean and
+// squared coefficient of variation (the paper's C² knob).
+func FromMeanSCV(mean, scv float64) Distribution { return dist.FromMeanSCV(mean, scv) }
+
+// --- Simulation (internal/workload on internal/machine) ---
+
+// SimAllToAllConfig configures an all-to-all simulation run.
+type SimAllToAllConfig = workload.AllToAllConfig
+
+// SimAllToAllResult holds all-to-all simulation measurements.
+type SimAllToAllResult = workload.AllToAllResult
+
+// SimWorkpileConfig configures a work-pile simulation run.
+type SimWorkpileConfig = workload.WorkpileConfig
+
+// SimWorkpileResult holds work-pile simulation measurements.
+type SimWorkpileResult = workload.WorkpileResult
+
+// SimMultiHopConfig configures a multi-hop simulation run.
+type SimMultiHopConfig = workload.MultiHopConfig
+
+// SimMultiHopResult holds multi-hop simulation measurements.
+type SimMultiHopResult = workload.MultiHopResult
+
+// Pattern chooses request destinations in the all-to-all simulator.
+type Pattern = workload.Pattern
+
+// SimulateAllToAll runs the event-driven simulator on the homogeneous
+// blocking-request pattern and returns per-cycle measurements directly
+// comparable with AllToAll's predictions.
+func SimulateAllToAll(cfg SimAllToAllConfig) (SimAllToAllResult, error) {
+	return workload.RunAllToAll(cfg)
+}
+
+// SimulateWorkpile runs the client-server work-pile simulation.
+func SimulateWorkpile(cfg SimWorkpileConfig) (SimWorkpileResult, error) {
+	return workload.RunWorkpile(cfg)
+}
+
+// SimulateMultiHop runs the multi-hop forwarding simulation.
+func SimulateMultiHop(cfg SimMultiHopConfig) (SimMultiHopResult, error) {
+	return workload.RunMultiHop(cfg)
+}
+
+// SimNonBlockingConfig configures a non-blocking simulation run.
+type SimNonBlockingConfig = workload.NonBlockingConfig
+
+// SimNonBlockingResult holds non-blocking simulation measurements.
+type SimNonBlockingResult = workload.NonBlockingResult
+
+// SimulateNonBlocking runs the non-blocking (fire-and-forget request)
+// workload.
+func SimulateNonBlocking(cfg SimNonBlockingConfig) (SimNonBlockingResult, error) {
+	return workload.RunNonBlocking(cfg)
+}
+
+// SimExchangeConfig configures a bulk-synchronous all-to-all exchange
+// run (the Ch. 1 CM-5 scenario: staggered schedule, optional barriers).
+type SimExchangeConfig = workload.ExchangeConfig
+
+// SimExchangeResult holds exchange measurements.
+type SimExchangeResult = workload.ExchangeResult
+
+// SimulateExchange runs the scheduled all-to-all personalized exchange.
+func SimulateExchange(cfg SimExchangeConfig) (SimExchangeResult, error) {
+	return workload.RunExchange(cfg)
+}
+
+// SimMultithreadConfig configures a multithreaded all-to-all run.
+type SimMultithreadConfig = workload.MultithreadConfig
+
+// SimMultithreadResult holds multithreaded measurements.
+type SimMultithreadResult = workload.MultithreadResult
+
+// SimulateMultithread runs the multithreaded all-to-all workload.
+func SimulateMultithread(cfg SimMultithreadConfig) (SimMultithreadResult, error) {
+	return workload.RunMultithread(cfg)
+}
+
+// --- Collectives (internal/am) ---
+
+// CollectiveConfig describes the machine a collective operation runs
+// on (separate sender overhead and receiver handler cost).
+type CollectiveConfig = am.Config
+
+// BroadcastResult, ReduceResult and BarrierResult report simulated
+// collectives next to their analytical schedules.
+type BroadcastResult = am.BroadcastResult
+
+// ReduceResult reports a simulated binomial-tree reduction.
+type ReduceResult = am.ReduceResult
+
+// BarrierResult reports simulated dissemination barriers.
+type BarrierResult = am.BarrierResult
+
+// BroadcastCollective executes the optimal broadcast tree on the
+// simulated machine.
+func BroadcastCollective(cfg CollectiveConfig) (BroadcastResult, error) { return am.Broadcast(cfg) }
+
+// ReduceCollective executes a binomial-tree sum reduction.
+func ReduceCollective(cfg CollectiveConfig, values []float64) (ReduceResult, error) {
+	return am.Reduce(cfg, values)
+}
+
+// BarrierCollective runs back-to-back dissemination barriers.
+func BarrierCollective(cfg CollectiveConfig, iters int) (BarrierResult, error) {
+	return am.Barrier(cfg, iters)
+}
+
+// BroadcastSchedule computes the greedy optimal broadcast schedule for
+// separate send overhead o, latency l, and handler cost h.
+func BroadcastSchedule(p int, o, l, h float64) (finish float64, informedAt []float64, parent []int) {
+	return am.Schedule(p, o, l, h)
+}
+
+// --- Calibration (internal/fit) ---
+
+// FitObservation is one point of a calibration sweep (configured W,
+// measured R, optionally measured Rq).
+type FitObservation = fit.Observation
+
+// FitResult is a fitted (St, So) parameterization with residuals.
+type FitResult = fit.Result
+
+// FitAllToAll calibrates St and So from all-to-all measurements, the
+// practitioner's route to LoPC parameters for a real machine.
+func FitAllToAll(obs []FitObservation, p int, c2 float64) (FitResult, error) {
+	return fit.AllToAll(obs, p, c2)
+}
+
+// --- Tracing (internal/trace) ---
+
+// Tracer records a simulation as a Chrome trace (chrome://tracing /
+// Perfetto JSON). Set it as the Observer of a simulation config, run,
+// then call WriteJSON.
+type Tracer = trace.Tracer

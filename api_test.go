@@ -1,0 +1,169 @@
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro"
+)
+
+// TestFacadeModelRoundTrip exercises the whole public API surface the
+// way a downstream user would.
+func TestFacadeModelRoundTrip(t *testing.T) {
+	p := repro.Params{P: 32, W: 1000, St: 40, So: 200, C2: 0}
+	res, err := repro.AllToAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R <= p.ContentionFree() {
+		t.Errorf("R = %v not above contention-free %v", res.R, p.ContentionFree())
+	}
+	total, err := repro.TotalRuntime(p, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-50*res.R) > 1e-6 {
+		t.Errorf("TotalRuntime = %v, want %v", total, 50*res.R)
+	}
+	if beta := repro.UpperBoundBeta(0); beta < 3.3 || beta > 3.46 {
+		t.Errorf("UpperBoundBeta(0) = %v", beta)
+	}
+}
+
+func TestFacadeClientServer(t *testing.T) {
+	p := repro.ClientServerParams{P: 32, Ps: 8, W: 1500, St: 40, So: 131, C2: 0}
+	res, err := repro.ClientServer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X <= 0 {
+		t.Errorf("X = %v", res.X)
+	}
+	if opt := repro.OptimalServers(p); opt <= 0 || opt >= 32 {
+		t.Errorf("OptimalServers = %v", opt)
+	}
+	if _, err := repro.OptimalServersInt(p); err != nil {
+		t.Fatal(err)
+	}
+	server, client := repro.ClientServerBounds(p)
+	if res.X > math.Min(server, client)+1e-9 {
+		t.Errorf("X = %v exceeds bounds (%v, %v)", res.X, server, client)
+	}
+	if peak := repro.PeakThroughput(p); peak <= 0 {
+		t.Errorf("PeakThroughput = %v", peak)
+	}
+}
+
+func TestFacadeGeneral(t *testing.T) {
+	ws := make([]float64, 8)
+	for i := range ws {
+		ws[i] = 500
+	}
+	res, err := repro.General(repro.GeneralParams{
+		P: 8, W: ws, V: repro.HomogeneousVisits(8),
+		St: 40, So: []float64{200}, C2: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalX <= 0 {
+		t.Errorf("TotalX = %v", res.TotalX)
+	}
+	if len(repro.ClientServerVisits(3, 2)) != 5 {
+		t.Error("ClientServerVisits shape wrong")
+	}
+	if len(repro.MultiHopVisits(4, 2)) != 4 {
+		t.Error("MultiHopVisits shape wrong")
+	}
+}
+
+func TestFacadeMatVec(t *testing.T) {
+	w, msgs, err := repro.MatVec(256, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w <= 0 || msgs <= 0 {
+		t.Errorf("MatVec returned %v, %v", w, msgs)
+	}
+}
+
+func TestFacadeDistributions(t *testing.T) {
+	for _, d := range []repro.Distribution{
+		repro.Deterministic(5),
+		repro.Exponential(5),
+		repro.Uniform(1, 9),
+		repro.FromMeanSCV(5, 0.5),
+	} {
+		if d.Mean() <= 0 {
+			t.Errorf("%v mean = %v", d, d.Mean())
+		}
+	}
+}
+
+func TestFacadeSimulateAllToAll(t *testing.T) {
+	sim, err := repro.SimulateAllToAll(repro.SimAllToAllConfig{
+		P:             8,
+		Work:          repro.Deterministic(500),
+		Latency:       repro.Deterministic(40),
+		Service:       repro.Deterministic(200),
+		WarmupCycles:  50,
+		MeasureCycles: 200,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := repro.AllToAll(repro.Params{P: 8, W: 500, St: 40, So: 200, C2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := (model.R - sim.R.Mean()) / sim.R.Mean()
+	if math.Abs(rel) > 0.12 {
+		t.Errorf("facade sim %v vs model %v (rel %v)", sim.R.Mean(), model.R, rel)
+	}
+}
+
+func TestFacadeSimulateWorkpile(t *testing.T) {
+	sim, err := repro.SimulateWorkpile(repro.SimWorkpileConfig{
+		P: 16, Ps: 4,
+		Chunk:      repro.Exponential(1000),
+		Latency:    repro.Deterministic(40),
+		Service:    repro.Deterministic(131),
+		WarmupTime: 20000, MeasureTime: 200000,
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.X <= 0 || sim.Chunks == 0 {
+		t.Errorf("workpile sim X=%v chunks=%d", sim.X, sim.Chunks)
+	}
+}
+
+func TestFacadeSimulateMultiHop(t *testing.T) {
+	sim, err := repro.SimulateMultiHop(repro.SimMultiHopConfig{
+		P: 8, Hops: 2,
+		Work:         repro.Deterministic(500),
+		Latency:      repro.Deterministic(40),
+		Service:      repro.Deterministic(100),
+		WarmupCycles: 20, MeasureCycles: 100,
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.R.Mean() <= 0 {
+		t.Errorf("multi-hop sim R = %v", sim.R.Mean())
+	}
+}
+
+func TestFacadeLogP(t *testing.T) {
+	lg := repro.LogP{L: 40, O: 5, G: 0, P: 16}
+	finish, _, err := lg.Broadcast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finish <= 0 {
+		t.Errorf("broadcast finish = %v", finish)
+	}
+}

@@ -1,0 +1,174 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/exp"
+)
+
+// The benchmarks in this file regenerate each table and figure of the
+// paper's evaluation (in quick mode, so `go test -bench=.` stays fast)
+// and report the headline quantity of each as a benchmark metric.
+// Running cmd/lopc-experiments without -quick produces the full-length
+// versions recorded in EXPERIMENTS.md.
+
+// runExperiment executes a registered experiment once per iteration.
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	r, ok := exp.Get(name)
+	if !ok {
+		b.Fatalf("experiment %q not registered", name)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(exp.Config{Seed: uint64(i) + 1, Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable31Matvec regenerates Table 3.1 and the Chapter 3
+// matrix-vector parameterization example.
+func BenchmarkTable31Matvec(b *testing.B) { runExperiment(b, "table31") }
+
+// BenchmarkFig51ContentionVsVariation regenerates Figure 5-1:
+// contention fraction as a function of the handler-time coefficient of
+// variation for four handler occupancies.
+func BenchmarkFig51ContentionVsVariation(b *testing.B) { runExperiment(b, "fig51") }
+
+// BenchmarkFig52ResponseTime regenerates Figure 5-2: simulated and
+// predicted all-to-all response time with the Eq. 5.12 bounds.
+func BenchmarkFig52ResponseTime(b *testing.B) { runExperiment(b, "fig52") }
+
+// BenchmarkFig53Components regenerates Figure 5-3: the breakdown of
+// contention into thread, request, and reply components.
+func BenchmarkFig53Components(b *testing.B) { runExperiment(b, "fig53") }
+
+// BenchmarkErrorAnalysis regenerates the §5.3 error analysis (LoPC
+// within ~6% pessimistic; contention-free model ~-37% at W=0).
+func BenchmarkErrorAnalysis(b *testing.B) { runExperiment(b, "errors") }
+
+// BenchmarkFig62Workpile regenerates Figure 6-2: work-pile throughput
+// against server count with the Eq. 6.8 optimum and LogP-style bounds.
+func BenchmarkFig62Workpile(b *testing.B) { runExperiment(b, "fig62") }
+
+// BenchmarkSharedMemory regenerates the extension study X1: interrupt
+// handlers vs a protocol processor across occupancies and latencies.
+func BenchmarkSharedMemory(b *testing.B) { runExperiment(b, "sharedmem") }
+
+// BenchmarkMultiHop regenerates the extension study X2: multi-hop
+// requests against the general (Appendix A) model.
+func BenchmarkMultiHop(b *testing.B) { runExperiment(b, "multihop") }
+
+// BenchmarkHotspot regenerates the extension study X3: non-homogeneous
+// hotspot traffic against the general model.
+func BenchmarkHotspot(b *testing.B) { runExperiment(b, "hotspot") }
+
+// BenchmarkAblation regenerates the approximation ablation: BKT vs
+// shadow server, and Bard vs Schweitzer vs exact MVA.
+func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }
+
+// BenchmarkNonBlocking regenerates extension X4: non-blocking requests
+// (throughput conservation + latency model).
+func BenchmarkNonBlocking(b *testing.B) { runExperiment(b, "nonblocking") }
+
+// BenchmarkCollectives regenerates extension X5: broadcast/reduce/
+// barrier against their LogP-style schedules.
+func BenchmarkCollectives(b *testing.B) { runExperiment(b, "collectives") }
+
+// BenchmarkQueueDepth regenerates the Ch. 2 unbounded-FIFO assumption
+// check.
+func BenchmarkQueueDepth(b *testing.B) { runExperiment(b, "queuedepth") }
+
+// BenchmarkPScale regenerates the machine-size-independence check.
+func BenchmarkPScale(b *testing.B) { runExperiment(b, "pscale") }
+
+// BenchmarkExchange regenerates extension X6: schedule decay and
+// barrier resynchronization in the bulk-synchronous exchange.
+func BenchmarkExchange(b *testing.B) { runExperiment(b, "exchange") }
+
+// BenchmarkMulticlass regenerates extension X7: heterogeneous client
+// classes — general LoPC vs multiclass MVA vs simulation.
+func BenchmarkMulticlass(b *testing.B) { runExperiment(b, "multiclass") }
+
+// BenchmarkChunkVar regenerates extension X8: invariance of the
+// work-pile optimum to the chunk-size distribution.
+func BenchmarkChunkVar(b *testing.B) { runExperiment(b, "chunkvar") }
+
+// BenchmarkNetAssume regenerates ablation A3: link serialization and
+// finite NI queues vs the Ch. 2 simplifications.
+func BenchmarkNetAssume(b *testing.B) { runExperiment(b, "netassume") }
+
+// BenchmarkSensitivity regenerates extension X9: parameter elasticities
+// of the predicted cycle time.
+func BenchmarkSensitivity(b *testing.B) { runExperiment(b, "sensitivity") }
+
+// BenchmarkTopology regenerates assumption check A4: per-pair torus
+// latencies vs the uniform-St model.
+func BenchmarkTopology(b *testing.B) { runExperiment(b, "topology") }
+
+// BenchmarkThreads regenerates extension X10: multithreaded nodes and
+// the latency-tolerance curve.
+func BenchmarkThreads(b *testing.B) { runExperiment(b, "threads") }
+
+// --- Micro-benchmarks of the core solvers and the simulator ---
+
+// BenchmarkModelAllToAll measures one homogeneous AMVA solve.
+func BenchmarkModelAllToAll(b *testing.B) {
+	p := repro.Params{P: 32, W: 512, St: 40, So: 200, C2: 0}
+	for i := 0; i < b.N; i++ {
+		res, err := repro.AllToAll(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.R, "R")
+		}
+	}
+}
+
+// BenchmarkModelClientServer measures one work-pile AMVA solve.
+func BenchmarkModelClientServer(b *testing.B) {
+	p := repro.ClientServerParams{P: 32, Ps: 8, W: 1500, St: 40, So: 131, C2: 0}
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.ClientServer(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelGeneral measures one Appendix A solve at P = 32.
+func BenchmarkModelGeneral(b *testing.B) {
+	ws := make([]float64, 32)
+	for i := range ws {
+		ws[i] = 512
+	}
+	gp := repro.GeneralParams{
+		P: 32, W: ws, V: repro.HomogeneousVisits(32),
+		St: 40, So: []float64{200}, C2: 0,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.General(gp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: one
+// 32-node all-to-all run of 100 measured cycles per node per iteration.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := repro.SimulateAllToAll(repro.SimAllToAllConfig{
+			P:             32,
+			Work:          repro.Deterministic(512),
+			Latency:       repro.Deterministic(40),
+			Service:       repro.Deterministic(200),
+			WarmupCycles:  10,
+			MeasureCycles: 100,
+			Seed:          uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

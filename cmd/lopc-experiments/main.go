@@ -1,0 +1,139 @@
+// Command lopc-experiments regenerates the tables and figures of the
+// LoPC paper's evaluation (Table 3.1, Figures 5-1, 5-2, 5-3, 6-2, the
+// §5.3 error analysis) plus the extension studies, printing each as an
+// aligned text table and ASCII plot, and optionally writing CSV files.
+//
+// Usage:
+//
+//	lopc-experiments                 # run everything, full lengths
+//	lopc-experiments -run fig52      # one experiment
+//	lopc-experiments -quick          # ~5x shorter simulations
+//	lopc-experiments -csv out/       # also write CSV per table
+//	lopc-experiments -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment id (see -list) or 'all'")
+		quick = flag.Bool("quick", false, "shorter simulations (~5x)")
+		seed  = flag.Uint64("seed", 1, "random seed for all simulations")
+		csv   = flag.String("csv", "", "directory to write CSV tables into")
+		md    = flag.Bool("md", false, "emit GitHub-flavored markdown instead of text tables/plots")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		jobs  = flag.Int("j", 1, "run up to this many experiments concurrently (outputs stay ordered)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range exp.All() {
+			fmt.Printf("%-10s %s\n", r.Name, r.Title)
+		}
+		return
+	}
+
+	var runners []exp.Runner
+	if *run == "all" {
+		runners = exp.All()
+	} else {
+		for _, name := range strings.Split(*run, ",") {
+			r, ok := exp.Get(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "lopc-experiments: unknown experiment %q (use -list)\n", name)
+				os.Exit(1)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	cfg := exp.Config{Seed: *seed, Quick: *quick}
+	reports, err := runAll(runners, cfg, *jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lopc-experiments:", err)
+		os.Exit(1)
+	}
+	for _, rep := range reports {
+		write := rep.WriteText
+		if *md {
+			write = rep.WriteMarkdown
+		}
+		if err := write(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "lopc-experiments:", err)
+			os.Exit(1)
+		}
+		if *csv != "" {
+			if err := writeCSVs(*csv, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "lopc-experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// runAll executes the runners with up to jobs of them in flight,
+// preserving input order in the returned reports. Experiments are
+// independent (each builds its own machines and random streams), so
+// concurrent execution is safe.
+func runAll(runners []exp.Runner, cfg exp.Config, jobs int) ([]*exp.Report, error) {
+	if jobs < 1 {
+		jobs = 1
+	}
+	reports := make([]*exp.Report, len(runners))
+	errs := make([]error, len(runners))
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for i, r := range runners {
+		wg.Add(1)
+		go func(i int, r exp.Runner) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rep, err := r.Run(cfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", r.Name, err)
+				return
+			}
+			reports[i] = rep
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return reports, nil
+}
+
+// writeCSVs writes each table of the report to dir/<name>_<i>.csv.
+func writeCSVs(dir string, rep *exp.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, tab := range rep.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s_%d.csv", rep.Name, i))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tab.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	return nil
+}

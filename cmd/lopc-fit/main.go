@@ -1,0 +1,134 @@
+// Command lopc-fit calibrates the LoPC architectural parameters (St,
+// So) from measurements — the workflow a practitioner follows to
+// parameterize the model for a real machine: run an all-to-all
+// microbenchmark sweep over several work settings, record the mean
+// cycle time (and ideally the mean request-handler response), and fit.
+//
+// Usage:
+//
+//	lopc-fit -csv sweep.csv -P 32 -C2 0
+//	    CSV columns: W,R[,Rq] with an optional header row.
+//
+//	lopc-fit -demo -P 32
+//	    Simulates a machine with "hidden" parameters, runs the sweep,
+//	    fits, and reports recovery error — an end-to-end demonstration.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro"
+	"repro/internal/fit"
+)
+
+func main() {
+	var (
+		csvPath = flag.String("csv", "", "CSV file of W,R[,Rq] rows")
+		p       = flag.Int("P", 32, "number of processors of the measured machine")
+		c2      = flag.Float64("C2", 0, "handler-time SCV of the measured machine")
+		demo    = flag.Bool("demo", false, "simulate a hidden machine and fit it")
+		seed    = flag.Uint64("seed", 1, "seed for -demo")
+	)
+	flag.Parse()
+
+	var err error
+	switch {
+	case *demo:
+		err = runDemo(*p, *seed)
+	case *csvPath != "":
+		err = runCSV(*csvPath, *p, *c2)
+	default:
+		err = fmt.Errorf("need -csv file or -demo (see -help)")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lopc-fit:", err)
+		os.Exit(1)
+	}
+}
+
+func runCSV(path string, p int, c2 float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rd := csv.NewReader(f)
+	rd.FieldsPerRecord = -1
+	rows, err := rd.ReadAll()
+	if err != nil {
+		return err
+	}
+	var obs []fit.Observation
+	for i, row := range rows {
+		if len(row) < 2 {
+			return fmt.Errorf("row %d: need at least W,R", i+1)
+		}
+		w, errW := strconv.ParseFloat(row[0], 64)
+		r, errR := strconv.ParseFloat(row[1], 64)
+		if errW != nil || errR != nil {
+			if i == 0 {
+				continue // header row
+			}
+			return fmt.Errorf("row %d: cannot parse %v", i+1, row)
+		}
+		o := fit.Observation{W: w, R: r}
+		if len(row) >= 3 && row[2] != "" {
+			if rq, err := strconv.ParseFloat(row[2], 64); err == nil {
+				o.Rq = rq
+			}
+		}
+		obs = append(obs, o)
+	}
+	res, err := fit.AllToAll(obs, p, c2)
+	if err != nil {
+		return err
+	}
+	report(res, obs, p, c2)
+	return nil
+}
+
+func runDemo(p int, seed uint64) error {
+	// "Hidden" machine parameters the demo pretends not to know.
+	const (
+		trueSt = 40.0
+		trueSo = 200.0
+	)
+	fmt.Printf("demo: sweeping a simulated %d-node machine (hidden St=%g, So=%g)\n", p, trueSt, trueSo)
+	var obs []fit.Observation
+	for _, w := range []float64{0, 64, 256, 1024, 4096} {
+		sim, err := repro.SimulateAllToAll(repro.SimAllToAllConfig{
+			P:             p,
+			Work:          repro.Deterministic(w),
+			Latency:       repro.Deterministic(trueSt),
+			Service:       repro.Deterministic(trueSo),
+			WarmupCycles:  300,
+			MeasureCycles: 1500,
+			Seed:          seed,
+		})
+		if err != nil {
+			return err
+		}
+		obs = append(obs, fit.Observation{W: w, R: sim.R.Mean(), Rq: sim.Rq.Mean()})
+		fmt.Printf("  W=%6.0f  measured R=%8.1f  Rq=%6.1f\n", w, sim.R.Mean(), sim.Rq.Mean())
+	}
+	res, err := fit.AllToAll(obs, p, 0)
+	if err != nil {
+		return err
+	}
+	report(res, obs, p, 0)
+	fmt.Printf("recovery error: St %+.1f%%, So %+.1f%%\n",
+		100*(res.St-trueSt)/trueSt, 100*(res.So-trueSo)/trueSo)
+	return nil
+}
+
+func report(res fit.Result, obs []fit.Observation, p int, c2 float64) {
+	fmt.Printf("fitted parameters (P=%d, C2=%g, %d observations):\n", p, c2, len(obs))
+	fmt.Printf("  St = %.2f cycles\n  So = %.2f cycles\n", res.St, res.So)
+	fmt.Printf("  residual RMSE = %.2f cycles (%.2f%% of mean R)\n", res.RMSE, 100*res.RelRMSE)
+	fmt.Printf("calibrated contention-free round trip: 2St+2So = %.1f cycles\n", 2*res.St+2*res.So)
+	fmt.Printf("rule-of-thumb cycle at W: W + %.1f\n", 2*res.St+3*res.So)
+}

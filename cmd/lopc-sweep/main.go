@@ -1,0 +1,59 @@
+// Command lopc-sweep runs the all-to-all calibration microbenchmark
+// sweep on the simulated machine and emits CSV rows (W,R,Rq) that
+// lopc-fit consumes — the two tools compose into the measure-then-fit
+// workflow:
+//
+//	lopc-sweep -P 32 -St 40 -So 200 > sweep.csv
+//	lopc-fit   -csv sweep.csv -P 32
+//
+// On a real machine the sweep column would come from hardware; here the
+// simulator plays the machine, exactly as it does throughout this
+// reproduction.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		p      = flag.Int("P", 32, "number of processors")
+		st     = flag.Float64("St", 40, "network latency per trip (cycles)")
+		so     = flag.Float64("So", 200, "handler cost (cycles)")
+		c2     = flag.Float64("C2", 0, "handler-time SCV")
+		ws     = flag.String("W", "0,64,256,1024,4096", "comma-separated work settings to sweep")
+		cycles = flag.Int("cycles", 1500, "measured cycles per thread per point")
+		warmup = flag.Int("warmup", 300, "warmup cycles per thread")
+		seed   = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	fmt.Println("W,R,Rq")
+	for _, field := range strings.Split(*ws, ",") {
+		w, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lopc-sweep: bad W value %q: %v\n", field, err)
+			os.Exit(1)
+		}
+		sim, err := repro.SimulateAllToAll(repro.SimAllToAllConfig{
+			P:             *p,
+			Work:          repro.Deterministic(w),
+			Latency:       repro.Deterministic(*st),
+			Service:       repro.FromMeanSCV(*so, *c2),
+			WarmupCycles:  *warmup,
+			MeasureCycles: *cycles,
+			Seed:          *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lopc-sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%g,%.4f,%.4f\n", w, sim.R.Mean(), sim.Rq.Mean())
+	}
+}

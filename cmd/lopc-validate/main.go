@@ -1,0 +1,332 @@
+// Command lopc-validate checks the paper's quantitative claims against
+// this implementation — model against simulator, closed forms against
+// numerical solutions — and prints one PASS/FAIL line per claim.
+//
+// Usage:
+//
+//	lopc-validate            # full-length runs (≈ half a minute)
+//	lopc-validate -quick     # shorter simulations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro"
+)
+
+// claim is one paper statement with an executable check.
+type claim struct {
+	ref  string // where the paper makes the claim
+	text string
+	eval func() (measured string, pass bool, err error)
+}
+
+var quick bool
+
+func cycles() (warm, measure int) {
+	if quick {
+		return 100, 400
+	}
+	return 300, 1500
+}
+
+func simAllToAll(w float64, seed uint64) (repro.SimAllToAllResult, error) {
+	warm, measure := cycles()
+	return repro.SimulateAllToAll(repro.SimAllToAllConfig{
+		P:             32,
+		Work:          repro.Deterministic(w),
+		Latency:       repro.Deterministic(40),
+		Service:       repro.Deterministic(200),
+		WarmupCycles:  warm,
+		MeasureCycles: measure,
+		Seed:          seed,
+	})
+}
+
+func params(w float64) repro.Params {
+	return repro.Params{P: 32, W: w, St: 40, So: 200, C2: 0}
+}
+
+func claims() []claim {
+	return []claim{
+		{
+			ref:  "§5.3",
+			text: "LoPC within ~6% of simulation, always pessimistic (all-to-all)",
+			eval: func() (string, bool, error) {
+				worst := 0.0
+				for _, w := range []float64{0, 64, 512, 2048} {
+					sim, err := simAllToAll(w, 1)
+					if err != nil {
+						return "", false, err
+					}
+					model, err := repro.AllToAll(params(w))
+					if err != nil {
+						return "", false, err
+					}
+					rel := (model.R - sim.R.Mean()) / sim.R.Mean()
+					if math.Abs(rel) > math.Abs(worst) {
+						worst = rel
+					}
+					if rel < -0.02 {
+						return fmt.Sprintf("optimistic by %.1f%% at W=%g", -rel*100, w), false, nil
+					}
+				}
+				return fmt.Sprintf("worst error %+.1f%%", worst*100), math.Abs(worst) <= 0.08, nil
+			},
+		},
+		{
+			ref:  "§5.3",
+			text: "contention-free (naive LogP) underpredicts by ~30-37% at W=0",
+			eval: func() (string, bool, error) {
+				sim, err := simAllToAll(0, 2)
+				if err != nil {
+					return "", false, err
+				}
+				rel := (params(0).ContentionFree() - sim.R.Mean()) / sim.R.Mean()
+				return fmt.Sprintf("%+.1f%%", rel*100), rel < -0.25 && rel > -0.45, nil
+			},
+		},
+		{
+			ref:  "Eq. 5.12",
+			text: "R bracketed by W+2St+2So and W+2St+3.46·So (C²=0)",
+			eval: func() (string, bool, error) {
+				beta := repro.UpperBoundBeta(0)
+				if beta > 3.46 {
+					return fmt.Sprintf("β = %.3f > 3.46", beta), false, nil
+				}
+				for _, w := range []float64{0, 64, 512, 2048} {
+					sim, err := simAllToAll(w, 3)
+					if err != nil {
+						return "", false, err
+					}
+					p := params(w)
+					lo, hi := p.ContentionFree(), p.W+2*p.St+3.46*p.So
+					r := sim.R.Mean()
+					if r < lo || r > hi {
+						return fmt.Sprintf("sim R=%.1f outside [%.1f, %.1f] at W=%g", r, lo, hi, w), false, nil
+					}
+				}
+				return fmt.Sprintf("β = %.3f; sim inside bounds at all W", beta), true, nil
+			},
+		},
+		{
+			ref:  "Ch. 5",
+			text: "contention ≈ one extra handler (rule of thumb W+2St+3So within ~16%)",
+			eval: func() (string, bool, error) {
+				worst := 0.0
+				for _, w := range []float64{0, 64, 512, 2048} {
+					sim, err := simAllToAll(w, 4)
+					if err != nil {
+						return "", false, err
+					}
+					rel := math.Abs(params(w).RuleOfThumb()-sim.R.Mean()) / sim.R.Mean()
+					worst = math.Max(worst, rel)
+				}
+				return fmt.Sprintf("worst deviation %.1f%%", worst*100), worst <= 0.16, nil
+			},
+		},
+		{
+			ref:  "Fig. 5-1",
+			text: "C²=0 → C²=1 raises response time by ~6% (W=1000, So≈512)",
+			eval: func() (string, bool, error) {
+				p := repro.Params{P: 32, W: 1000, St: 40, So: 512, C2: 0}
+				r0, err := repro.AllToAll(p)
+				if err != nil {
+					return "", false, err
+				}
+				p.C2 = 1
+				r1, err := repro.AllToAll(p)
+				if err != nil {
+					return "", false, err
+				}
+				d := (r1.R - r0.R) / r0.R
+				return fmt.Sprintf("%+.1f%%", d*100), d > 0.02 && d < 0.12, nil
+			},
+		},
+		{
+			ref:  "Eq. 6.8",
+			text: "work-pile optimum at Qs=1; closed form matches simulated argmax ±1",
+			eval: func() (string, bool, error) {
+				base := repro.ClientServerParams{P: 32, Ps: 1, W: 1500, St: 40, So: 131, C2: 0}
+				opt, err := repro.OptimalServersInt(base)
+				if err != nil {
+					return "", false, err
+				}
+				warm, measure := 100_000.0, 1_000_000.0
+				if quick {
+					warm, measure = 50_000, 300_000
+				}
+				bestPs, bestX := 0, -1.0
+				var qsAtOpt float64
+				for ps := max(1, opt-2); ps <= opt+2; ps++ {
+					sim, err := repro.SimulateWorkpile(repro.SimWorkpileConfig{
+						P: 32, Ps: ps,
+						Chunk:      repro.Exponential(1500),
+						Latency:    repro.Deterministic(40),
+						Service:    repro.Deterministic(131),
+						WarmupTime: warm, MeasureTime: measure,
+						Seed: 5,
+					})
+					if err != nil {
+						return "", false, err
+					}
+					if sim.X > bestX {
+						bestPs, bestX = ps, sim.X
+					}
+					if ps == opt {
+						qsAtOpt = sim.Qs
+					}
+				}
+				ok := int(math.Abs(float64(bestPs-opt))) <= 1 && qsAtOpt > 0.5 && qsAtOpt < 2
+				return fmt.Sprintf("Eq.6.8: %d, sim argmax: %d, Qs at opt: %.2f", opt, bestPs, qsAtOpt), ok, nil
+			},
+		},
+		{
+			ref:  "Fig. 6-2",
+			text: "work-pile model conservative, within ~5% of simulated throughput",
+			eval: func() (string, bool, error) {
+				warm, measure := 100_000.0, 1_000_000.0
+				if quick {
+					warm, measure = 50_000, 300_000
+				}
+				worst := 0.0
+				for _, ps := range []int{3, 8, 20} {
+					sim, err := repro.SimulateWorkpile(repro.SimWorkpileConfig{
+						P: 32, Ps: ps,
+						Chunk:      repro.Exponential(1500),
+						Latency:    repro.Deterministic(40),
+						Service:    repro.Deterministic(131),
+						WarmupTime: warm, MeasureTime: measure,
+						Seed: 6,
+					})
+					if err != nil {
+						return "", false, err
+					}
+					model, err := repro.ClientServer(repro.ClientServerParams{
+						P: 32, Ps: ps, W: 1500, St: 40, So: 131, C2: 0,
+					})
+					if err != nil {
+						return "", false, err
+					}
+					rel := (model.X - sim.X) / sim.X
+					if math.Abs(rel) > math.Abs(worst) {
+						worst = rel
+					}
+				}
+				return fmt.Sprintf("worst error %+.1f%%", worst*100), math.Abs(worst) <= 0.05, nil
+			},
+		},
+		{
+			ref:  "App. A",
+			text: "general model reproduces the specialized solvers exactly",
+			eval: func() (string, bool, error) {
+				hp := params(700)
+				want, err := repro.AllToAll(hp)
+				if err != nil {
+					return "", false, err
+				}
+				ws := make([]float64, 32)
+				for i := range ws {
+					ws[i] = 700
+				}
+				got, err := repro.General(repro.GeneralParams{
+					P: 32, W: ws, V: repro.HomogeneousVisits(32),
+					St: 40, So: []float64{200}, C2: 0,
+				})
+				if err != nil {
+					return "", false, err
+				}
+				rel := math.Abs(got.R[0]-want.R) / want.R
+				return fmt.Sprintf("all-to-all agreement %.2e", rel), rel < 1e-6, nil
+			},
+		},
+		{
+			ref:  "Ch. 7 (future work)",
+			text: "non-blocking requests: throughput exactly 1/(W+2So)",
+			eval: func() (string, bool, error) {
+				warm, measure := cycles()
+				sim, err := repro.SimulateNonBlocking(repro.SimNonBlockingConfig{
+					P:            32,
+					Work:         repro.Deterministic(800),
+					Latency:      repro.Deterministic(40),
+					Service:      repro.Deterministic(200),
+					WarmupCycles: warm, MeasureCycles: measure,
+					Seed: 7,
+				})
+				if err != nil {
+					return "", false, err
+				}
+				want := 1.0 / (800 + 2*200)
+				rel := math.Abs(sim.X-want) / want
+				return fmt.Sprintf("sim X=%.6f vs %.6f (%.2f%%)", sim.X, want, rel*100), rel < 0.01, nil
+			},
+		},
+		{
+			ref:  "§5.1 (extension)",
+			text: "multithreaded nodes saturate at the conservation bound 1/(W+2So)",
+			eval: func() (string, bool, error) {
+				warm, measure := cycles()
+				sim, err := repro.SimulateMultithread(repro.SimMultithreadConfig{
+					P: 32, T: 6,
+					Work:         repro.Deterministic(512),
+					Latency:      repro.Deterministic(40),
+					Service:      repro.Deterministic(200),
+					WarmupCycles: warm, MeasureCycles: measure,
+					Seed: 9,
+				})
+				if err != nil {
+					return "", false, err
+				}
+				bound := 1.0 / (512 + 2*200)
+				rel := (sim.XNode - bound) / bound
+				return fmt.Sprintf("XNode/bound = %.4f at T=6", sim.XNode/bound),
+					math.Abs(rel) < 0.02, nil
+			},
+		},
+		{
+			ref:  "LogP (Culler et al.)",
+			text: "simulated optimal broadcast matches the analytical schedule exactly",
+			eval: func() (string, bool, error) {
+				res, err := repro.BroadcastCollective(repro.CollectiveConfig{
+					P:            32,
+					Latency:      repro.Deterministic(40),
+					Handler:      repro.Deterministic(25),
+					SendOverhead: 10,
+					Seed:         8,
+				})
+				if err != nil {
+					return "", false, err
+				}
+				d := math.Abs(res.Finish - res.Predicted)
+				return fmt.Sprintf("|sim − schedule| = %g", d), d < 1e-9, nil
+			},
+		},
+	}
+}
+
+func main() {
+	flag.BoolVar(&quick, "quick", false, "shorter simulations")
+	flag.Parse()
+
+	failures := 0
+	for _, c := range claims() {
+		measured, pass, err := c.eval()
+		status := "PASS"
+		if err != nil {
+			status, measured = "ERROR", err.Error()
+			failures++
+		} else if !pass {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("[%s] %-22s %s\n        -> %s\n", status, c.ref, c.text, measured)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d claim(s) failed\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("all paper claims validated")
+}

@@ -1,0 +1,168 @@
+// Command lopc evaluates the LoPC model from the command line.
+//
+// Usage:
+//
+//	lopc -pattern alltoall -P 32 -W 1000 -St 40 -So 200 -C2 0 [-n 100] [-pp]
+//	lopc -pattern clientserver -P 32 -Ps 8 -W 1500 -St 40 -So 131 -C2 0
+//	lopc -pattern clientserver -P 32 -Ps 0 ...   (Ps 0: report the optimal split)
+//	lopc -pattern multihop -hops 3 -P 16 -W 1000 -St 40 -So 150
+//	lopc -pattern nonblocking -W 800
+//	lopc -pattern multithreaded -T 4 -W 512
+//
+// It prints the predicted cycle time and its breakdown, the
+// contention-free (naive LogP) estimate, and the Eq. 5.12 bounds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		pattern = flag.String("pattern", "alltoall", "alltoall | clientserver | multihop | nonblocking | multithreaded")
+		p       = flag.Int("P", 32, "number of processors")
+		ps      = flag.Int("Ps", 0, "servers for clientserver (0: solve for the optimum)")
+		w       = flag.Float64("W", 1000, "mean work between blocking requests (cycles)")
+		st      = flag.Float64("St", 40, "network latency per trip (cycles)")
+		so      = flag.Float64("So", 200, "handler cost: interrupt + service (cycles)")
+		c2      = flag.Float64("C2", 0, "squared coefficient of variation of handler time")
+		n       = flag.Int("n", 0, "requests per thread (0: skip total-runtime prediction)")
+		pp      = flag.Bool("pp", false, "protocol-processor (shared-memory) variant")
+		hops    = flag.Int("hops", 2, "request hops for multihop")
+		threads = flag.Int("T", 2, "threads per node for multithreaded")
+	)
+	flag.Parse()
+
+	var err error
+	switch *pattern {
+	case "alltoall":
+		err = runAllToAll(*p, *w, *st, *so, *c2, *n, *pp)
+	case "clientserver":
+		err = runClientServer(*p, *ps, *w, *st, *so, *c2)
+	case "multihop":
+		err = runMultiHop(*p, *hops, *w, *st, *so, *c2, *pp)
+	case "nonblocking":
+		err = runNonBlocking(*p, *w, *st, *so, *c2, *pp)
+	case "multithreaded":
+		err = runMultithreaded(*p, *threads, *w, *st, *so, *c2)
+	default:
+		err = fmt.Errorf("unknown pattern %q", *pattern)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lopc:", err)
+		os.Exit(1)
+	}
+}
+
+func runAllToAll(p int, w, st, so, c2 float64, n int, pp bool) error {
+	params := repro.Params{P: p, W: w, St: st, So: so, C2: c2, ProtocolProcessor: pp}
+	res, err := repro.AllToAll(params)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("LoPC all-to-all prediction (P=%d, W=%g, St=%g, So=%g, C2=%g, pp=%v)\n",
+		p, w, st, so, c2, pp)
+	fmt.Printf("  cycle time R        %10.1f cycles\n", res.R)
+	fmt.Printf("    thread Rw         %10.1f (W + interference)\n", res.Rw)
+	fmt.Printf("    network 2·St      %10.1f\n", 2*st)
+	fmt.Printf("    request Rq        %10.1f (So + queueing)\n", res.Rq)
+	fmt.Printf("    reply Ry          %10.1f (So + queueing)\n", res.Ry)
+	fmt.Printf("  contention C        %10.1f (%0.1f%% of R)\n", res.Contention(), 100*res.ContentionFraction())
+	fmt.Printf("  contention-free     %10.1f (naive LogP; Eq. 5.12 lower bound)\n", res.ContentionFree)
+	fmt.Printf("  upper bound         %10.1f (W + 2St + %.2f·So)\n", res.UpperBound, repro.UpperBoundBeta(c2))
+	fmt.Printf("  rule of thumb       %10.1f (W + 2St + 3So)\n", params.RuleOfThumb())
+	fmt.Printf("  queueing            Qq=%.3f Qy=%.3f Uq=%.3f\n", res.Qq, res.Qy, res.Uq)
+	fmt.Printf("  system throughput   %10.6f cycles^-1\n", res.X)
+	if n > 0 {
+		total, err := repro.TotalRuntime(params, n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  total runtime (n=%d) %10.0f cycles\n", n, total)
+	}
+	return nil
+}
+
+func runClientServer(p, ps int, w, st, so, c2 float64) error {
+	base := repro.ClientServerParams{P: p, Ps: 1, W: w, St: st, So: so, C2: c2}
+	if ps == 0 {
+		opt, err := repro.OptimalServersInt(base)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Optimal allocation (Eq. 6.8): Ps = %.2f, best integral Ps = %d\n",
+			repro.OptimalServers(base), opt)
+		fmt.Printf("Peak throughput: %.6f chunks/cycle\n", repro.PeakThroughput(base))
+		ps = opt
+	}
+	params := base
+	params.Ps = ps
+	res, err := repro.ClientServer(params)
+	if err != nil {
+		return err
+	}
+	server, client := repro.ClientServerBounds(params)
+	fmt.Printf("LoPC work-pile prediction (P=%d, Ps=%d, W=%g, St=%g, So=%g, C2=%g)\n",
+		p, ps, w, st, so, c2)
+	fmt.Printf("  throughput X        %10.6f chunks/cycle\n", res.X)
+	fmt.Printf("  client cycle R      %10.1f cycles\n", res.R)
+	fmt.Printf("  server response Rs  %10.1f cycles (Qs=%.3f, Us=%.3f)\n", res.Rs, res.Qs, res.Us)
+	fmt.Printf("  optimistic bounds   server %.6f, client %.6f\n", server, client)
+	return nil
+}
+
+func runMultiHop(p, hops int, w, st, so, c2 float64, pp bool) error {
+	ws := make([]float64, p)
+	for i := range ws {
+		ws[i] = w
+	}
+	res, err := repro.General(repro.GeneralParams{
+		P: p, W: ws, V: repro.MultiHopVisits(p, hops),
+		St: st, So: []float64{so}, C2: c2, ProtocolProcessor: pp,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("LoPC multi-hop prediction (P=%d, hops=%d, W=%g, St=%g, So=%g, C2=%g)\n",
+		p, hops, w, st, so, c2)
+	fmt.Printf("  cycle time R        %10.1f cycles\n", res.R[0])
+	fmt.Printf("  per-hop request Rq  %10.1f cycles\n", res.Rq[0])
+	fmt.Printf("  reply Ry            %10.1f cycles\n", res.Ry[0])
+	fmt.Printf("  thread Rw           %10.1f cycles\n", res.Rw[0])
+	fmt.Printf("  node utilization Uq %10.3f\n", res.Uq[0])
+	fmt.Printf("  system throughput   %10.6f cycles^-1\n", res.TotalX)
+	return nil
+}
+
+func runNonBlocking(p int, w, st, so, c2 float64, pp bool) error {
+	res, err := repro.NonBlocking(repro.Params{P: p, W: w, St: st, So: so, C2: c2, ProtocolProcessor: pp})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("LoPC non-blocking prediction (P=%d, W=%g, St=%g, So=%g, C2=%g, pp=%v)\n",
+		p, w, st, so, c2, pp)
+	fmt.Printf("  cycle time 1/X      %10.1f cycles (W + 2So: conservation)\n", res.CycleTime)
+	fmt.Printf("  request latency     %10.1f cycles (2St + queueing)\n", res.Latency)
+	fmt.Printf("  outstanding/thread  %10.2f\n", res.Outstanding)
+	fmt.Printf("  handler load        %10.3f\n", res.HandlerUtil)
+	return nil
+}
+
+func runMultithreaded(p, t int, w, st, so, c2 float64) error {
+	res, err := repro.Multithreaded(repro.Params{P: p, W: w, St: st, So: so, C2: c2}, t)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("LoPC multithreaded prediction (P=%d, T=%d, W=%g, St=%g, So=%g, C2=%g)\n",
+		p, t, w, st, so, c2)
+	fmt.Printf("  node cycle rate     %10.6f cycles^-1 (bound %0.6f)\n", res.XNode, res.Bound)
+	fmt.Printf("  per-thread cycle    %10.1f cycles\n", res.CycleTime)
+	fmt.Printf("  handler response    %10.1f cycles\n", res.Rh)
+	fmt.Printf("  CPU utilization     %10.3f (handlers %0.3f)\n", res.CPUUtil, res.HandlerUtil)
+	fmt.Printf("  knee (threads T*)   %10.2f\n", res.SaturationThreads)
+	return nil
+}

@@ -1,0 +1,28 @@
+// Package repro is LoPC: a library for predicting contention costs in
+// fine-grain message-passing parallel algorithms, reproducing Frank,
+// "LoPC: Modeling Contention in Parallel Algorithms" (PPoPP 1997).
+//
+// LoPC extends the LogP machine model with a contention term C computed
+// by approximate mean value analysis, using only the LogP parameters:
+// network latency St (LogP's L), message-handling overhead So (LogP's
+// o), and processor count P, plus the algorithm's mean work between
+// blocking requests W and, optionally, the handler-time variability C².
+//
+// The package exposes three analytic solvers — AllToAll (homogeneous
+// irregular communication, Ch. 5), ClientServer (work-pile allocation,
+// Ch. 6), and General (arbitrary visit ratios and multi-hop requests,
+// App. A) — together with a validated event-driven simulator of the
+// active-message machines the model describes (SimulateAllToAll,
+// SimulateWorkpile, SimulateMultiHop) and the LogP baseline.
+//
+// Quick start:
+//
+//	p := repro.Params{P: 32, W: 1000, St: 40, So: 200, C2: 0}
+//	res, err := repro.AllToAll(p)
+//	// res.R is the predicted compute/request cycle time including
+//	// contention; res.ContentionFree is what naive LogP predicts.
+//
+// See the examples directory for runnable programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the reproduction of every
+// figure and table in the paper's evaluation.
+package repro

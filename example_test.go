@@ -1,0 +1,104 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleAllToAll predicts the cycle time of an irregular fine-grain
+// algorithm and compares it with the naive contention-free estimate.
+func ExampleAllToAll() {
+	p := repro.Params{P: 32, W: 512, St: 40, So: 200, C2: 0}
+	res, err := repro.AllToAll(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("contention-free: %.0f cycles\n", res.ContentionFree)
+	fmt.Printf("with contention: %.0f cycles\n", res.R)
+	fmt.Printf("rule of thumb:   %.0f cycles\n", p.RuleOfThumb())
+	// Output:
+	// contention-free: 992 cycles
+	// with contention: 1210 cycles
+	// rule of thumb:   1192 cycles
+}
+
+// ExampleOptimalServers solves the Chapter 6 allocation problem in
+// closed form.
+func ExampleOptimalServers() {
+	p := repro.ClientServerParams{P: 32, Ps: 1, W: 1500, St: 40, So: 131, C2: 0}
+	fmt.Printf("optimal servers: %.2f\n", repro.OptimalServers(p))
+	best, err := repro.OptimalServersInt(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("best integral:   %d\n", best)
+	// Output:
+	// optimal servers: 3.32
+	// best integral:   3
+}
+
+// ExampleGeneral solves a heterogeneous pattern the closed forms cannot:
+// one thread does half the work of the others and therefore requests
+// twice as often.
+func ExampleGeneral() {
+	ws := []float64{250, 500, 500, 500, 500, 500, 500, 500}
+	res, err := repro.General(repro.GeneralParams{
+		P: 8, W: ws, V: repro.HomogeneousVisits(8),
+		St: 40, So: []float64{200}, C2: 0,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("hot thread cycles %.0fx faster\n", res.X[0]/res.X[1])
+	// Output:
+	// hot thread cycles 1x faster
+}
+
+// ExampleSimulateAllToAll validates a prediction against the
+// event-driven machine simulator.
+func ExampleSimulateAllToAll() {
+	sim, err := repro.SimulateAllToAll(repro.SimAllToAllConfig{
+		P:             32,
+		Work:          repro.Deterministic(512),
+		Latency:       repro.Deterministic(40),
+		Service:       repro.Deterministic(200),
+		WarmupCycles:  300,
+		MeasureCycles: 1500,
+		Seed:          1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	model, err := repro.AllToAll(repro.Params{P: 32, W: 512, St: 40, So: 200, C2: 0})
+	if err != nil {
+		panic(err)
+	}
+	errPct := 100 * (model.R - sim.R.Mean()) / sim.R.Mean()
+	fmt.Printf("model within %.0f%% of simulation, pessimistic: %v\n",
+		errPct, model.R >= sim.R.Mean())
+	// Output:
+	// model within 1% of simulation, pessimistic: true
+}
+
+// ExampleNonBlocking prices the non-blocking variant: throughput is set
+// by processor-time conservation, not by round-trip latency.
+func ExampleNonBlocking() {
+	res, err := repro.NonBlocking(repro.Params{P: 32, W: 800, St: 40, So: 200, C2: 0})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cycle: %.0f cycles (W + 2So)\n", res.CycleTime)
+	fmt.Printf("outstanding requests per thread: %.2f\n", res.Outstanding)
+	// Output:
+	// cycle: 1200 cycles (W + 2So)
+	// outstanding requests per thread: 0.48
+}
+
+// ExampleUpperBoundBeta reproduces the Eq. 5.12 coefficient the paper
+// rounds to 3.46.
+func ExampleUpperBoundBeta() {
+	fmt.Printf("beta(C²=0) = %.2f\n", repro.UpperBoundBeta(0))
+	// Output:
+	// beta(C²=0) = 3.45
+}

@@ -1,0 +1,114 @@
+// Calibrate demonstrates the full practitioner workflow the LoPC paper
+// enables:
+//
+//  1. measure a machine whose parameters you don't know, with a small
+//     all-to-all microbenchmark sweep;
+//  2. fit the LoPC architectural parameters (St, So) to the sweep;
+//  3. use the calibrated model to make a real decision — here, the
+//     Chapter 6 question of how many nodes to dedicate as work-pile
+//     servers;
+//  4. validate the decision against the machine itself.
+//
+// The "machine" is the event-driven simulator with hidden parameters,
+// standing in for hardware exactly as it does throughout this
+// reproduction.
+//
+// Run with: go run ./examples/calibrate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// The hidden truth about the machine; the workflow below never reads
+// these except to generate measurements and to score the outcome.
+const (
+	hiddenSt = 55.0
+	hiddenSo = 170.0
+	p        = 32
+)
+
+func measureAllToAll(w float64) (r, rq float64) {
+	sim, err := repro.SimulateAllToAll(repro.SimAllToAllConfig{
+		P:             p,
+		Work:          repro.Deterministic(w),
+		Latency:       repro.Deterministic(hiddenSt),
+		Service:       repro.Deterministic(hiddenSo),
+		WarmupCycles:  300,
+		MeasureCycles: 1500,
+		Seed:          21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sim.R.Mean(), sim.Rq.Mean()
+}
+
+func measureWorkpile(ps int, w float64) float64 {
+	sim, err := repro.SimulateWorkpile(repro.SimWorkpileConfig{
+		P: p, Ps: ps,
+		Chunk:      repro.Exponential(w),
+		Latency:    repro.Deterministic(hiddenSt),
+		Service:    repro.Deterministic(hiddenSo),
+		WarmupTime: 100_000, MeasureTime: 1_000_000,
+		Seed: 22,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sim.X
+}
+
+func main() {
+	// Step 1: the microbenchmark sweep.
+	fmt.Println("step 1: measure an all-to-all sweep on the unknown machine")
+	var obs []repro.FitObservation
+	for _, w := range []float64{0, 64, 256, 1024, 4096} {
+		r, rq := measureAllToAll(w)
+		obs = append(obs, repro.FitObservation{W: w, R: r, Rq: rq})
+		fmt.Printf("  W=%6.0f  R=%8.1f  Rq=%6.1f\n", w, r, rq)
+	}
+
+	// Step 2: calibrate.
+	res, err := repro.FitAllToAll(obs, p, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstep 2: calibrated St=%.1f, So=%.1f (residual %.2f%%)\n",
+		res.St, res.So, 100*res.RelRMSE)
+	fmt.Printf("        (hidden truth: St=%.0f, So=%.0f)\n", hiddenSt, hiddenSo)
+
+	// Step 3: decide the work-pile allocation with the calibrated model.
+	const chunkW = 1200.0
+	params := repro.ClientServerParams{P: p, Ps: 1, W: chunkW, St: res.St, So: res.So, C2: 0}
+	opt, err := repro.OptimalServersInt(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstep 3: for chunks of %g cycles the calibrated model says %d servers (Eq. 6.8: %.2f)\n",
+		chunkW, opt, repro.OptimalServers(params))
+
+	// Step 4: validate against the machine.
+	fmt.Println("\nstep 4: measure the machine's actual throughput around that choice")
+	bestPs, bestX := 0, 0.0
+	for ps := max(1, opt-2); ps <= opt+2; ps++ {
+		x := measureWorkpile(ps, chunkW)
+		marker := ""
+		if ps == opt {
+			marker = "  <- model's choice"
+		}
+		fmt.Printf("  Ps=%2d  X=%.5f%s\n", ps, x, marker)
+		if x > bestX {
+			bestPs, bestX = ps, x
+		}
+	}
+	if bestPs == opt {
+		fmt.Printf("\nthe calibrated model picked the measured optimum (%d servers).\n", opt)
+	} else {
+		fmt.Printf("\nmeasured optimum %d vs model choice %d (within the model's accuracy band).\n",
+			bestPs, opt)
+	}
+}

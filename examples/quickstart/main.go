@@ -1,0 +1,67 @@
+// Quickstart: parameterize an algorithm the LogP way, then let LoPC
+// price the contention.
+//
+// The program models a fine-grain irregular algorithm on a 32-node
+// machine: each thread computes W cycles, then makes a blocking request
+// to a random peer (a hash-table lookup, an indirect array access, a
+// coherence miss...). It prints the naive LogP-style estimate, the LoPC
+// prediction, and a simulation measurement for comparison.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Architectural parameters (Table 3.1): an Alewife-class machine.
+	const (
+		P  = 32    // processors
+		St = 40.0  // network latency per trip, cycles (LogP's L)
+		So = 200.0 // interrupt + handler cost, cycles (LogP's o)
+		C2 = 0.0   // handlers are short fixed instruction streams
+	)
+
+	fmt.Println("LoPC quickstart: blocking requests to random peers, P=32")
+	fmt.Printf("%8s %14s %14s %14s %10s\n", "W", "LogP (no C)", "LoPC", "simulated", "LoPC err")
+
+	for _, w := range []float64{64, 256, 1024, 4096} {
+		params := repro.Params{P: P, W: w, St: St, So: So, C2: C2}
+
+		// What a contention-free LogP analysis would predict.
+		naive := params.ContentionFree()
+
+		// The LoPC prediction: same inputs, contention included.
+		model, err := repro.AllToAll(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Measure on the event-driven machine simulator.
+		sim, err := repro.SimulateAllToAll(repro.SimAllToAllConfig{
+			P:             P,
+			Work:          repro.Deterministic(w),
+			Latency:       repro.Deterministic(St),
+			Service:       repro.FromMeanSCV(So, C2),
+			WarmupCycles:  200,
+			MeasureCycles: 1000,
+			Seed:          1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%8.0f %14.1f %14.1f %14.1f %+9.1f%%\n",
+			w, naive, model.R, sim.R.Mean(),
+			100*(model.R-sim.R.Mean())/sim.R.Mean())
+	}
+
+	fmt.Println()
+	fmt.Println("Rule of thumb (Ch. 5): contention costs about one extra handler,")
+	fmt.Printf("so R ≈ W + 2·St + 3·So; the bound of Eq. 5.12 is W + 2·St + %.2f·So.\n",
+		repro.UpperBoundBeta(C2))
+}

@@ -1,0 +1,79 @@
+// Sharedmem explores the architectural trade-off the paper raises in
+// "Modeling Shared Memory" (Ch. 5) and its motivation from Holt et al.:
+// how much does a dedicated protocol processor — which removes handler
+// interference with the computation thread, as in a hardware coherence
+// controller — buy, as a function of handler occupancy and network
+// latency?
+//
+// For each (So, St) point the program evaluates the LoPC model in both
+// modes (interrupt: Rw = (W+So·Qq)/(1−Uq); protocol processor: Rw = W)
+// and validates the interesting column with the simulator.
+//
+// Run with: go run ./examples/sharedmem
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const (
+	p = 32
+	w = 500.0
+)
+
+func main() {
+	fmt.Println("Interrupt-driven handlers vs protocol processor (shared memory)")
+	fmt.Printf("P=%d, W=%.0f, C²=0\n\n", p, w)
+	fmt.Printf("%6s %6s %12s %12s %10s %12s %10s\n",
+		"So", "St", "R interrupt", "R protoproc", "speedup", "sim speedup", "occupancy")
+
+	for _, so := range []float64{32, 64, 128, 256, 512} {
+		for _, st := range []float64{10, 100} {
+			intp := repro.Params{P: p, W: w, St: st, So: so, C2: 0}
+			ppp := intp
+			ppp.ProtocolProcessor = true
+
+			mInt, err := repro.AllToAll(intp)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mPP, err := repro.AllToAll(ppp)
+			if err != nil {
+				log.Fatal(err)
+			}
+
+			simSpeedup := "-"
+			if st == 10 { // validate one latency column by simulation
+				run := func(pp bool) float64 {
+					sim, err := repro.SimulateAllToAll(repro.SimAllToAllConfig{
+						P:                 p,
+						Work:              repro.Deterministic(w),
+						Latency:           repro.Deterministic(st),
+						Service:           repro.Deterministic(so),
+						WarmupCycles:      200,
+						MeasureCycles:     800,
+						ProtocolProcessor: pp,
+						Seed:              11,
+					})
+					if err != nil {
+						log.Fatal(err)
+					}
+					return sim.R.Mean()
+				}
+				simSpeedup = fmt.Sprintf("%.3f", run(false)/run(true))
+			}
+
+			fmt.Printf("%6.0f %6.0f %12.1f %12.1f %10.3f %12s %10.3f\n",
+				so, st, mInt.R, mPP.R, mInt.R/mPP.R, simSpeedup, mInt.Uq)
+		}
+	}
+
+	fmt.Println("\nThe protocol processor's advantage tracks handler occupancy, not")
+	fmt.Println("network latency — the Holt et al. observation that controller")
+	fmt.Println("occupancy dominates: latency adds the same 2·St to both designs,")
+	fmt.Println("while every handler cycle also steals a thread cycle in the")
+	fmt.Println("interrupt design.")
+}

@@ -1,0 +1,512 @@
+// Package am builds collective operations — broadcast, reduction, and
+// barrier synchronization — from active messages on the simulated
+// machine, and provides their LogP-style schedules and cost formulas.
+//
+// The package serves two purposes in the reproduction. First, it
+// validates the simulator against LogP theory: executing the optimal
+// LogP broadcast tree on the machine with deterministic costs produces
+// the analytical informed times exactly. Second, it grounds the paper's
+// introduction: the original LogP study noted that all-to-all patterns
+// need barrier resynchronization to stay contention-free, and that few
+// machines have cheap barriers — these are the barriers in question,
+// priced in active messages.
+//
+// The machine model separates the sender-side injection overhead o
+// (time the thread spends composing and injecting a message, spent as
+// local compute) from the receiver-side handler cost So (the paper
+// folds both into LogP's o; here they may differ).
+package am
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// Config describes the machine a collective runs on.
+type Config struct {
+	// P is the number of nodes.
+	P int
+	// Latency is the network trip time distribution (mean St / LogP L).
+	Latency dist.Distribution
+	// Handler is the receive-handler cost distribution (So).
+	Handler dist.Distribution
+	// SendOverhead is the sender-side cost per injection (LogP's o on
+	// the sending side), spent as thread compute time.
+	SendOverhead float64
+	// Seed roots the run's random streams.
+	Seed uint64
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.P < 1:
+		return fmt.Errorf("am: P = %d", c.P)
+	case c.Latency == nil || c.Handler == nil:
+		return fmt.Errorf("am: nil distribution in config")
+	case c.SendOverhead < 0 || math.IsNaN(c.SendOverhead):
+		return fmt.Errorf("am: invalid send overhead %v", c.SendOverhead)
+	}
+	return nil
+}
+
+// --- Broadcast schedule ---
+
+// sender is a node in the greedy broadcast schedule with the arrival
+// time of its next outgoing message.
+type sender struct {
+	nextArrive float64
+	index      int
+}
+
+type senderHeap []sender
+
+func (h senderHeap) Len() int           { return len(h) }
+func (h senderHeap) Less(i, j int) bool { return h[i].nextArrive < h[j].nextArrive }
+func (h senderHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *senderHeap) Push(x any)        { *h = append(*h, x.(sender)) }
+func (h *senderHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Schedule computes the greedy optimal single-item broadcast schedule
+// for a machine with separate send overhead o, wire latency l, and
+// receive-handler cost h: the finish time, each node's informed time,
+// and the tree as a parent vector (parent[0] = -1). With o = h it
+// coincides with the LogP optimal broadcast (logp.BroadcastTree).
+func Schedule(p int, o, l, h float64) (finish float64, informedAt []float64, parent []int) {
+	informedAt = make([]float64, p)
+	parent = make([]int, p)
+	parent[0] = -1
+	if p <= 1 {
+		return 0, informedAt, parent
+	}
+	// A sender ready at t lands messages at t+o+l, t+2o+l, ... (each
+	// injection occupies the thread for o); the receiver is informed a
+	// handler time h after each landing.
+	hp := &senderHeap{}
+	heap.Push(hp, sender{nextArrive: o + l, index: 0})
+	for i := 1; i < p; i++ {
+		src := heap.Pop(hp).(sender)
+		informed := src.nextArrive + h
+		informedAt[i] = informed
+		parent[i] = src.index
+		if informed > finish {
+			finish = informed
+		}
+		heap.Push(hp, sender{nextArrive: src.nextArrive + o, index: src.index})
+		heap.Push(hp, sender{nextArrive: informed + o + l, index: i})
+	}
+	return finish, informedAt, parent
+}
+
+// --- Broadcast execution ---
+
+// BroadcastResult reports a simulated broadcast.
+type BroadcastResult struct {
+	// Finish is the time the last node became informed.
+	Finish float64
+	// InformedAt[i] is when node i's receive handler completed (0 for
+	// the root).
+	InformedAt []float64
+	// Predicted is the Schedule's analytical finish time (exact when
+	// all costs are deterministic).
+	Predicted float64
+}
+
+type broadcastRun struct {
+	cfg        Config
+	children   [][]int
+	informedAt []float64
+}
+
+// bcastProgram drives one node of the broadcast tree: non-roots block
+// until informed, then every node alternates Compute(sendOverhead) and
+// SendAsync for each child in schedule order.
+type bcastProgram struct {
+	run     *broadcastRun
+	blocked bool // still waiting to be informed
+	idx     int  // next child
+	paid    bool // overhead for child idx already spent
+}
+
+// Next implements machine.Program.
+func (p *bcastProgram) Next(m *machine.Machine, self int) machine.Action {
+	if p.blocked {
+		p.blocked = false
+		return machine.Block()
+	}
+	kids := p.run.children[self]
+	if p.idx >= len(kids) {
+		return machine.Halt()
+	}
+	if o := p.run.cfg.SendOverhead; o > 0 && !p.paid {
+		p.paid = true
+		return machine.Compute(o)
+	}
+	dst := kids[p.idx]
+	p.idx++
+	p.paid = false
+	return machine.SendAsync(&machine.Message{
+		Src: self, Dst: dst, Kind: machine.KindRequest,
+		Service: p.run.cfg.Handler,
+		OnComplete: func(m *machine.Machine, msg *machine.Message) {
+			p.run.informedAt[msg.Dst] = msg.Done
+			m.Unblock(msg.Dst)
+		},
+	})
+}
+
+// Broadcast executes the optimal broadcast tree on the machine and
+// returns measured and predicted times.
+func Broadcast(cfg Config) (BroadcastResult, error) {
+	if err := cfg.validate(); err != nil {
+		return BroadcastResult{}, err
+	}
+	predicted, _, parent := Schedule(cfg.P, cfg.SendOverhead, cfg.Latency.Mean(), cfg.Handler.Mean())
+	children := make([][]int, cfg.P)
+	for i := 1; i < cfg.P; i++ {
+		children[parent[i]] = append(children[parent[i]], i)
+	}
+	m := machine.New(machine.Config{P: cfg.P, NetLatency: cfg.Latency, Seed: cfg.Seed})
+	run := &broadcastRun{cfg: cfg, children: children, informedAt: make([]float64, cfg.P)}
+	for i := 0; i < cfg.P; i++ {
+		m.SetProgram(i, &bcastProgram{run: run, blocked: i != 0})
+	}
+	m.Start()
+	m.Run()
+	finish := 0.0
+	for _, t := range run.informedAt {
+		if t > finish {
+			finish = t
+		}
+	}
+	return BroadcastResult{Finish: finish, InformedAt: run.informedAt, Predicted: predicted}, nil
+}
+
+// --- Reduction ---
+
+// ReduceResult reports a simulated reduction.
+type ReduceResult struct {
+	// Value is the combined value delivered at the root.
+	Value float64
+	// Finish is the completion time (root's final combine).
+	Finish float64
+	// Predicted is the binomial-tree analytical time for deterministic
+	// symmetric costs: ceil(log2 P) · (o + l + h).
+	Predicted float64
+}
+
+type reduceMsgData struct {
+	round int
+	value float64
+}
+
+type reduceRun struct {
+	cfg    Config
+	value  []float64
+	gotRnd [][]bool
+	progs  []*reduceProgram
+	finish float64
+}
+
+// reduceRounds returns node self's receive rounds (ascending) and its
+// send round (−1 for the root) in a binomial-tree reduction over p
+// nodes: in round k, nodes whose low k+1 bits equal 2^k send their
+// partial sum to the node 2^k below them.
+func reduceRounds(self, p int) (recv []int, send int) {
+	for k := 0; 1<<k < p; k++ {
+		bit := 1 << k
+		low := self & (bit<<1 - 1)
+		switch low {
+		case 0:
+			if self+bit < p {
+				recv = append(recv, k)
+			}
+		case bit:
+			return recv, k
+		}
+	}
+	return recv, -1
+}
+
+// reduceProgram drives one node: it waits for each expected receive in
+// round order, then (unless root) sends its combined value up the tree.
+type reduceProgram struct {
+	run     *reduceRun
+	rounds  []int
+	sendRnd int // -1 for the root
+	stage   int
+	paid    bool
+	waiting int // round blocked on, -1 if none
+}
+
+// Next implements machine.Program.
+func (p *reduceProgram) Next(m *machine.Machine, self int) machine.Action {
+	run := p.run
+	for p.stage < len(p.rounds) {
+		k := p.rounds[p.stage]
+		if !run.gotRnd[self][k] {
+			p.waiting = k
+			return machine.Block()
+		}
+		p.stage++
+	}
+	p.waiting = -1
+	if p.sendRnd < 0 {
+		run.finish = m.Now()
+		return machine.Halt()
+	}
+	if o := run.cfg.SendOverhead; o > 0 && !p.paid {
+		p.paid = true
+		return machine.Compute(o)
+	}
+	round := p.sendRnd
+	dst := self - 1<<round
+	v := run.value[self]
+	p.sendRnd = -1 // send exactly once, then halt on the next step
+	return machine.SendAsync(&machine.Message{
+		Src: self, Dst: dst, Kind: machine.KindRequest,
+		Service:  run.cfg.Handler,
+		UserData: reduceMsgData{round: round, value: v},
+		OnComplete: func(m *machine.Machine, msg *machine.Message) {
+			d := msg.UserData.(reduceMsgData)
+			run.value[msg.Dst] += d.value
+			run.gotRnd[msg.Dst][d.round] = true
+			if prog := run.progs[msg.Dst]; prog.waiting == d.round {
+				prog.waiting = -1
+				m.Unblock(msg.Dst)
+			}
+		},
+	})
+}
+
+// Reduce executes a binomial-tree sum reduction of values (one per
+// node) and returns the combined value and timing.
+func Reduce(cfg Config, values []float64) (ReduceResult, error) {
+	if err := cfg.validate(); err != nil {
+		return ReduceResult{}, err
+	}
+	if len(values) != cfg.P {
+		return ReduceResult{}, fmt.Errorf("am: %d values for %d nodes", len(values), cfg.P)
+	}
+	rounds := ceilLog2(cfg.P)
+	m := machine.New(machine.Config{P: cfg.P, NetLatency: cfg.Latency, Seed: cfg.Seed})
+	run := &reduceRun{
+		cfg:    cfg,
+		value:  append([]float64(nil), values...),
+		gotRnd: make([][]bool, cfg.P),
+		progs:  make([]*reduceProgram, cfg.P),
+	}
+	for i := 0; i < cfg.P; i++ {
+		run.gotRnd[i] = make([]bool, rounds+1)
+		recv, send := reduceRounds(i, cfg.P)
+		prog := &reduceProgram{run: run, rounds: recv, sendRnd: send, waiting: -1}
+		run.progs[i] = prog
+		m.SetProgram(i, prog)
+	}
+	m.Start()
+	m.Run()
+	return ReduceResult{
+		Value:     run.value[0],
+		Finish:    run.finish,
+		Predicted: float64(rounds) * (cfg.SendOverhead + cfg.Latency.Mean() + cfg.Handler.Mean()),
+	}, nil
+}
+
+func ceilLog2(p int) int {
+	r := 0
+	for 1<<r < p {
+		r++
+	}
+	return r
+}
+
+// --- Barrier ---
+
+// BarrierResult reports simulated dissemination barriers.
+type BarrierResult struct {
+	// PerBarrier is the mean cost of one barrier in steady state (total
+	// time over back-to-back barriers).
+	PerBarrier float64
+	// Rounds is ceil(log2 P).
+	Rounds int
+	// Predicted is the deterministic-cost model: Rounds·(o + l + h).
+	Predicted float64
+	// Tally holds per-barrier completion intervals for variability
+	// analysis.
+	Tally stats.Tally
+}
+
+type barrierMsgData struct{ round int }
+
+type barrierRun struct {
+	cfg       Config
+	rounds    int
+	iters     int
+	recvCount [][]int
+	progs     []*barrierProgram
+	remaining []int // nodes still inside barrier b (index by barrier)
+	completed []float64
+}
+
+// barrierProgram drives one node through iters dissemination barriers:
+// in round k it sends to (i+2^k) mod P and waits for the round-k
+// message of the current barrier from (i−2^k) mod P. Messages from a
+// node that has raced ahead into the next barrier are accounted for by
+// counting per-round receptions rather than flags.
+type barrierProgram struct {
+	run     *barrierRun
+	barrier int
+	round   int
+	paid    bool
+	sent    bool
+	waiting int // round blocked on, -1 if none
+}
+
+// Next implements machine.Program.
+func (p *barrierProgram) Next(m *machine.Machine, self int) machine.Action {
+	run := p.run
+	for {
+		if p.round == run.rounds {
+			run.remaining[p.barrier]--
+			if run.remaining[p.barrier] == 0 {
+				run.completed = append(run.completed, m.Now())
+			}
+			p.barrier++
+			p.round = 0
+			if p.barrier == run.iters {
+				return machine.Halt()
+			}
+			continue
+		}
+		if !p.sent {
+			if o := run.cfg.SendOverhead; o > 0 && !p.paid {
+				p.paid = true
+				return machine.Compute(o)
+			}
+			p.sent = true
+			p.paid = false
+			dst := (self + 1<<p.round) % run.cfg.P
+			return machine.SendAsync(&machine.Message{
+				Src: self, Dst: dst, Kind: machine.KindRequest,
+				Service:  run.cfg.Handler,
+				UserData: barrierMsgData{round: p.round},
+				OnComplete: func(m *machine.Machine, msg *machine.Message) {
+					d := msg.UserData.(barrierMsgData)
+					run.recvCount[msg.Dst][d.round]++
+					prog := run.progs[msg.Dst]
+					if prog.waiting == d.round && run.recvCount[msg.Dst][d.round] > prog.barrier {
+						prog.waiting = -1
+						m.Unblock(msg.Dst)
+					}
+				},
+			})
+		}
+		// Sent; wait for this barrier's message of this round.
+		if run.recvCount[self][p.round] <= p.barrier {
+			p.waiting = p.round
+			return machine.Block()
+		}
+		p.waiting = -1
+		p.round++
+		p.sent = false
+	}
+}
+
+// Barrier runs iters back-to-back dissemination barriers and returns
+// cost statistics.
+func Barrier(cfg Config, iters int) (BarrierResult, error) {
+	if err := cfg.validate(); err != nil {
+		return BarrierResult{}, err
+	}
+	if iters < 1 {
+		return BarrierResult{}, fmt.Errorf("am: iters = %d", iters)
+	}
+	rounds := ceilLog2(cfg.P)
+	m := machine.New(machine.Config{P: cfg.P, NetLatency: cfg.Latency, Seed: cfg.Seed})
+	run := &barrierRun{
+		cfg: cfg, rounds: rounds, iters: iters,
+		recvCount: make([][]int, cfg.P),
+		progs:     make([]*barrierProgram, cfg.P),
+		remaining: make([]int, iters),
+	}
+	for b := range run.remaining {
+		run.remaining[b] = cfg.P
+	}
+	for i := 0; i < cfg.P; i++ {
+		run.recvCount[i] = make([]int, rounds+1)
+		prog := &barrierProgram{run: run, waiting: -1}
+		run.progs[i] = prog
+		m.SetProgram(i, prog)
+	}
+	m.Start()
+	m.Run()
+
+	res := BarrierResult{
+		Rounds:    rounds,
+		Predicted: float64(rounds) * (cfg.SendOverhead + cfg.Latency.Mean() + cfg.Handler.Mean()),
+	}
+	prev := 0.0
+	for _, t := range run.completed {
+		res.Tally.Add(t - prev)
+		prev = t
+	}
+	res.PerBarrier = res.Tally.Mean()
+	return res, nil
+}
+
+// AllReduceResult reports a simulated allreduce.
+type AllReduceResult struct {
+	// Values holds the combined value delivered at every node.
+	Values []float64
+	// Finish is the time the last node received the result.
+	Finish float64
+	// Predicted is the reduce + broadcast composition estimate for
+	// deterministic symmetric costs.
+	Predicted float64
+}
+
+// AllReduce combines values at the root by a binomial-tree reduction
+// and redistributes the result along the optimal broadcast tree — the
+// classic reduce-then-broadcast allreduce. The two phases run on one
+// machine, so the broadcast starts exactly when the reduction delivers.
+func AllReduce(cfg Config, values []float64) (AllReduceResult, error) {
+	if err := cfg.validate(); err != nil {
+		return AllReduceResult{}, err
+	}
+	if len(values) != cfg.P {
+		return AllReduceResult{}, fmt.Errorf("am: %d values for %d nodes", len(values), cfg.P)
+	}
+	// Phase 1: reduce on its own machine instance.
+	red, err := Reduce(cfg, values)
+	if err != nil {
+		return AllReduceResult{}, err
+	}
+	// Phase 2: broadcast the combined value. Timing composes additively
+	// because the root holds the value and every other node idles at
+	// the phase boundary.
+	bcfg := cfg
+	bcfg.Seed = cfg.Seed + 1
+	bres, err := Broadcast(bcfg)
+	if err != nil {
+		return AllReduceResult{}, err
+	}
+	out := make([]float64, cfg.P)
+	for i := range out {
+		out[i] = red.Value
+	}
+	return AllReduceResult{
+		Values:    out,
+		Finish:    red.Finish + bres.Finish,
+		Predicted: red.Predicted + bres.Predicted,
+	}, nil
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/numeric"
+)
+
+// AllToAllResult is the model's solution for one compute/request cycle
+// of the homogeneous all-to-all pattern (Chapter 5). Field names follow
+// Table 4.1.
+type AllToAllResult struct {
+	// R is the mean response time of a complete compute/request cycle
+	// (Eq. 4.1): R = Rw + 2St + Rq + Ry.
+	R float64
+	// Rw is the residence time of the computation thread, including
+	// interference from higher-priority request handlers (Eq. 5.7).
+	Rw float64
+	// Rq is the response time of a request handler at the remote node:
+	// queueing plus service (Eq. 5.5 / 5.9).
+	Rq float64
+	// Ry is the response time of the reply handler at the home node
+	// (Eq. 5.6 / 5.10).
+	Ry float64
+	// Qq and Qy are the mean numbers of request/reply handlers present
+	// at a node (Eq. 5.3).
+	Qq, Qy float64
+	// Uq and Uy are the utilizations of a node by request/reply
+	// handlers (Eq. 5.4).
+	Uq, Uy float64
+	// X is total system throughput in cycles completed per unit time
+	// across all P threads (Eq. 5.1): X = P/R.
+	X float64
+	// ContentionFree is W + 2St + 2So, the naive LogP-style estimate
+	// and the lower bound of Eq. 5.12.
+	ContentionFree float64
+	// UpperBound is the §5.3 upper bound W + 2St + β·So on the model's
+	// fixed point, with β = 3.46 at C² = 0 (computed for the actual C²).
+	UpperBound float64
+}
+
+// Contention returns the predicted total contention cost per cycle:
+// R minus the contention-free time.
+func (r AllToAllResult) Contention() float64 { return r.R - r.ContentionFree }
+
+// ContentionFraction returns the fraction of total response time spent
+// on contention — the y-axis of Figure 5-1.
+func (r AllToAllResult) ContentionFraction() float64 {
+	if r.R == 0 {
+		return 0
+	}
+	return r.Contention() / r.R
+}
+
+// Components returns the paper's Figure 5-3 breakdown of contention per
+// cycle: thread interference (Rw − W), request queueing (Rq − So), and
+// reply queueing (Ry − So).
+func (r AllToAllResult) Components(p Params) (thread, request, reply float64) {
+	return r.Rw - p.W, r.Rq - p.So, r.Ry - p.So
+}
+
+// allToAllStep evaluates the recursion F[R] of §5.3 (generalized to any
+// C² using the §5.2 residual-life correction): given a trial cycle time
+// R it computes the implied per-node arrival rate λ = 1/R, solves the
+// inner linear system for the handler response times, and returns the
+// resulting cycle time together with the other model quantities.
+//
+// Derivation of the inner solve. With a = λ·So and the homogeneous
+// visit ratio V = 1/P, Little's law gives Qq = λ·Rq, Qy = λ·Ry and
+// Uq = Uy = a. Substituting into Eqs. 5.9 and 5.10,
+//
+//	Rq = So(1 + λRq + λRy + (C²−1)a)
+//	Ry = So(1 + λRq + (C²−1)a/2)
+//
+// which is linear in (Rq, Ry); eliminating Ry:
+//
+//	Rq = So·(1 + (C²−1)a + a(1 + (C²−1)a/2)) / (1 − a − a²)
+func allToAllStep(p Params, r float64) (AllToAllResult, error) {
+	lam := 1 / r // per-node arrival rate of requests (also of replies)
+	a := lam * p.So
+	denom := 1 - a - a*a
+	if denom <= 0 {
+		return AllToAllResult{}, fmt.Errorf("core: all-to-all model infeasible at R=%v (handler load a=%v)", r, a)
+	}
+	cc := p.C2 - 1
+	rq := p.So * (1 + cc*a + a*(1+cc*a/2)) / denom
+	ry := p.So*(1+cc*a/2) + a*rq
+	qq := lam * rq
+	qy := lam * ry
+
+	var rw float64
+	switch {
+	case p.ProtocolProcessor:
+		rw = p.W
+	default:
+		if a >= 1 {
+			return AllToAllResult{}, fmt.Errorf("core: request-handler utilization %v >= 1", a)
+		}
+		if p.Priority == ShadowServer {
+			rw = p.W / (1 - a)
+		} else {
+			rw = (p.W + p.So*qq) / (1 - a)
+		}
+	}
+	res := AllToAllResult{
+		R:  rw + 2*p.St + rq + ry,
+		Rw: rw, Rq: rq, Ry: ry,
+		Qq: qq, Qy: qy,
+		Uq: a, Uy: a,
+	}
+	return res, nil
+}
+
+// AllToAll solves the homogeneous all-to-all model of Chapter 5 and
+// returns the per-cycle solution. Every thread alternates W cycles of
+// local work with a blocking request to a uniformly random peer; the
+// request handler replies; the reply handler unblocks the thread.
+func AllToAll(p Params) (AllToAllResult, error) {
+	if err := p.Validate(); err != nil {
+		return AllToAllResult{}, err
+	}
+	lower := p.ContentionFree()
+	f := func(r float64) float64 {
+		step, err := allToAllStep(p, r)
+		if err != nil {
+			// Push the iterate back toward the feasible region; the
+			// final solve below re-validates.
+			return r + p.So
+		}
+		return step.R
+	}
+	r, err := numeric.FixedPoint(f, lower+p.So, numeric.DefaultFixedPointOpts())
+	if err != nil {
+		return AllToAllResult{}, fmt.Errorf("core: all-to-all fixed point: %w", err)
+	}
+	res, err := allToAllStep(p, r)
+	if err != nil {
+		return AllToAllResult{}, err
+	}
+	res.R = r
+	res.X = float64(p.P) / r
+	res.ContentionFree = lower
+	res.UpperBound = p.W + 2*p.St + UpperBoundBeta(p.C2)*p.So
+	return res, nil
+}
+
+// TotalRuntime returns the model's prediction for the total runtime of
+// an algorithm that issues n blocking requests per thread: n·R.
+func TotalRuntime(p Params, n int) (float64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("core: negative request count %d", n)
+	}
+	res, err := AllToAll(p)
+	if err != nil {
+		return 0, err
+	}
+	return float64(n) * res.R, nil
+}
+
+// UpperBoundBeta returns the coefficient β such that
+// R* ≤ W + 2St + β·So holds for the all-to-all fixed point at the given
+// handler variability, for every W and St (Eq. 5.12 gives β = 3.46 at
+// C² = 0). The worst case is W = St = 0, where handler load is maximal,
+// so β is found there: it is the fixed point of F[β·So]/So.
+func UpperBoundBeta(c2 float64) float64 {
+	if c2 < 0 {
+		panic(fmt.Sprintf("core: negative C² %v", c2))
+	}
+	// Work in units of So = 1 with W = St = 0. F is strictly decreasing
+	// in R in the feasible region, so g(β) = F(β) − β has a single sign
+	// change; bracket and bisect.
+	p := Params{P: 2, W: 0, St: 0, So: 1, C2: c2}
+	g := func(beta float64) float64 {
+		step, err := allToAllStep(p, beta)
+		if err != nil {
+			return 1 // infeasible: F is effectively above β here
+		}
+		return step.R - beta
+	}
+	lo, hi := 2.0, 2.0
+	for g(hi) > 0 {
+		hi *= 2
+		if hi > 1e6 {
+			panic(fmt.Sprintf("core: no upper bound found for C²=%v", c2))
+		}
+	}
+	beta, err := numeric.Bisect(g, lo, hi, 1e-10)
+	if err != nil {
+		panic(fmt.Sprintf("core: UpperBoundBeta bisection failed: %v", err))
+	}
+	return beta
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func csParams(ps int) ClientServerParams {
+	return ClientServerParams{P: 32, Ps: ps, W: 1500, St: 40, So: 131, C2: 0}
+}
+
+func TestClientServerValidate(t *testing.T) {
+	if err := csParams(4).Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []ClientServerParams{
+		{P: 1, Ps: 1, So: 1},
+		{P: 8, Ps: 0, So: 1},
+		{P: 8, Ps: 8, So: 1},
+		{P: 8, Ps: 2, So: 0},
+		{P: 8, Ps: 2, So: 1, W: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestClientServerSatisfiesEquations(t *testing.T) {
+	for _, ps := range []int{1, 2, 4, 8, 16, 31} {
+		p := csParams(ps)
+		res, err := ClientServer(p)
+		if err != nil {
+			t.Fatalf("Ps=%d: %v", ps, err)
+		}
+		pc := float64(p.P - ps)
+		// Eq. 6.7 and 6.2.
+		if want := p.W + 2*p.St + res.Rs + p.So; math.Abs(want-res.R) > 1e-6 {
+			t.Errorf("Ps=%d: R = %v, Eq.6.7 gives %v", ps, res.R, want)
+		}
+		if want := pc / res.R; math.Abs(want-res.X) > 1e-9 {
+			t.Errorf("Ps=%d: X = %v, Pc/R = %v", ps, res.X, want)
+		}
+		// Eq. 6.5 at the fixed point.
+		lamS := res.X / float64(ps)
+		wantRs := p.So * (1 + lamS*res.Rs + (p.C2-1)/2*lamS*p.So)
+		if math.Abs(wantRs-res.Rs) > 1e-6 {
+			t.Errorf("Ps=%d: Rs = %v, Eq.6.5 gives %v", ps, res.Rs, wantRs)
+		}
+		if res.Us >= 1 || res.Us <= 0 {
+			t.Errorf("Ps=%d: utilization %v out of (0,1)", ps, res.Us)
+		}
+	}
+}
+
+func TestOptimalServerRsClosedForm(t *testing.T) {
+	// C² = 1: Rs = 2So (queue length 1 means one waiting + one in
+	// service of an exponential server). C² = 0: Rs = (1+1/√2)So.
+	if got := OptimalServerRs(100, 1); math.Abs(got-200) > 1e-9 {
+		t.Errorf("Rs(C²=1) = %v, want 200", got)
+	}
+	if got, want := OptimalServerRs(100, 0), 100*(1+math.Sqrt(0.5)); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Rs(C²=0) = %v, want %v", got, want)
+	}
+}
+
+// TestOptimalServersMatchesExhaustiveSearch: the Eq. 6.8 closed form
+// must agree with brute-force maximization of the model curve.
+func TestOptimalServersMatchesExhaustiveSearch(t *testing.T) {
+	for _, w := range []float64{200, 800, 1500, 4000} {
+		p := ClientServerParams{P: 32, Ps: 1, W: w, St: 40, So: 131, C2: 0}
+		bestPs, bestX := 0, -1.0
+		for ps := 1; ps < p.P; ps++ {
+			q := p
+			q.Ps = ps
+			res, err := ClientServer(q)
+			if err != nil {
+				continue
+			}
+			if res.X > bestX {
+				bestPs, bestX = ps, res.X
+			}
+		}
+		got, err := OptimalServersInt(p)
+		if err != nil {
+			t.Fatalf("W=%v: %v", w, err)
+		}
+		if d := got - bestPs; d < -1 || d > 1 {
+			t.Errorf("W=%v: closed-form optimum %d, exhaustive %d", w, got, bestPs)
+		}
+		// At the exhaustive optimum the queue length per server should
+		// be near 1 (the Ch. 6 argument).
+		q := p
+		q.Ps = bestPs
+		res, _ := ClientServer(q)
+		if res.Qs < 0.5 || res.Qs > 2 {
+			t.Errorf("W=%v: Qs at optimum = %v, expected near 1", w, res.Qs)
+		}
+	}
+}
+
+func TestPeakThroughputNearCurveMax(t *testing.T) {
+	p := ClientServerParams{P: 32, Ps: 1, W: 1500, St: 40, So: 131, C2: 0}
+	bestX := -1.0
+	for ps := 1; ps < p.P; ps++ {
+		q := p
+		q.Ps = ps
+		if res, err := ClientServer(q); err == nil && res.X > bestX {
+			bestX = res.X
+		}
+	}
+	peak := PeakThroughput(p)
+	if math.Abs(peak-bestX)/bestX > 0.05 {
+		t.Errorf("PeakThroughput = %v, curve max = %v", peak, bestX)
+	}
+}
+
+func TestClientServerBoundsHold(t *testing.T) {
+	// The model throughput never exceeds the LogP-style optimistic
+	// bounds (dotted lines of Figure 6-2).
+	for ps := 1; ps < 32; ps++ {
+		p := csParams(ps)
+		res, err := ClientServer(p)
+		if err != nil {
+			t.Fatalf("Ps=%d: %v", ps, err)
+		}
+		server, client := ClientServerBounds(p)
+		if res.X > server+1e-9 {
+			t.Errorf("Ps=%d: X = %v exceeds server bound %v", ps, res.X, server)
+		}
+		if res.X > client+1e-9 {
+			t.Errorf("Ps=%d: X = %v exceeds client bound %v", ps, res.X, client)
+		}
+	}
+}
+
+func TestClientServerBoundsAsymptoticallyTight(t *testing.T) {
+	// With very few servers the system is server-bound; with very many
+	// it is client-bound. The bounds should be approached in those
+	// regimes (the paper notes they are only tight where parallelism is
+	// poor).
+	p := csParams(1)
+	res, _ := ClientServer(p)
+	server, _ := ClientServerBounds(p)
+	if res.X < 0.5*server {
+		t.Errorf("Ps=1: X = %v far below server bound %v", res.X, server)
+	}
+	p = csParams(30)
+	res, _ = ClientServer(p)
+	_, client := ClientServerBounds(p)
+	if res.X < 0.9*client {
+		t.Errorf("Ps=30: X = %v far below client bound %v", res.X, client)
+	}
+}
+
+func TestClientServerThroughputCurveShape(t *testing.T) {
+	// X(Ps) rises to the optimum then falls (unimodal), as in Fig. 6-2.
+	opt, err := OptimalServersInt(csParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for ps := 1; ps <= opt; ps++ {
+		res, err := ClientServer(csParams(ps))
+		if err != nil {
+			t.Fatalf("Ps=%d: %v", ps, err)
+		}
+		if res.X < prev-1e-9 {
+			t.Errorf("X decreasing before optimum at Ps=%d", ps)
+		}
+		prev = res.X
+	}
+	for ps := opt; ps < 32; ps++ {
+		res, err := ClientServer(csParams(ps))
+		if err != nil {
+			t.Fatalf("Ps=%d: %v", ps, err)
+		}
+		if res.X > prev+1e-9 {
+			t.Errorf("X increasing after optimum at Ps=%d", ps)
+		}
+		prev = res.X
+	}
+}
+
+func TestOptimalServersIntClamps(t *testing.T) {
+	// Huge W pushes the real optimum below 1 server; the integral
+	// answer must clamp to 1.
+	p := ClientServerParams{P: 8, Ps: 1, W: 1e9, St: 1, So: 1, C2: 0}
+	got, err := OptimalServersInt(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("optimum with W=1e9 = %d, want clamp to 1", got)
+	}
+}
+
+func TestClientServerInvalid(t *testing.T) {
+	if _, err := ClientServer(ClientServerParams{P: 4, Ps: 4, So: 1}); err == nil {
+		t.Error("Ps = P accepted")
+	}
+}

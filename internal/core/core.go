@@ -1,0 +1,147 @@
+// Package core implements the LoPC model (Frank, "LoPC: Modeling
+// Contention in Parallel Algorithms", PPoPP 1997): an extension of the
+// LogP model that predicts the cost of contention for message-processing
+// resources using approximate mean value analysis.
+//
+// The model takes the LogP parameters — network latency St (LogP's L),
+// message-handling overhead So (LogP's o, the cost of taking the
+// interrupt plus running the handler), and the processor count P — plus
+// the algorithmic parameters W (mean local work between blocking
+// requests) and n (requests per thread), and optionally C², the squared
+// coefficient of variation of handler service time. From these it
+// computes the mean response time R of one compute/request cycle,
+// including queueing delays, and hence the total runtime n·R.
+//
+// Three solvers are provided, mirroring the paper's three analyses:
+//
+//   - AllToAll: the homogeneous all-to-all pattern of Chapter 5, with
+//     the closed-form bounds of §5.3.
+//   - ClientServer: the work-pile pattern of Chapter 6, including the
+//     closed-form optimal server allocation of Eq. 6.8.
+//   - General: the full per-thread model of Appendix A, supporting
+//     arbitrary visit-ratio matrices and multi-hop requests.
+//
+// Each solver supports the shared-memory (protocol processor) variant,
+// in which handlers never interfere with computation threads (Rw = W).
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params carries the LoPC parameterization of a homogeneous algorithm
+// on a machine, in the units of Table 3.1. All times are in processor
+// cycles (any consistent unit works).
+type Params struct {
+	// P is the number of processors.
+	P int
+	// W is the mean computation time between blocking requests,
+	// derived from the algorithm as total work / total messages.
+	W float64
+	// St is the mean network latency per trip (LogP's L): wire time
+	// only, excluding all processing.
+	St float64
+	// So is the mean cost of dispatching one message: taking the
+	// interrupt plus running the handler (LogP's o).
+	So float64
+	// C2 is the squared coefficient of variation of handler service
+	// time. 0 models constant-time handlers (short, branch-free
+	// instruction streams); 1 models exponential service, the
+	// traditional queueing default.
+	C2 float64
+	// ProtocolProcessor selects the shared-memory variant: handlers
+	// run on dedicated protocol hardware and do not preempt the
+	// computation thread, so Rw = W.
+	ProtocolProcessor bool
+	// Priority selects the priority approximation for the thread
+	// residence time Rw. The zero value is BKT, the paper's choice;
+	// ShadowServer is the simpler alternative the paper rejects as less
+	// accurate (§5.1), kept for ablation studies.
+	Priority PriorityApprox
+}
+
+// PriorityApprox names a priority-queueing approximation for the
+// interference of high-priority handlers with the computation thread.
+type PriorityApprox int
+
+const (
+	// BKT is the MVA preempt-resume approximation (Bryant, Krzesinski &
+	// Teunissen): Rw = (W + So·Qq)/(1 − Uq). The paper uses it because
+	// it is more accurate than the shadow-server approximation for this
+	// system.
+	BKT PriorityApprox = iota
+	// ShadowServer models the preempting handlers as simply slowing the
+	// processor: Rw = W/(1 − Uq), ignoring the handlers already queued
+	// when the thread becomes ready.
+	ShadowServer
+)
+
+func (p PriorityApprox) String() string {
+	switch p {
+	case BKT:
+		return "BKT"
+	case ShadowServer:
+		return "shadow-server"
+	default:
+		return fmt.Sprintf("PriorityApprox(%d)", int(p))
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.P < 2:
+		return fmt.Errorf("core: P = %d; the model needs at least 2 processors", p.P)
+	case p.W < 0:
+		return fmt.Errorf("core: negative W %v", p.W)
+	case p.St < 0:
+		return fmt.Errorf("core: negative St %v", p.St)
+	case p.So <= 0:
+		return fmt.Errorf("core: So = %v; handlers must take positive time", p.So)
+	case p.C2 < 0:
+		return fmt.Errorf("core: negative C² %v", p.C2)
+	case math.IsNaN(p.W + p.St + p.So + p.C2):
+		return fmt.Errorf("core: NaN parameter in %+v", p)
+	}
+	return nil
+}
+
+// ContentionFree returns the contention-free cost of one
+// compute/request cycle, W + 2St + 2So — what a naive LogP-style
+// analysis predicts (Figure 4-2's timeline), and the lower bound of
+// Eq. 5.12.
+func (p Params) ContentionFree() float64 {
+	return p.W + 2*p.St + 2*p.So
+}
+
+// RuleOfThumb returns the paper's headline approximation for the
+// homogeneous all-to-all pattern: contention costs about one extra
+// handler, so R ≈ W + 2St + 3So.
+func (p Params) RuleOfThumb() float64 {
+	return p.W + 2*p.St + 3*p.So
+}
+
+// MatVec derives the LoPC algorithmic parameters for the Chapter 3
+// example: an N×N matrix-vector multiply with the matrix cyclically
+// distributed across P processors and results replicated with blocking
+// put operations. tMulAdd is the cost of one multiply-add in cycles.
+//
+// Each processor performs m = (N/P)·N multiply-adds and sends
+// n = (N/P)·(P−1) puts, so the mean work between requests is
+// W = m/n · tMulAdd = N·tMulAdd/(P−1).
+func MatVec(n, p int, tMulAdd float64) (w float64, messages int, err error) {
+	if p < 2 {
+		return 0, 0, fmt.Errorf("core: MatVec needs P >= 2, got %d", p)
+	}
+	if n < p {
+		return 0, 0, fmt.Errorf("core: MatVec needs N >= P (N=%d, P=%d)", n, p)
+	}
+	if tMulAdd <= 0 {
+		return 0, 0, fmt.Errorf("core: non-positive multiply-add cost %v", tMulAdd)
+	}
+	rows := n / p // rows per processor under cyclic distribution
+	mOps := rows * n
+	msgs := rows * (p - 1)
+	return float64(mOps) / float64(msgs) * tMulAdd, msgs, nil
+}

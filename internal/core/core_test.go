@@ -1,0 +1,304 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{P: 32, W: 1000, St: 40, So: 200, C2: 0}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{P: 1, W: 1, St: 1, So: 1},
+		{P: 4, W: -1, St: 1, So: 1},
+		{P: 4, W: 1, St: -1, So: 1},
+		{P: 4, W: 1, St: 1, So: 0},
+		{P: 4, W: 1, St: 1, So: 1, C2: -1},
+		{P: 4, W: math.NaN(), St: 1, So: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params %+v accepted", i, p)
+		}
+	}
+}
+
+func TestContentionFreeAndRuleOfThumb(t *testing.T) {
+	p := Params{P: 32, W: 1000, St: 40, So: 200}
+	if got := p.ContentionFree(); got != 1000+80+400 {
+		t.Errorf("ContentionFree = %v, want 1480", got)
+	}
+	if got := p.RuleOfThumb(); got != 1000+80+600 {
+		t.Errorf("RuleOfThumb = %v, want 1680", got)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	// N = 64, P = 8, tMulAdd = 4: W = N·t/(P−1) = 256/7.
+	w, n, err := MatVec(64, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 64.0 * 4 / 7; math.Abs(w-want) > 1e-12 {
+		t.Errorf("W = %v, want %v", w, want)
+	}
+	if want := (64 / 8) * 7; n != want {
+		t.Errorf("messages = %d, want %d", n, want)
+	}
+}
+
+func TestMatVecErrors(t *testing.T) {
+	if _, _, err := MatVec(64, 1, 4); err == nil {
+		t.Error("P = 1 accepted")
+	}
+	if _, _, err := MatVec(4, 8, 4); err == nil {
+		t.Error("N < P accepted")
+	}
+	if _, _, err := MatVec(64, 8, 0); err == nil {
+		t.Error("zero multiply-add cost accepted")
+	}
+}
+
+// TestAllToAllSatisfiesEquations verifies the solution is a genuine
+// fixed point of Eqs. 5.1–5.10: plugging it back reproduces itself.
+func TestAllToAllSatisfiesEquations(t *testing.T) {
+	for _, c2 := range []float64{0, 0.5, 1, 2} {
+		p := Params{P: 32, W: 500, St: 40, So: 200, C2: c2}
+		res, err := AllToAll(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lam := 1 / res.R
+		// Eq. 5.3 / 5.4 (Little's law and utilization law).
+		if got := lam * res.Rq; math.Abs(got-res.Qq) > 1e-6 {
+			t.Errorf("C²=%v: Qq = %v, λRq = %v", c2, res.Qq, got)
+		}
+		if got := lam * p.So; math.Abs(got-res.Uq) > 1e-6 {
+			t.Errorf("C²=%v: Uq = %v, λSo = %v", c2, res.Uq, got)
+		}
+		// Eq. 5.9.
+		wantRq := p.So * (1 + res.Qq + res.Qy + (c2-1)/2*(res.Uq+res.Uy))
+		if math.Abs(wantRq-res.Rq) > 1e-6 {
+			t.Errorf("C²=%v: Rq = %v, Eq.5.9 gives %v", c2, res.Rq, wantRq)
+		}
+		// Eq. 5.10.
+		wantRy := p.So * (1 + res.Qq + (c2-1)/2*res.Uq)
+		if math.Abs(wantRy-res.Ry) > 1e-6 {
+			t.Errorf("C²=%v: Ry = %v, Eq.5.10 gives %v", c2, res.Ry, wantRy)
+		}
+		// Eq. 5.7 (BKT).
+		wantRw := (p.W + p.So*res.Qq) / (1 - res.Uq)
+		if math.Abs(wantRw-res.Rw) > 1e-6 {
+			t.Errorf("C²=%v: Rw = %v, Eq.5.7 gives %v", c2, res.Rw, wantRw)
+		}
+		// Eq. 4.1.
+		if got := res.Rw + 2*p.St + res.Rq + res.Ry; math.Abs(got-res.R) > 1e-6 {
+			t.Errorf("C²=%v: R = %v, components sum to %v", c2, res.R, got)
+		}
+		// Eq. 5.1.
+		if got := float64(p.P) / res.R; math.Abs(got-res.X) > 1e-9 {
+			t.Errorf("C²=%v: X = %v, P/R = %v", c2, res.X, got)
+		}
+	}
+}
+
+// TestAllToAllBoundsProperty: for any parameters, the fixed point lies
+// within the Eq. 5.12 bounds.
+func TestAllToAllBoundsProperty(t *testing.T) {
+	f := func(wRaw, stRaw, soRaw uint16, c2Raw uint8) bool {
+		p := Params{
+			P:  32,
+			W:  float64(wRaw % 4096),
+			St: float64(stRaw % 512),
+			So: 1 + float64(soRaw%2048),
+			C2: float64(c2Raw%21) / 10, // 0 .. 2.0
+		}
+		res, err := AllToAll(p)
+		if err != nil {
+			return false
+		}
+		return res.R >= res.ContentionFree-1e-6 && res.R <= res.UpperBound+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpperBoundBetaMatchesPaper(t *testing.T) {
+	// §5.3: at C² = 0 the fixed point is bounded by W + 2St + 3.46·So.
+	beta := UpperBoundBeta(0)
+	if beta < 3.3 || beta > 3.46 {
+		t.Errorf("UpperBoundBeta(0) = %v, paper says the worst case is just under 3.46", beta)
+	}
+}
+
+func TestUpperBoundBetaMonotoneInC2(t *testing.T) {
+	prev := 0.0
+	for _, c2 := range []float64{0, 0.5, 1, 1.5, 2} {
+		beta := UpperBoundBeta(c2)
+		if beta <= prev {
+			t.Errorf("UpperBoundBeta not increasing: β(%v) = %v after %v", c2, beta, prev)
+		}
+		prev = beta
+	}
+}
+
+func TestAllToAllContentionApproachesExtraHandler(t *testing.T) {
+	// Ch. 5 insight: to first order, contention costs one extra handler.
+	// As W grows the contention tends to exactly So.
+	p := Params{P: 32, W: 1e6, St: 40, So: 200, C2: 0}
+	res, err := AllToAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := res.Contention(); math.Abs(c-p.So) > 0.02*p.So {
+		t.Errorf("contention at W=1e6 is %v, want ~So=%v", c, p.So)
+	}
+}
+
+func TestAllToAllRuleOfThumbAccuracy(t *testing.T) {
+	// The rule of thumb W + 2St + 3So should be within ~16% of the model
+	// everywhere (the paper's worst case is W = 0).
+	for _, w := range []float64{0, 2, 64, 512, 2048} {
+		p := Params{P: 32, W: w, St: 40, So: 200, C2: 0}
+		res, err := AllToAll(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(p.RuleOfThumb()-res.R) / res.R
+		if rel > 0.16 {
+			t.Errorf("W=%v: rule of thumb off by %.1f%%", w, rel*100)
+		}
+	}
+}
+
+// TestAllToAllMonotonicity: R grows with W, So, and C².
+func TestAllToAllMonotonicity(t *testing.T) {
+	base := Params{P: 32, W: 500, St: 40, So: 200, C2: 0.5}
+	r0 := mustAllToAll(t, base).R
+	for _, mod := range []struct {
+		name string
+		p    Params
+	}{
+		{"W", Params{P: 32, W: 600, St: 40, So: 200, C2: 0.5}},
+		{"So", Params{P: 32, W: 500, St: 40, So: 250, C2: 0.5}},
+		{"C2", Params{P: 32, W: 500, St: 40, So: 200, C2: 1.5}},
+		{"St", Params{P: 32, W: 500, St: 80, So: 200, C2: 0.5}},
+	} {
+		if r := mustAllToAll(t, mod.p).R; r <= r0 {
+			t.Errorf("increasing %s did not increase R: %v <= %v", mod.name, r, r0)
+		}
+	}
+}
+
+func mustAllToAll(t *testing.T, p Params) AllToAllResult {
+	t.Helper()
+	res, err := AllToAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAllToAllProtocolProcessorCheaper(t *testing.T) {
+	p := Params{P: 32, W: 500, St: 40, So: 200, C2: 0}
+	pp := p
+	pp.ProtocolProcessor = true
+	rInt := mustAllToAll(t, p)
+	rPP := mustAllToAll(t, pp)
+	if rPP.R >= rInt.R {
+		t.Errorf("protocol processor R = %v not cheaper than interrupt R = %v", rPP.R, rInt.R)
+	}
+	if math.Abs(rPP.Rw-p.W) > 1e-9 {
+		t.Errorf("protocol processor Rw = %v, want W = %v", rPP.Rw, p.W)
+	}
+}
+
+func TestAllToAllComponentsSumToContention(t *testing.T) {
+	p := Params{P: 32, W: 100, St: 40, So: 200, C2: 0}
+	res := mustAllToAll(t, p)
+	th, rq, ry := res.Components(p)
+	if got := th + rq + ry; math.Abs(got-res.Contention()) > 1e-6 {
+		t.Errorf("components sum %v != contention %v", got, res.Contention())
+	}
+	if th < 0 || rq < 0 || ry < 0 {
+		t.Errorf("negative contention component: %v %v %v", th, rq, ry)
+	}
+}
+
+func TestAllToAllContentionFractionFigure51Shape(t *testing.T) {
+	// Figure 5-1: contention fraction increases with C² and with So.
+	p := Params{P: 32, W: 1000, St: 40, So: 512}
+	prev := -1.0
+	for _, c2 := range []float64{0, 0.5, 1, 1.5, 2} {
+		p.C2 = c2
+		frac := mustAllToAll(t, p).ContentionFraction()
+		if frac <= prev {
+			t.Errorf("contention fraction not increasing in C²: %v at C²=%v", frac, c2)
+		}
+		prev = frac
+	}
+	// The paper reports ~6% difference between C²=0 and C²=1 at W=1000.
+	p.C2 = 0
+	f0 := mustAllToAll(t, p).R
+	p.C2 = 1
+	f1 := mustAllToAll(t, p).R
+	if d := (f1 - f0) / f0; d < 0.01 || d > 0.15 {
+		t.Errorf("C²=0 vs C²=1 response difference = %.1f%%, expected a few percent", d*100)
+	}
+}
+
+func TestTotalRuntime(t *testing.T) {
+	p := Params{P: 32, W: 500, St: 40, So: 200, C2: 0}
+	res := mustAllToAll(t, p)
+	total, err := TotalRuntime(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-100*res.R) > 1e-6 {
+		t.Errorf("TotalRuntime = %v, want %v", total, 100*res.R)
+	}
+	if _, err := TotalRuntime(p, -1); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestAllToAllInvalidParams(t *testing.T) {
+	if _, err := AllToAll(Params{P: 1, W: 1, St: 1, So: 1}); err == nil {
+		t.Error("AllToAll accepted P = 1")
+	}
+}
+
+func TestShadowServerUnderpredictsBKT(t *testing.T) {
+	// The shadow-server approximation drops the So·Qq backlog term, so
+	// its Rw (and R) sit below BKT's at any load.
+	pB := Params{P: 32, W: 64, St: 40, So: 200, C2: 0}
+	pS := pB
+	pS.Priority = ShadowServer
+	rB := mustAllToAll(t, pB)
+	rS := mustAllToAll(t, pS)
+	if rS.Rw >= rB.Rw {
+		t.Errorf("shadow Rw %v not below BKT Rw %v", rS.Rw, rB.Rw)
+	}
+	if rS.R >= rB.R {
+		t.Errorf("shadow R %v not below BKT R %v", rS.R, rB.R)
+	}
+	// At large W the two coincide (queueing terms vanish).
+	pB.W, pS.W = 1e6, 1e6
+	rB, rS = mustAllToAll(t, pB), mustAllToAll(t, pS)
+	if math.Abs(rB.R-rS.R)/rB.R > 0.001 {
+		t.Errorf("approximations disagree at W=1e6: %v vs %v", rB.R, rS.R)
+	}
+}
+
+func TestPriorityApproxString(t *testing.T) {
+	if BKT.String() != "BKT" || ShadowServer.String() != "shadow-server" {
+		t.Error("PriorityApprox.String wrong")
+	}
+	if PriorityApprox(9).String() == "" {
+		t.Error("unknown PriorityApprox has empty String")
+	}
+}

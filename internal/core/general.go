@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// GeneralParams parameterizes the general LoPC model of Appendix A: one
+// thread per node, arbitrary per-thread work, and an arbitrary
+// visit-ratio matrix. It subsumes the homogeneous all-to-all model and
+// the client-server model, and additionally supports "multi-hop"
+// requests, where a request visits several nodes (sum of a row of V
+// exceeding 1) before the single reply returns to the originator.
+type GeneralParams struct {
+	// P is the number of nodes (and threads).
+	P int
+	// W[c] is the mean local work between blocking requests for thread
+	// c. Threads whose row of V is all zero are passive (they never
+	// request; e.g. work-pile servers) and their W is ignored.
+	W []float64
+	// V[c][k] is the mean number of visits a request cycle of thread c
+	// makes to the request handler on node k. For a simple blocking
+	// request to a uniformly random peer, V[c][k] = 1/(P−1) for k ≠ c.
+	// Multi-hop patterns have rows summing to more than 1.
+	V [][]float64
+	// St is the mean network latency per trip.
+	St float64
+	// So[k] is the mean handler cost at node k. A single-element slice
+	// is broadcast to all nodes.
+	So []float64
+	// C2 is the squared coefficient of variation of handler service.
+	C2 float64
+	// ProtocolProcessor selects the shared-memory variant (Rw = W).
+	ProtocolProcessor bool
+}
+
+// Validate reports whether the parameters are usable and normalizes
+// nothing; use normalizedSo to expand So.
+func (p GeneralParams) Validate() error {
+	if p.P < 2 {
+		return fmt.Errorf("core: general model needs P >= 2, got %d", p.P)
+	}
+	if len(p.W) != p.P {
+		return fmt.Errorf("core: len(W) = %d, want P = %d", len(p.W), p.P)
+	}
+	if len(p.V) != p.P {
+		return fmt.Errorf("core: len(V) = %d, want P = %d", len(p.V), p.P)
+	}
+	for c, row := range p.V {
+		if len(row) != p.P {
+			return fmt.Errorf("core: len(V[%d]) = %d, want P = %d", c, len(row), p.P)
+		}
+		for k, v := range row {
+			if v < 0 || math.IsNaN(v) {
+				return fmt.Errorf("core: V[%d][%d] = %v", c, k, v)
+			}
+		}
+	}
+	for c, w := range p.W {
+		if w < 0 || math.IsNaN(w) {
+			return fmt.Errorf("core: W[%d] = %v", c, w)
+		}
+	}
+	if len(p.So) != 1 && len(p.So) != p.P {
+		return fmt.Errorf("core: len(So) = %d, want 1 or P = %d", len(p.So), p.P)
+	}
+	for k, so := range p.So {
+		if so <= 0 || math.IsNaN(so) {
+			return fmt.Errorf("core: So[%d] = %v", k, so)
+		}
+	}
+	if p.St < 0 || p.C2 < 0 {
+		return fmt.Errorf("core: negative St or C² in %+v", p)
+	}
+	return nil
+}
+
+// normalizedSo returns per-node handler costs.
+func (p GeneralParams) normalizedSo() []float64 {
+	if len(p.So) == p.P {
+		return p.So
+	}
+	so := make([]float64, p.P)
+	for i := range so {
+		so[i] = p.So[0]
+	}
+	return so
+}
+
+// GeneralResult is the per-thread and per-node solution of the general
+// model.
+type GeneralResult struct {
+	// R[c] is the mean compute/request cycle time of thread c (0 for
+	// passive threads).
+	R []float64
+	// X[c] is the throughput of thread c: X = 1/R (Eq. A.1).
+	X []float64
+	// Rw[c] is the thread residence time including handler interference
+	// (Eq. A.9).
+	Rw []float64
+	// Rq[k] and Ry[k] are request/reply handler response times at node
+	// k (Eqs. A.7, A.8).
+	Rq, Ry []float64
+	// Qq[k] and Qy[k] are request/reply handler mean queue lengths at
+	// node k (Eqs. A.5, A.6).
+	Qq, Qy []float64
+	// Uq[k] and Uy[k] are request/reply handler utilizations at node k
+	// (Eqs. A.3, A.4).
+	Uq, Uy []float64
+	// TotalX is the summed throughput of all active threads.
+	TotalX float64
+}
+
+// General solves the Appendix A model by damped fixed-point iteration
+// on the per-thread cycle times. It returns an error if the iteration
+// cannot find a feasible solution (some node saturated).
+func General(p GeneralParams) (GeneralResult, error) {
+	if err := p.Validate(); err != nil {
+		return GeneralResult{}, err
+	}
+	so := p.normalizedSo()
+	P := p.P
+
+	active := make([]bool, P)
+	for c := range p.V {
+		for _, v := range p.V[c] {
+			if v > 0 {
+				active[c] = true
+				break
+			}
+		}
+	}
+
+	// Initial guess: contention-free cycle times.
+	r := make([]float64, P)
+	for c := 0; c < P; c++ {
+		if !active[c] {
+			continue
+		}
+		r[c] = p.W[c] + 2*p.St + so[c]
+		for k, v := range p.V[c] {
+			r[c] += v * (p.St + so[k])
+		}
+	}
+
+	rq := make([]float64, P)
+	ry := make([]float64, P)
+	for k := 0; k < P; k++ {
+		rq[k], ry[k] = so[k], so[k]
+	}
+
+	x := make([]float64, P)
+	uq := make([]float64, P)
+	uy := make([]float64, P)
+	qq := make([]float64, P)
+	qy := make([]float64, P)
+	rw := make([]float64, P)
+
+	const (
+		maxIter = 200000
+		damping = 0.5
+		tol     = 1e-10
+		// maxUtil caps the utilization used in the BKT denominator while
+		// the iteration is still far from its fixed point.
+		maxUtil = 0.999999
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		// Throughputs from current cycle times (A.1, A.2).
+		for c := 0; c < P; c++ {
+			if active[c] && r[c] > 0 {
+				x[c] = 1 / r[c]
+			} else {
+				x[c] = 0
+			}
+		}
+		for k := 0; k < P; k++ {
+			sum := 0.0
+			for c := 0; c < P; c++ {
+				sum += p.V[c][k] * x[c]
+			}
+			uq[k] = so[k] * sum  // A.3
+			uy[k] = x[k] * so[k] // A.4: one reply per cycle, at home
+			qq[k] = rq[k] * sum  // A.5
+			qy[k] = x[k] * ry[k] // A.6
+		}
+		// Handler response times (A.7, A.8) with the §5.2 correction.
+		maxDelta := 0.0
+		for k := 0; k < P; k++ {
+			newRq := so[k] * (1 + qq[k] + qy[k] + (p.C2-1)/2*(uq[k]+uy[k]))
+			newRy := so[k] * (1 + qq[k] + (p.C2-1)/2*uq[k])
+			newRq = damping*newRq + (1-damping)*rq[k]
+			newRy = damping*newRy + (1-damping)*ry[k]
+			maxDelta = math.Max(maxDelta, math.Abs(newRq-rq[k]))
+			maxDelta = math.Max(maxDelta, math.Abs(newRy-ry[k]))
+			rq[k], ry[k] = newRq, newRy
+		}
+		// Thread residence (A.9) and cycle times (A.10).
+		for c := 0; c < P; c++ {
+			if !active[c] {
+				continue
+			}
+			if p.ProtocolProcessor {
+				rw[c] = p.W[c]
+			} else {
+				// Early iterates can overshoot Uq past 1 before the
+				// rising cycle times pull throughput back down (a
+				// closed network always has a feasible fixed point).
+				// Clamp the denominator during iteration; a genuinely
+				// saturated *solution* is rejected after convergence.
+				u := math.Min(uq[c], maxUtil)
+				rw[c] = (p.W[c] + so[c]*qq[c]) / (1 - u)
+			}
+			newR := rw[c] + p.St + ry[c]
+			for k, v := range p.V[c] {
+				newR += v * (p.St + rq[k])
+			}
+			newR = damping*newR + (1-damping)*r[c]
+			maxDelta = math.Max(maxDelta, math.Abs(newR-r[c]))
+			r[c] = newR
+		}
+		if maxDelta < tol {
+			for k := 0; k < P; k++ {
+				if uq[k] >= maxUtil {
+					return GeneralResult{}, fmt.Errorf("core: node %d saturated at the fixed point (Uq = %v)", k, uq[k])
+				}
+			}
+			res := GeneralResult{
+				R: r, X: x, Rw: rw, Rq: rq, Ry: ry,
+				Qq: qq, Qy: qy, Uq: uq, Uy: uy,
+			}
+			for c := 0; c < P; c++ {
+				res.TotalX += x[c]
+			}
+			return res, nil
+		}
+	}
+	return GeneralResult{}, fmt.Errorf("core: general model did not converge in %d iterations", maxIter)
+}
+
+// HomogeneousVisits returns the all-to-all visit matrix: each thread
+// directs 1/(P−1) of its requests to each other node.
+func HomogeneousVisits(p int) [][]float64 {
+	v := make([][]float64, p)
+	for c := range v {
+		v[c] = make([]float64, p)
+		for k := range v[c] {
+			if k != c {
+				v[c][k] = 1 / float64(p-1)
+			}
+		}
+	}
+	return v
+}
+
+// ClientServerVisits returns the work-pile visit matrix for a machine
+// whose first pc nodes are clients and remaining ps nodes are servers:
+// each client directs 1/ps of its requests to each server; servers are
+// passive.
+func ClientServerVisits(pc, ps int) [][]float64 {
+	p := pc + ps
+	v := make([][]float64, p)
+	for c := range v {
+		v[c] = make([]float64, p)
+		if c < pc {
+			for k := pc; k < p; k++ {
+				v[c][k] = 1 / float64(ps)
+			}
+		}
+	}
+	return v
+}
+
+// MultiHopVisits returns a visit matrix where each request from node c
+// is forwarded along hops uniformly random distinct intermediate nodes
+// before the reply returns: every row sums to hops.
+func MultiHopVisits(p, hops int) [][]float64 {
+	v := make([][]float64, p)
+	for c := range v {
+		v[c] = make([]float64, p)
+		for k := range v[c] {
+			if k != c {
+				v[c][k] = float64(hops) / float64(p-1)
+			}
+		}
+	}
+	return v
+}

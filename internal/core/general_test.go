@@ -1,0 +1,295 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func uniformW(p int, w float64) []float64 {
+	ws := make([]float64, p)
+	for i := range ws {
+		ws[i] = w
+	}
+	return ws
+}
+
+func TestGeneralValidate(t *testing.T) {
+	good := GeneralParams{
+		P: 4, W: uniformW(4, 100), V: HomogeneousVisits(4),
+		St: 10, So: []float64{50}, C2: 0,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []GeneralParams{
+		{P: 1, W: uniformW(1, 1), V: HomogeneousVisits(1), So: []float64{1}},
+		{P: 4, W: uniformW(3, 1), V: HomogeneousVisits(4), So: []float64{1}},
+		{P: 4, W: uniformW(4, 1), V: HomogeneousVisits(3), So: []float64{1}},
+		{P: 4, W: uniformW(4, 1), V: HomogeneousVisits(4), So: []float64{1, 2}},
+		{P: 4, W: uniformW(4, 1), V: HomogeneousVisits(4), So: []float64{0}},
+		{P: 4, W: uniformW(4, -1), V: HomogeneousVisits(4), So: []float64{1}},
+		{P: 4, W: uniformW(4, 1), V: HomogeneousVisits(4), So: []float64{1}, St: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+	ragged := good
+	ragged.V = [][]float64{{0, 1}, {1, 0}, {0, 0, 0, 0}, {0, 0, 0, 0}}
+	if err := ragged.Validate(); err == nil {
+		t.Error("ragged visit matrix accepted")
+	}
+	neg := GeneralParams{P: 4, W: uniformW(4, 1), V: HomogeneousVisits(4), So: []float64{1}}
+	neg.V[1][2] = -0.5
+	if err := neg.Validate(); err == nil {
+		t.Error("negative visit ratio accepted")
+	}
+}
+
+// TestGeneralMatchesAllToAll: the Appendix A model specialized to the
+// homogeneous pattern must reproduce the Chapter 5 solution exactly.
+func TestGeneralMatchesAllToAll(t *testing.T) {
+	for _, c2 := range []float64{0, 1, 2} {
+		for _, pp := range []bool{false, true} {
+			hp := Params{P: 16, W: 700, St: 40, So: 200, C2: c2, ProtocolProcessor: pp}
+			want, err := AllToAll(hp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gp := GeneralParams{
+				P: 16, W: uniformW(16, 700), V: HomogeneousVisits(16),
+				St: 40, So: []float64{200}, C2: c2, ProtocolProcessor: pp,
+			}
+			got, err := General(gp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := 0; c < 16; c++ {
+				if math.Abs(got.R[c]-want.R) > 1e-6*want.R {
+					t.Errorf("C²=%v pp=%v: general R[%d] = %v, homogeneous R = %v",
+						c2, pp, c, got.R[c], want.R)
+				}
+			}
+			if math.Abs(got.TotalX-want.X) > 1e-6*want.X {
+				t.Errorf("C²=%v pp=%v: general X = %v, homogeneous X = %v", c2, pp, got.TotalX, want.X)
+			}
+			// Per-node quantities must match too.
+			if math.Abs(got.Qq[0]-want.Qq) > 1e-6 {
+				t.Errorf("C²=%v pp=%v: general Qq = %v, homogeneous Qq = %v", c2, pp, got.Qq[0], want.Qq)
+			}
+			if math.Abs(got.Uq[0]-want.Uq) > 1e-9 {
+				t.Errorf("C²=%v pp=%v: general Uq = %v, homogeneous Uq = %v", c2, pp, got.Uq[0], want.Uq)
+			}
+		}
+	}
+}
+
+// TestGeneralMatchesClientServer: the Appendix A model with a work-pile
+// visit matrix must reproduce the Chapter 6 solution.
+func TestGeneralMatchesClientServer(t *testing.T) {
+	for _, ps := range []int{2, 5, 10} {
+		csp := ClientServerParams{P: 32, Ps: ps, W: 1500, St: 40, So: 131, C2: 0}
+		want, err := ClientServer(csp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc := csp.P - ps
+		gp := GeneralParams{
+			P: 32, W: uniformW(32, 1500), V: ClientServerVisits(pc, ps),
+			St: 40, So: []float64{131}, C2: 0,
+		}
+		got, err := General(gp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.TotalX-want.X) > 1e-6*want.X {
+			t.Errorf("Ps=%d: general X = %v, client-server X = %v", ps, got.TotalX, want.X)
+		}
+		// Client cycle time matches Eq. 6.7's R.
+		if math.Abs(got.R[0]-want.R) > 1e-6*want.R {
+			t.Errorf("Ps=%d: general client R = %v, client-server R = %v", ps, got.R[0], want.R)
+		}
+		// Server nodes are passive: no throughput of their own.
+		for c := pc; c < 32; c++ {
+			if got.X[c] != 0 {
+				t.Errorf("Ps=%d: server node %d has throughput %v", ps, c, got.X[c])
+			}
+		}
+		// Server request response matches Rs.
+		if math.Abs(got.Rq[pc]-want.Rs) > 1e-6*want.Rs {
+			t.Errorf("Ps=%d: general Rq at server = %v, Rs = %v", ps, got.Rq[pc], want.Rs)
+		}
+	}
+}
+
+func TestGeneralMultiHop(t *testing.T) {
+	// Multi-hop requests visit `hops` nodes; the contention-free cycle
+	// is W + (hops+1)St + hops·So + So. At large W contention vanishes,
+	// so R approaches that value.
+	const p = 16
+	for _, hops := range []int{1, 2, 4} {
+		gp := GeneralParams{
+			P: p, W: uniformW(p, 1e6), V: MultiHopVisits(p, hops),
+			St: 40, So: []float64{200}, C2: 0,
+		}
+		res, err := General(gp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := float64(hops)
+		cf := 1e6 + (h+1)*40 + h*200 + 200
+		if res.R[0] < cf {
+			t.Errorf("hops=%d: R = %v below contention-free %v", hops, res.R[0], cf)
+		}
+		if res.R[0] > cf+3*200*h {
+			t.Errorf("hops=%d: R = %v too far above contention-free %v", hops, res.R[0], cf)
+		}
+	}
+}
+
+func TestGeneralMultiHopMoreHopsCostMore(t *testing.T) {
+	prev := 0.0
+	for hops := 1; hops <= 4; hops++ {
+		gp := GeneralParams{
+			P: 16, W: uniformW(16, 500), V: MultiHopVisits(16, hops),
+			St: 40, So: []float64{200}, C2: 0,
+		}
+		res, err := General(gp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.R[0] <= prev {
+			t.Errorf("hops=%d: R = %v not larger than %v", hops, res.R[0], prev)
+		}
+		prev = res.R[0]
+	}
+}
+
+func TestGeneralHeterogeneousWork(t *testing.T) {
+	// A node with less local work requests more often, loading its
+	// peers more; all threads still get consistent solutions.
+	const p = 8
+	w := uniformW(p, 1000)
+	w[0] = 100 // hot node
+	gp := GeneralParams{
+		P: p, W: w, V: HomogeneousVisits(p), St: 40, So: []float64{200}, C2: 0,
+	}
+	res, err := General(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[0] <= res.X[1] {
+		t.Errorf("hot thread throughput %v not above cold %v", res.X[0], res.X[1])
+	}
+	if res.R[0] >= res.R[1] {
+		t.Errorf("hot thread cycle %v not below cold %v", res.R[0], res.R[1])
+	}
+}
+
+func TestGeneralHeterogeneousSo(t *testing.T) {
+	// A node with a slower handler builds deeper queues.
+	const p = 8
+	so := make([]float64, p)
+	for i := range so {
+		so[i] = 100
+	}
+	so[3] = 400
+	gp := GeneralParams{
+		P: p, W: uniformW(p, 500), V: HomogeneousVisits(p), St: 40, So: so, C2: 0,
+	}
+	res, err := General(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Qq[3] <= res.Qq[0] {
+		t.Errorf("slow node queue %v not deeper than fast node %v", res.Qq[3], res.Qq[0])
+	}
+	if res.Rq[3] <= res.Rq[0] {
+		t.Errorf("slow node Rq %v not above fast node %v", res.Rq[3], res.Rq[0])
+	}
+}
+
+func TestGeneralLittleLawConsistency(t *testing.T) {
+	gp := GeneralParams{
+		P: 8, W: uniformW(8, 300), V: HomogeneousVisits(8),
+		St: 40, So: []float64{200}, C2: 1,
+	}
+	res, err := General(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the fixed point: Qq[k] = Rq[k]·Σc V[c][k]·X[c].
+	for k := 0; k < 8; k++ {
+		rate := 0.0
+		for c := 0; c < 8; c++ {
+			rate += gp.V[c][k] * res.X[c]
+		}
+		if want := res.Rq[k] * rate; math.Abs(want-res.Qq[k]) > 1e-6 {
+			t.Errorf("node %d: Qq = %v, Little gives %v", k, res.Qq[k], want)
+		}
+		if want := gp.So[0] * rate; math.Abs(want-res.Uq[k]) > 1e-6 {
+			t.Errorf("node %d: Uq = %v, utilization law gives %v", k, res.Uq[k], want)
+		}
+	}
+}
+
+func TestVisitMatrixHelpers(t *testing.T) {
+	v := HomogeneousVisits(4)
+	for c := range v {
+		sum := 0.0
+		for k, x := range v[c] {
+			if k == c && x != 0 {
+				t.Errorf("self-visit at %d", c)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("row %d sums to %v, want 1", c, sum)
+		}
+	}
+	cs := ClientServerVisits(3, 2)
+	for c := 0; c < 3; c++ {
+		for k := 0; k < 3; k++ {
+			if cs[c][k] != 0 {
+				t.Errorf("client %d visits client %d", c, k)
+			}
+		}
+		if cs[c][3] != 0.5 || cs[c][4] != 0.5 {
+			t.Errorf("client %d server visits = %v", c, cs[c][3:])
+		}
+	}
+	for c := 3; c < 5; c++ {
+		for k := 0; k < 5; k++ {
+			if cs[c][k] != 0 {
+				t.Errorf("server %d is not passive", c)
+			}
+		}
+	}
+	mh := MultiHopVisits(5, 3)
+	for c := range mh {
+		sum := 0.0
+		for _, x := range mh[c] {
+			sum += x
+		}
+		if math.Abs(sum-3) > 1e-12 {
+			t.Errorf("multi-hop row %d sums to %v, want 3", c, sum)
+		}
+	}
+}
+
+func TestGeneralAllPassive(t *testing.T) {
+	// No thread requests anything: the model degenerates gracefully.
+	gp := GeneralParams{
+		P: 4, W: uniformW(4, 100),
+		V:  [][]float64{{0, 0, 0, 0}, {0, 0, 0, 0}, {0, 0, 0, 0}, {0, 0, 0, 0}},
+		St: 10, So: []float64{50}, C2: 0,
+	}
+	res, err := General(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalX != 0 {
+		t.Errorf("all-passive throughput = %v, want 0", res.TotalX)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// The golden tests pin exact solver outputs for a parameter grid.
+// They protect the published numbers in EXPERIMENTS.md against
+// accidental model changes: any intentional change to the equations
+// must consciously update these values (and the documentation).
+
+func TestAllToAllGoldenValues(t *testing.T) {
+	cases := []struct {
+		p             Params
+		r, rw, rq, ry float64
+	}{
+		{Params{P: 32, W: 0, St: 40, So: 200, C2: 0}, 736.585062, 109.656157, 294.199278, 252.729627},
+		{Params{P: 32, W: 512, St: 40, So: 200, C2: 0}, 1209.960854, 661.774087, 244.329825, 223.856941},
+		{Params{P: 32, W: 512, St: 40, So: 200, C2: 1}, 1268.682407, 660.821398, 283.214050, 244.646958},
+		{Params{P: 32, W: 2048, St: 40, So: 200, C2: 2}, 2779.585118, 2226.049024, 248.463067, 225.073027},
+		{Params{P: 8, W: 100, St: 10, So: 50, C2: 0.5}, 283.872159, 135.944680, 68.129196, 59.798283},
+		{Params{P: 32, W: 512, St: 40, So: 200, C2: 0, ProtocolProcessor: true}, 1072.743369, 512.000000, 252.341199, 228.402170},
+	}
+	const tol = 1e-4
+	for _, c := range cases {
+		res, err := AllToAll(c.p)
+		if err != nil {
+			t.Fatalf("%+v: %v", c.p, err)
+		}
+		for name, pair := range map[string][2]float64{
+			"R": {res.R, c.r}, "Rw": {res.Rw, c.rw}, "Rq": {res.Rq, c.rq}, "Ry": {res.Ry, c.ry},
+		} {
+			if math.Abs(pair[0]-pair[1]) > tol {
+				t.Errorf("%+v: %s = %.6f, golden %.6f", c.p, name, pair[0], pair[1])
+			}
+		}
+	}
+}
+
+func TestClientServerGoldenValues(t *testing.T) {
+	cases := []struct {
+		p        ClientServerParams
+		x, r, rs float64
+	}{
+		{ClientServerParams{P: 32, Ps: 3, W: 1500, St: 40, So: 131, C2: 0}, 0.01478578, 1961.343362, 250.343362},
+		{ClientServerParams{P: 32, Ps: 16, W: 1500, St: 40, So: 131, C2: 1}, 0.00863944, 1851.971692, 140.971692},
+		{ClientServerParams{P: 16, Ps: 1, W: 300, St: 10, So: 80, C2: 0}, 0.01189130, 1261.426150, 861.426150},
+	}
+	for _, c := range cases {
+		res, err := ClientServer(c.p)
+		if err != nil {
+			t.Fatalf("%+v: %v", c.p, err)
+		}
+		if math.Abs(res.X-c.x) > 1e-7 {
+			t.Errorf("%+v: X = %.8f, golden %.8f", c.p, res.X, c.x)
+		}
+		if math.Abs(res.R-c.r) > 1e-4 {
+			t.Errorf("%+v: R = %.6f, golden %.6f", c.p, res.R, c.r)
+		}
+		if math.Abs(res.Rs-c.rs) > 1e-4 {
+			t.Errorf("%+v: Rs = %.6f, golden %.6f", c.p, res.Rs, c.rs)
+		}
+	}
+}
+
+func TestDerivedGoldenValues(t *testing.T) {
+	// Closed forms and constants pinned in the documentation.
+	if beta := UpperBoundBeta(0); math.Abs(beta-3.4517) > 5e-4 {
+		t.Errorf("UpperBoundBeta(0) = %.4f, golden 3.4517", beta)
+	}
+	base := ClientServerParams{P: 32, Ps: 1, W: 1500, St: 40, So: 131, C2: 0}
+	if opt := OptimalServers(base); math.Abs(opt-3.3157) > 5e-3 {
+		t.Errorf("OptimalServers = %.4f, golden 3.3157", opt)
+	}
+	if rs := OptimalServerRs(131, 0); math.Abs(rs-131*(1+math.Sqrt2/2)) > 1e-9 {
+		t.Errorf("OptimalServerRs(131, 0) = %v", rs)
+	}
+}

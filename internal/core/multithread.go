@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mva"
+	"repro/internal/numeric"
+)
+
+// MultithreadedResult is the model's solution for the multithreaded
+// extension: T computation threads per node hide request latency behind
+// each other's work — the latency-tolerance technique of the Alewife
+// machine the paper validates on. The paper's model fixes T = 1
+// ("only one thread is assigned to each node", §5.1); this extension
+// relaxes that.
+type MultithreadedResult struct {
+	// XNode is the node's cycle completion rate across its T threads.
+	XNode float64
+	// XThread is XNode/T; CycleTime is its reciprocal.
+	XThread, CycleTime float64
+	// Rh is the handler response time (requests and replies form one
+	// FCFS class once several replies can queue).
+	Rh float64
+	// HandlerUtil is the CPU fraction consumed by handlers.
+	HandlerUtil float64
+	// CPUUtil is total CPU utilization: handlers plus threads.
+	CPUUtil float64
+	// Bound is the conservation-law throughput ceiling per node,
+	// 1/(W + 2So): with enough threads the CPU never idles and every
+	// cycle costs W locally plus two handlers machine-wide.
+	Bound float64
+	// SaturationThreads estimates the thread count at the knee of the
+	// latency-hiding curve: T* ≈ R(1)/(W + 2So).
+	SaturationThreads float64
+}
+
+// Multithreaded solves the homogeneous all-to-all pattern with T
+// threads per node.
+//
+// The derivation composes pieces already in this repository. Handlers
+// from all classes merge into one priority FCFS stream of rate 2·T·x
+// per node, giving the open-queue response Rh (as in the non-blocking
+// model). The node's T threads then cycle through a two-center closed
+// network: a queueing center for the CPU — whose effective demand is
+// W/(1−Uh), the shadow-server account of handler preemption — and a
+// delay center for the remote round trip 2St + 2Rh. Exact MVA on that
+// network (internal/mva) yields the node throughput, and the handler
+// rates it implies close the fixed point.
+//
+// At T = 1 this reproduces the Chapter 5 solver within a few percent
+// (it trades BKT and the asymmetric reply queue for the simpler shadow
+// server and merged queue, which multiple threads require anyway).
+func Multithreaded(p Params, t int) (MultithreadedResult, error) {
+	if err := p.Validate(); err != nil {
+		return MultithreadedResult{}, err
+	}
+	if t < 1 {
+		return MultithreadedResult{}, fmt.Errorf("core: thread count %d", t)
+	}
+	if p.ProtocolProcessor {
+		return MultithreadedResult{}, fmt.Errorf("core: multithreaded model covers the interrupt machine only")
+	}
+
+	bound := 1 / (p.W + 2*p.So)
+	solve := func(x float64) (MultithreadedResult, error) {
+		lam := float64(t) * x // request (and reply) arrival rate per node
+		a := lam * p.So
+		uh := 2 * a
+		if uh >= 0.999 {
+			return MultithreadedResult{}, fmt.Errorf("core: handler load %v infeasible", uh)
+		}
+		rh := p.So * (1 + (p.C2-1)*a) / (1 - 2*a)
+		if rh <= 0 {
+			return MultithreadedResult{}, fmt.Errorf("core: negative handler response at load %v", uh)
+		}
+		weff := p.W / (1 - uh)
+		centers := []mva.Center{
+			{Name: "cpu", Kind: mva.Queueing, Demand: weff},
+			{Name: "net+remote", Kind: mva.Delay, Demand: 2*p.St + 2*rh},
+		}
+		res, err := mva.Exact(centers, t)
+		if err != nil {
+			return MultithreadedResult{}, err
+		}
+		out := MultithreadedResult{
+			XNode:       res.X,
+			XThread:     res.X / float64(t),
+			Rh:          rh,
+			HandlerUtil: uh,
+			Bound:       bound,
+		}
+		if out.XThread > 0 {
+			out.CycleTime = 1 / out.XThread
+		}
+		return out, nil
+	}
+
+	f := func(x float64) float64 {
+		res, err := solve(x)
+		if err != nil {
+			return x / 2 // pull back toward the feasible region
+		}
+		return res.XThread
+	}
+	x0 := 1 / (p.W + 2*p.St + 2*p.So)
+	x, err := numeric.FixedPoint(f, x0/float64(t), numeric.FixedPointOpts{
+		Tol: 1e-12, MaxIter: 200000, Damping: 0.3,
+	})
+	if err != nil {
+		return MultithreadedResult{}, fmt.Errorf("core: multithreaded fixed point: %w", err)
+	}
+	res, err := solve(x)
+	if err != nil {
+		return MultithreadedResult{}, err
+	}
+	res.XThread = x
+	res.XNode = float64(t) * x
+	res.CycleTime = 1 / x
+	res.CPUUtil = res.HandlerUtil + res.XNode*p.W
+	// Knee estimate from the single-thread cycle time.
+	if one, err := AllToAll(p); err == nil {
+		res.SaturationThreads = one.R / (p.W + 2*p.So)
+	}
+	return res, nil
+}

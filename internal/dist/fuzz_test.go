@@ -1,0 +1,37 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzFromMeanSCV: for any accepted (mean, scv) the factory's declared
+// moments match the request and samples are non-negative and finite.
+func FuzzFromMeanSCV(f *testing.F) {
+	f.Add(200.0, 0.0)
+	f.Add(1.0, 1.0)
+	f.Add(1e6, 2.5)
+	f.Add(0.001, 0.33)
+	f.Add(1500.0, 0.999)
+	f.Fuzz(func(t *testing.T, mean, scv float64) {
+		if mean <= 0 || scv < 0 || scv > 50 || math.IsNaN(mean) || math.IsInf(mean, 0) || math.IsNaN(scv) {
+			return // outside the supported domain; panics are exercised elsewhere
+		}
+		d := FromMeanSCV(mean, scv)
+		if math.Abs(d.Mean()-mean) > 1e-6*mean {
+			t.Fatalf("FromMeanSCV(%v, %v) declared mean %v", mean, scv, d.Mean())
+		}
+		if math.Abs(d.SCV()-scv) > 1e-6*(1+scv) {
+			t.Fatalf("FromMeanSCV(%v, %v) declared SCV %v", mean, scv, d.SCV())
+		}
+		r := rng.New(1)
+		for i := 0; i < 64; i++ {
+			v := d.Sample(r)
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("bad sample %v from %v", v, d)
+			}
+		}
+	})
+}

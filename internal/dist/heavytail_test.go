@@ -1,0 +1,75 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLognormalMoments(t *testing.T) {
+	for _, scv := range []float64{0.25, 1, 4} {
+		d := NewLognormalMeanSCV(1500, scv)
+		if math.Abs(d.Mean()-1500) > 1e-9 {
+			t.Errorf("scv=%v: declared mean %v, want 1500", scv, d.Mean())
+		}
+		if math.Abs(d.SCV()-scv) > 1e-9 {
+			t.Errorf("declared SCV %v, want %v", d.SCV(), scv)
+		}
+		mean, got := sampleMoments(t, d, 400000, 321)
+		if math.Abs(mean-1500) > 0.03*1500 {
+			t.Errorf("scv=%v: sampled mean %v", scv, mean)
+		}
+		// Heavy tails converge slowly; generous tolerance.
+		if math.Abs(got-scv) > 0.2*scv+0.05 {
+			t.Errorf("scv=%v: sampled SCV %v", scv, got)
+		}
+	}
+}
+
+func TestLomaxMoments(t *testing.T) {
+	for _, scv := range []float64{1.5, 3, 6} {
+		d := NewLomaxMeanSCV(1500, scv)
+		if math.Abs(d.Mean()-1500) > 1e-9 {
+			t.Errorf("scv=%v: declared mean %v, want 1500", scv, d.Mean())
+		}
+		if math.Abs(d.SCV()-scv) > 1e-9 {
+			t.Errorf("declared SCV %v, want %v", d.SCV(), scv)
+		}
+		mean, _ := sampleMoments(t, d, 400000, 654)
+		if math.Abs(mean-1500) > 0.05*1500 {
+			t.Errorf("scv=%v: sampled mean %v", scv, mean)
+		}
+	}
+}
+
+func TestLomaxInfiniteMoments(t *testing.T) {
+	if !math.IsInf(Lomax{Alpha: 1, Lambda: 5}.Mean(), 1) {
+		t.Error("α=1 mean should be +Inf")
+	}
+	if !math.IsInf(Lomax{Alpha: 2, Lambda: 5}.SCV(), 1) {
+		t.Error("α=2 SCV should be +Inf")
+	}
+}
+
+func TestHeavyTailPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLognormalMeanSCV(0, 1) },
+		func() { NewLognormalMeanSCV(10, 0) },
+		func() { NewLomaxMeanSCV(0, 2) },
+		func() { NewLomaxMeanSCV(10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid heavy-tail parameters did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHeavyTailStrings(t *testing.T) {
+	if NewLognormalMeanSCV(1, 1).String() == "" || NewLomaxMeanSCV(1, 2).String() == "" {
+		t.Error("empty String()")
+	}
+}

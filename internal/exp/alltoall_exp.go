@@ -1,0 +1,281 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Runner{
+		Name:  "fig51",
+		Title: "Figure 5-1: effect of coefficient of variation on contention (W=1000)",
+		Run:   runFig51,
+	})
+	register(Runner{
+		Name:  "fig52",
+		Title: "Figure 5-2: all-to-all response time vs work (So=200, C²=0, P=32) with Eq. 5.12 bounds",
+		Run:   runFig52,
+	})
+	register(Runner{
+		Name:  "fig53",
+		Title: "Figure 5-3: components of contention, 32-node all-to-all (So=200, C²=0)",
+		Run:   runFig53,
+	})
+	register(Runner{
+		Name:  "errors",
+		Title: "§5.3 error analysis: LoPC vs contention-free model against simulation",
+		Run:   runErrors,
+	})
+}
+
+// fig52Work returns the work sweep of Figures 5-2/5-3: powers of two
+// from 2 to 2048.
+func fig52Work() []float64 {
+	var ws []float64
+	for w := 2.0; w <= 2048; w *= 2 {
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+// simAllToAll runs the standard Figure 5-2 simulation at one work value.
+func simAllToAll(cfg Config, w, so, c2 float64, pp bool) (workload.AllToAllResult, error) {
+	return simAllToAllFull(cfg, figP, w, so, c2, pp)
+}
+
+// simAllToAllP is simAllToAll with an explicit machine size (interrupt
+// mode).
+func simAllToAllP(cfg Config, p int, w, so, c2 float64) (workload.AllToAllResult, error) {
+	return simAllToAllFull(cfg, p, w, so, c2, false)
+}
+
+func simAllToAllFull(cfg Config, p int, w, so, c2 float64, pp bool) (workload.AllToAllResult, error) {
+	warm, measure := cfg.cycles()
+	return workload.RunAllToAll(workload.AllToAllConfig{
+		P:                 p,
+		Work:              dist.NewDeterministic(w),
+		Latency:           dist.NewDeterministic(figSt),
+		Service:           dist.FromMeanSCV(so, c2),
+		WarmupCycles:      warm,
+		MeasureCycles:     measure,
+		ProtocolProcessor: pp,
+		Seed:              cfg.Seed,
+	})
+}
+
+func runFig51(cfg Config) (*Report, error) {
+	handlers := []float64{128, 256, 512, 1024}
+	var c2s []float64
+	for c2 := 0.0; c2 <= 2.0001; c2 += 0.25 {
+		c2s = append(c2s, c2)
+	}
+
+	cols := []string{"C2"}
+	for _, so := range handlers {
+		cols = append(cols, fmt.Sprintf("So=%g", so))
+	}
+	tab := &Table{
+		Title:   "Fraction of response time due to contention (model), W=1000, P=32, St=40",
+		Columns: cols,
+	}
+	plot := &Plot{
+		Title:  "Fig 5-1: contention fraction vs C² (W=1000)",
+		XLabel: "C² (variation)", YLabel: "contention",
+	}
+	series := make(map[float64][]float64)
+	for _, c2 := range c2s {
+		row := []string{F(c2)}
+		for _, so := range handlers {
+			res, err := core.AllToAll(core.Params{P: figP, W: 1000, St: figSt, So: so, C2: c2})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.4f", res.ContentionFraction()))
+			series[so] = append(series[so], res.ContentionFraction())
+		}
+		tab.AddRow(row...)
+	}
+	for _, so := range handlers {
+		plot.Add(fmt.Sprintf("handler %g", so), c2s, series[so], 0)
+	}
+
+	// Cross-check a handler size against simulation at four C² values
+	// (the paper validates the model only; this is additional evidence).
+	simTab := &Table{
+		Title:   "Simulation cross-check at So=512 (contention fraction)",
+		Columns: []string{"C2", "model", "sim", "diff"},
+	}
+	for _, c2 := range []float64{0, 0.5, 1, 2} {
+		model, err := core.AllToAll(core.Params{P: figP, W: 1000, St: figSt, So: 512, C2: c2})
+		if err != nil {
+			return nil, err
+		}
+		sim, err := simAllToAll(cfg, 1000, 512, c2, false)
+		if err != nil {
+			return nil, err
+		}
+		cf := 1000 + 2*figSt + 2*512.0
+		simFrac := (sim.R.Mean() - cf) / sim.R.Mean()
+		simTab.AddRow(F(c2), fmt.Sprintf("%.4f", model.ContentionFraction()),
+			fmt.Sprintf("%.4f", simFrac), Pct(model.ContentionFraction()-simFrac))
+	}
+	simTab.Notes = append(simTab.Notes,
+		"paper: difference between C²=0 and C²=1 predictions is about 6% of response time")
+
+	return &Report{
+		Name:   "fig51",
+		Title:  registry["fig51"].Title,
+		Tables: []*Table{tab, simTab},
+		Plots:  []*Plot{plot},
+	}, nil
+}
+
+func runFig52(cfg Config) (*Report, error) {
+	ws := fig52Work()
+	tab := &Table{
+		Title:   "All-to-all response time per cycle, So=200, C²=0, P=32, St=40",
+		Columns: []string{"W", "sim R", "LoPC R", "lower", "upper", "LoPC err", "CF err"},
+	}
+	plot := &Plot{
+		Title:  "Fig 5-2: response time vs work",
+		XLabel: "work (cycles)", YLabel: "R", LogX: true,
+	}
+	var simY, modY, loY, hiY []float64
+	for _, w := range ws {
+		p := core.Params{P: figP, W: w, St: figSt, So: 200, C2: 0}
+		model, err := core.AllToAll(p)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := simAllToAll(cfg, w, 200, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		simR := sim.R.Mean()
+		tab.AddRow(F(w), F(simR), F(model.R), F(model.ContentionFree), F(model.UpperBound),
+			Pct(stats.RelErr(model.R, simR)), Pct(stats.RelErr(model.ContentionFree, simR)))
+		simY = append(simY, simR)
+		modY = append(modY, model.R)
+		loY = append(loY, model.ContentionFree)
+		hiY = append(hiY, model.UpperBound)
+	}
+	plot.Add("sim", ws, simY, 'o')
+	plot.Add("LoPC", ws, modY, '*')
+	plot.Add("lower bound", ws, loY, '.')
+	plot.Add("upper bound", ws, hiY, '^')
+	tab.Notes = append(tab.Notes,
+		"lower bound = W + 2St + 2So (contention-free / naive LogP)",
+		fmt.Sprintf("upper bound = W + 2St + %.3f·So (Eq. 5.12; paper rounds to 3.46)", core.UpperBoundBeta(0)))
+
+	return &Report{
+		Name:   "fig52",
+		Title:  registry["fig52"].Title,
+		Tables: []*Table{tab},
+		Plots:  []*Plot{plot},
+	}, nil
+}
+
+func runFig53(cfg Config) (*Report, error) {
+	ws := fig52Work()
+	tab := &Table{
+		Title:   "Contention components per cycle (sim | model), So=200, C²=0, P=32",
+		Columns: []string{"W", "thread sim", "thread mod", "request sim", "request mod", "reply sim", "reply mod", "total sim", "total mod"},
+	}
+	plot := &Plot{
+		Title:  "Fig 5-3: contention components vs work",
+		XLabel: "work (cycles)", YLabel: "cycles", LogX: true,
+	}
+	var thS, thM, rqS, rqM, ryS, ryM []float64
+	for _, w := range ws {
+		p := core.Params{P: figP, W: w, St: figSt, So: 200, C2: 0}
+		model, err := core.AllToAll(p)
+		if err != nil {
+			return nil, err
+		}
+		mTh, mRq, mRy := model.Components(p)
+		sim, err := simAllToAll(cfg, w, 200, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		sTh := sim.Rw.Mean() - w
+		sRq := sim.Rq.Mean() - 200
+		sRy := sim.Ry.Mean() - 200
+		tab.AddRow(F(w), F(sTh), F(mTh), F(sRq), F(mRq), F(sRy), F(mRy),
+			F(sTh+sRq+sRy), F(mTh+mRq+mRy))
+		thS, thM = append(thS, sTh), append(thM, mTh)
+		rqS, rqM = append(rqS, sRq), append(rqM, mRq)
+		ryS, ryM = append(ryS, sRy), append(ryM, mRy)
+	}
+	plot.Add("thread sim", ws, thS, 'o')
+	plot.Add("thread model", ws, thM, '*')
+	plot.Add("request sim", ws, rqS, 'q')
+	plot.Add("request model", ws, rqM, '+')
+	plot.Add("reply sim", ws, ryS, 'y')
+	plot.Add("reply model", ws, ryM, 'x')
+	tab.Notes = append(tab.Notes,
+		"total contention stays near one handler time (So=200): the paper's rule of thumb")
+
+	return &Report{
+		Name:   "fig53",
+		Title:  registry["fig53"].Title,
+		Tables: []*Table{tab},
+		Plots:  []*Plot{plot},
+	}, nil
+}
+
+func runErrors(cfg Config) (*Report, error) {
+	tab := &Table{
+		Title:   "Model error vs simulation (positive = over-prediction), So=200, C²=0, P=32",
+		Columns: []string{"W", "sim R", "LoPC R", "LoPC err", "CF R", "CF err", "Ry sim", "Ry mod", "Ry err"},
+	}
+	worstLoPC, worstCF, cfAt1024 := 0.0, 0.0, 0.0
+	ryErrAtZero := 0.0
+	for _, w := range []float64{0, 2, 16, 64, 256, 1024, 2048} {
+		p := core.Params{P: figP, W: w, St: figSt, So: 200, C2: 0}
+		model, err := core.AllToAll(p)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := simAllToAll(cfg, w, 200, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		simR := sim.R.Mean()
+		lopcErr := stats.RelErr(model.R, simR)
+		cfErr := stats.RelErr(model.ContentionFree, simR)
+		ryContSim := sim.Ry.Mean() - 200
+		ryContMod := model.Ry - 200
+		ryErr := stats.RelErr(ryContMod, ryContSim)
+		tab.AddRow(F(w), F(simR), F(model.R), Pct(lopcErr),
+			F(model.ContentionFree), Pct(cfErr),
+			F(sim.Ry.Mean()), F(model.Ry), Pct(ryErr))
+		if math.Abs(lopcErr) > math.Abs(worstLoPC) {
+			worstLoPC = lopcErr
+		}
+		if math.Abs(cfErr) > math.Abs(worstCF) {
+			worstCF = cfErr
+		}
+		if w == 1024 {
+			cfAt1024 = cfErr
+		}
+		if w == 0 {
+			ryErrAtZero = ryErr
+		}
+	}
+	tab.Notes = append(tab.Notes,
+		fmt.Sprintf("worst LoPC error %s (paper: +6%% worst case, pessimistic)", Pct(worstLoPC)),
+		fmt.Sprintf("worst contention-free error %s (paper: -37%% at W=0)", Pct(worstCF)),
+		fmt.Sprintf("contention-free error at W=1024: %s (paper: about -13%%)", Pct(cfAt1024)),
+		fmt.Sprintf("reply-handler queueing over-prediction at W=0: %s (paper: about +76%%)", Pct(ryErrAtZero)),
+	)
+	return &Report{
+		Name:   "errors",
+		Title:  registry["errors"].Title,
+		Tables: []*Table{tab},
+	}, nil
+}

@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Runner{
+		Name:  "exchange",
+		Title: "Extension X6: scheduled all-to-all exchange — schedule decay and barrier resynchronization (Ch. 1's CM-5 story)",
+		Run:   runExchange,
+	})
+}
+
+// runExchange reproduces the introduction's narrative: the carefully
+// staggered all-to-all personalized exchange of Brewer & Kuszmaul is
+// contention-free only while the nodes stay synchronized; handler-time
+// variability decays it toward random arrivals, and barriers restore
+// the schedule at their own cost.
+func runExchange(cfg Config) (*Report, error) {
+	const (
+		p = 32
+		o = 25.0
+		h = 20.0
+	)
+	rounds := 30
+	if cfg.Quick {
+		rounds = 10
+	}
+	run := func(c2 float64, barrier bool) (workload.ExchangeResult, error) {
+		return workload.RunExchange(workload.ExchangeConfig{
+			P: p, Rounds: rounds,
+			SendOverhead: o,
+			Latency:      dist.NewDeterministic(figSt),
+			Handler:      dist.FromMeanSCV(h, c2),
+			Barrier:      barrier,
+			Seed:         cfg.Seed,
+		})
+	}
+
+	tab := &Table{
+		Title:   fmt.Sprintf("Per-round cost of a scheduled exchange, P=%d, o=%g, h=%g, St=%g (steady-state mean)", p, o, h, figSt),
+		Columns: []string{"C2", "LogP sched", "round (no bar)", "data (no bar)", "round (bar)", "data (bar)", "bar cost"},
+	}
+	tail := rounds / 3
+	for _, c2 := range []float64{0, 0.5, 1, 2} {
+		noBar, err := run(c2, false)
+		if err != nil {
+			return nil, err
+		}
+		withBar, err := run(c2, true)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(F(c2), F(noBar.SchedulePerRound),
+			F(noBar.MeanRoundTime(tail, rounds)), F(noBar.MeanDataTime(tail, rounds)),
+			F(withBar.MeanRoundTime(tail, rounds)), F(withBar.MeanDataTime(tail, rounds)),
+			F(withBar.BarrierPerRound))
+	}
+	tab.Notes = append(tab.Notes,
+		"even at C²=0 the interrupt-driven machine runs above the LogP (polling) schedule:",
+		"arriving handlers preempt the send loop — interference LogP does not model",
+		"as C² grows the unsynchronized data phase decays; barriers keep it tight but cost",
+		fmt.Sprintf("~%.0f cycles/round themselves — the Ch. 1 argument that cheap hardware barriers are rare", 5*(o+figSt+h)))
+
+	// Round-by-round decay at C² = 1 for the plot.
+	noBar, err := run(1, false)
+	if err != nil {
+		return nil, err
+	}
+	withBar, err := run(1, true)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, rounds)
+	for r := range xs {
+		xs[r] = float64(r + 1)
+	}
+	plot := &Plot{
+		Title:  "Exchange round times, C²=1 (data phase only)",
+		XLabel: "round", YLabel: "cycles",
+	}
+	plot.Add("no barrier", xs, noBar.DataTime, 'o')
+	plot.Add("with barrier", xs, withBar.DataTime, '*')
+	sched := make([]float64, rounds)
+	for r := range sched {
+		sched[r] = noBar.SchedulePerRound
+	}
+	plot.Add("LogP schedule", xs, sched, '.')
+
+	return &Report{
+		Name:   "exchange",
+		Title:  registry["exchange"].Title,
+		Tables: []*Table{tab},
+		Plots:  []*Plot{plot},
+	}, nil
+}

@@ -1,0 +1,227 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryContainsAllPaperArtifacts(t *testing.T) {
+	for _, name := range []string{
+		"table31", "fig51", "fig52", "fig53", "fig62", "errors",
+		"sharedmem", "multihop", "hotspot", "ablation", "nonblocking", "collectives",
+		"queuedepth", "pscale", "exchange", "multiclass", "chunkvar", "netassume", "sensitivity", "topology", "threads",
+	} {
+		if _, ok := Get(name); !ok {
+			t.Errorf("experiment %q not registered", name)
+		}
+	}
+	if _, ok := Get("nosuch"); ok {
+		t.Error("Get returned an unregistered experiment")
+	}
+	all := All()
+	if len(all) < 21 {
+		t.Errorf("All() returned %d experiments, want >= 21", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Name <= all[i-1].Name {
+			t.Error("All() not sorted by name")
+		}
+	}
+}
+
+// TestAllExperimentsRunQuick executes every registered experiment in
+// quick mode and sanity-checks the reports render.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := Config{Seed: 1, Quick: true}
+	for _, r := range All() {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			rep, err := r.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", r.Name, err)
+			}
+			if rep.Name != r.Name {
+				t.Errorf("report name %q != runner name %q", rep.Name, r.Name)
+			}
+			if len(rep.Tables) == 0 {
+				t.Fatalf("%s produced no tables", r.Name)
+			}
+			for _, tab := range rep.Tables {
+				if len(tab.Rows) == 0 {
+					t.Errorf("%s: table %q has no rows", r.Name, tab.Title)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Columns) {
+						t.Errorf("%s: ragged row in %q", r.Name, tab.Title)
+					}
+				}
+			}
+			var buf bytes.Buffer
+			if err := rep.WriteText(&buf); err != nil {
+				t.Fatalf("%s: WriteText: %v", r.Name, err)
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s: empty text rendering", r.Name)
+			}
+		})
+	}
+}
+
+func TestTableAddRowPanicsOnRaggedRow(t *testing.T) {
+	tab := &Table{Title: "t", Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged AddRow did not panic")
+		}
+	}()
+	tab.AddRow("only one")
+}
+
+func TestTableWriteText(t *testing.T) {
+	tab := &Table{Title: "demo", Columns: []string{"x", "yy"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("10", "20")
+	tab.Notes = append(tab.Notes, "a note")
+	var buf bytes.Buffer
+	if err := tab.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "x", "yy", "10", "20", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tab := &Table{Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow("1", `has "quotes", and commas`)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("CSV header wrong: %q", out)
+	}
+	if !strings.Contains(out, `"has ""quotes"", and commas"`) {
+		t.Errorf("CSV quoting wrong: %q", out)
+	}
+}
+
+func TestFFormatting(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{12345, "12345"},
+		{42.25, "42.2"},
+		{3.14159, "3.142"},
+	}
+	for _, c := range cases {
+		if got := F(c.in); got != c.want {
+			t.Errorf("F(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := Pct(0.123); got != "+12.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(-0.05); got != "-5.0%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestPlotRendering(t *testing.T) {
+	p := &Plot{Title: "shape", XLabel: "x", YLabel: "y"}
+	p.Add("up", []float64{1, 2, 3, 4}, []float64{1, 2, 3, 4}, '*')
+	p.Add("down", []float64{1, 2, 3, 4}, []float64{4, 3, 2, 1}, 'o')
+	var buf bytes.Buffer
+	if err := p.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "shape") || !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Errorf("plot output missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("plot output missing markers")
+	}
+}
+
+func TestPlotLogX(t *testing.T) {
+	p := &Plot{Title: "log", LogX: true}
+	p.Add("s", []float64{2, 2048}, []float64{1, 2}, '*')
+	var buf bytes.Buffer
+	if err := p.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "log2 x") {
+		t.Error("log-x annotation missing")
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	var buf bytes.Buffer
+	if err := p.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty plot should say so")
+	}
+}
+
+func TestPlotMismatchedSeriesPanics(t *testing.T) {
+	p := &Plot{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched series lengths did not panic")
+		}
+	}()
+	p.Add("bad", []float64{1, 2}, []float64{1}, '*')
+}
+
+func TestPlotFlatSeries(t *testing.T) {
+	// A constant series must not divide by zero.
+	p := &Plot{Title: "flat"}
+	p.Add("c", []float64{1, 2, 3}, []float64{5, 5, 5}, '*')
+	var buf bytes.Buffer
+	if err := p.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableWriteMarkdown(t *testing.T) {
+	tab := &Table{Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	tab.Notes = append(tab.Notes, "a note")
+	var buf bytes.Buffer
+	if err := tab.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"**demo**", "| a | b |", "|---|---|", "| 1 | 2 |", "* a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportWriteMarkdown(t *testing.T) {
+	tab := &Table{Title: "x", Columns: []string{"c"}}
+	tab.AddRow("v")
+	rep := &Report{Name: "n", Title: "T", Tables: []*Table{tab}}
+	var buf bytes.Buffer
+	if err := rep.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "## n: T") {
+		t.Error("markdown report header missing")
+	}
+}

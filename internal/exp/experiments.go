@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Seed roots every simulation in the experiment.
+	Seed uint64
+	// Quick shrinks simulation lengths about fivefold, for benchmarks
+	// and smoke tests; published numbers should use Quick = false.
+	Quick bool
+}
+
+// cycles returns the per-thread warmup and measurement cycle counts for
+// cycle-driven workloads.
+func (c Config) cycles() (warm, measure int) {
+	if c.Quick {
+		return 100, 300
+	}
+	return 300, 1500
+}
+
+// window returns the warmup and measurement windows for time-driven
+// workloads.
+func (c Config) window() (warm, measure float64) {
+	if c.Quick {
+		return 50_000, 300_000
+	}
+	return 100_000, 1_500_000
+}
+
+// The machine constants shared by the paper's figures. The paper's text
+// does not state the network latency used in its plots; St = 40 cycles
+// is an Alewife-scale value and the figure shapes do not depend on it
+// (documented in DESIGN.md).
+const (
+	figP  = 32
+	figSt = 40.0
+)
+
+// Runner is one registered experiment.
+type Runner struct {
+	// Name is the registry key (the paper's figure/table id).
+	Name string
+	// Title describes what is reproduced.
+	Title string
+	// Run executes the experiment.
+	Run func(Config) (*Report, error)
+}
+
+var registry = map[string]Runner{}
+
+func register(r Runner) {
+	if _, dup := registry[r.Name]; dup {
+		panic(fmt.Sprintf("exp: duplicate experiment %q", r.Name))
+	}
+	registry[r.Name] = r
+}
+
+// Get returns the experiment registered under name.
+func Get(name string) (Runner, bool) {
+	r, ok := registry[name]
+	return r, ok
+}
+
+// All returns every registered experiment, sorted by name.
+func All() []Runner {
+	out := make([]Runner, 0, len(registry))
+	for _, r := range registry {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

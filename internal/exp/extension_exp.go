@@ -1,0 +1,187 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Runner{
+		Name:  "sharedmem",
+		Title: "Extension X1: protocol-processor (shared-memory) variant — occupancy × latency study (Holt et al. style)",
+		Run:   runSharedMem,
+	})
+	register(Runner{
+		Name:  "multihop",
+		Title: "Extension X2: multi-hop requests against the general (Appendix A) model",
+		Run:   runMultiHop,
+	})
+	register(Runner{
+		Name:  "hotspot",
+		Title: "Extension X3: non-homogeneous (hotspot) traffic against the general model",
+		Run:   runHotspot,
+	})
+}
+
+// runSharedMem reproduces the Chapter 5 "Modeling Shared Memory"
+// variant: handlers on a protocol processor never preempt the thread.
+// The sweep over handler occupancy and network latency mirrors the
+// Holt et al. controller study the paper cites as motivation.
+func runSharedMem(cfg Config) (*Report, error) {
+	tab := &Table{
+		Title:   "Interrupt model vs protocol processor, all-to-all, W=500, C²=0, P=32",
+		Columns: []string{"So", "St", "sim int", "mod int", "sim PP", "mod PP", "PP speedup", "int err", "PP err"},
+	}
+	sos := []float64{64, 128, 256, 512}
+	sts := []float64{10, 100}
+	if cfg.Quick {
+		sos = []float64{128, 512}
+		sts = []float64{40}
+	}
+	for _, so := range sos {
+		for _, st := range sts {
+			pInt := core.Params{P: figP, W: 500, St: st, So: so, C2: 0}
+			pPP := pInt
+			pPP.ProtocolProcessor = true
+			modInt, err := core.AllToAll(pInt)
+			if err != nil {
+				return nil, err
+			}
+			modPP, err := core.AllToAll(pPP)
+			if err != nil {
+				return nil, err
+			}
+			warm, measure := cfg.cycles()
+			run := func(pp bool) (workload.AllToAllResult, error) {
+				return workload.RunAllToAll(workload.AllToAllConfig{
+					P:                 figP,
+					Work:              dist.NewDeterministic(500),
+					Latency:           dist.NewDeterministic(st),
+					Service:           dist.NewDeterministic(so),
+					WarmupCycles:      warm,
+					MeasureCycles:     measure,
+					ProtocolProcessor: pp,
+					Seed:              cfg.Seed,
+				})
+			}
+			simInt, err := run(false)
+			if err != nil {
+				return nil, err
+			}
+			simPP, err := run(true)
+			if err != nil {
+				return nil, err
+			}
+			tab.AddRow(F(so), F(st),
+				F(simInt.R.Mean()), F(modInt.R),
+				F(simPP.R.Mean()), F(modPP.R),
+				fmt.Sprintf("%.3f", simInt.R.Mean()/simPP.R.Mean()),
+				Pct(stats.RelErr(modInt.R, simInt.R.Mean())),
+				Pct(stats.RelErr(modPP.R, simPP.R.Mean())))
+		}
+	}
+	tab.Notes = append(tab.Notes,
+		"PP speedup grows with handler occupancy: protocol hardware removes thread preemption (Rw = W)",
+		"Holt et al. found controller occupancy dominates; the same trend appears in the So column")
+	return &Report{Name: "sharedmem", Title: registry["sharedmem"].Title, Tables: []*Table{tab}}, nil
+}
+
+func runMultiHop(cfg Config) (*Report, error) {
+	warm, measure := cfg.cycles()
+	tab := &Table{
+		Title:   "Multi-hop all-to-all, P=16, W=1000, So=150, C²=0, St=40",
+		Columns: []string{"hops", "sim R", "general R", "err", "sim Rq/hop", "model Rq", "CF R"},
+	}
+	ws := make([]float64, 16)
+	for i := range ws {
+		ws[i] = 1000
+	}
+	for hops := 1; hops <= 4; hops++ {
+		sim, err := workload.RunMultiHop(workload.MultiHopConfig{
+			P: 16, Hops: hops,
+			Work:         dist.NewDeterministic(1000),
+			Latency:      dist.NewDeterministic(figSt),
+			Service:      dist.NewDeterministic(150),
+			WarmupCycles: warm, MeasureCycles: measure,
+			Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		model, err := core.General(core.GeneralParams{
+			P: 16, W: ws, V: core.MultiHopVisits(16, hops),
+			St: figSt, So: []float64{150}, C2: 0,
+		})
+		if err != nil {
+			return nil, err
+		}
+		h := float64(hops)
+		cf := 1000 + (h+1)*figSt + (h+1)*150
+		tab.AddRow(fmt.Sprintf("%d", hops),
+			F(sim.R.Mean()), F(model.R[0]), Pct(stats.RelErr(model.R[0], sim.R.Mean())),
+			F(sim.RqPerHop.Mean()), F(model.Rq[0]), F(cf))
+	}
+	tab.Notes = append(tab.Notes,
+		"the general model spreads hop visits uniformly from the originator's viewpoint; the simulator forwards from the current holder")
+	return &Report{Name: "multihop", Title: registry["multihop"].Title, Tables: []*Table{tab}}, nil
+}
+
+func runHotspot(cfg Config) (*Report, error) {
+	warm, measure := cfg.cycles()
+	const (
+		p  = 16
+		w  = 512.0
+		so = 200.0
+	)
+	tab := &Table{
+		Title:   "Hotspot traffic (node 0 hot), P=16, W=512, So=200, C²=0, St=40",
+		Columns: []string{"bias", "sim R", "general R", "err", "sim Rq", "model Rq(hot)", "model Rq(cold)"},
+	}
+	ws := make([]float64, p)
+	for i := range ws {
+		ws[i] = w
+	}
+	for _, bias := range []float64{0, 0.1, 0.2, 0.3, 0.5} {
+		sim, err := workload.RunAllToAll(workload.AllToAllConfig{
+			P:            p,
+			Work:         dist.NewDeterministic(w),
+			Latency:      dist.NewDeterministic(figSt),
+			Service:      dist.NewDeterministic(so),
+			Pattern:      workload.HotspotPattern{Hot: 0, Bias: bias},
+			WarmupCycles: warm, MeasureCycles: measure,
+			Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		model, err := core.General(core.GeneralParams{
+			P: p, W: ws, V: workload.HotspotVisits(p, 0, bias),
+			St: figSt, So: []float64{so}, C2: 0,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Model R averaged over all threads, matching the simulator's
+		// all-cycle mean. (Threads differ: the hot thread's own cycles
+		// are cheaper since its requests avoid the hot queue.)
+		allR := 0.0
+		for c := 0; c < p; c++ {
+			allR += model.R[c]
+		}
+		allR /= float64(p)
+		tab.AddRow(fmt.Sprintf("%.2f", bias),
+			F(sim.R.Mean()), F(allR), Pct(stats.RelErr(allR, sim.R.Mean())),
+			F(sim.Rq.Mean()), F(model.Rq[0]), F(model.Rq[1]))
+	}
+	tab.Notes = append(tab.Notes,
+		"bias = fraction of each cold node's requests aimed at node 0",
+		"the hot node's request-handler response grows with bias while cold nodes' shrink",
+		"accuracy degrades as the hot node saturates: Bard's approximation counts the arriving",
+		"request in the queue it sees, which overestimates badly at high utilization — the same",
+		"regime where Holt et al. saw up to 35% error and abandoned their queueing model (Ch. 1)")
+	return &Report{Name: "hotspot", Title: registry["hotspot"].Title, Tables: []*Table{tab}}, nil
+}

@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/mva"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Runner{
+		Name:  "multiclass",
+		Title: "Extension X7: heterogeneous client classes — general LoPC vs multiclass MVA vs simulation",
+		Run:   runMulticlass,
+	})
+}
+
+// runMulticlass cross-validates three independent solution paths on a
+// work-pile with two client classes (light chunks and heavy chunks):
+//
+//   - the general LoPC model (Appendix A) with per-thread W,
+//   - multiclass MVA (exact, and Bard's approximation — the machinery
+//     of the Bard paper the model cites), and
+//   - the event-driven simulation.
+//
+// Handler service is exponential so the exact multiclass MVA's
+// product-form assumptions hold and it can serve as ground truth.
+func runMulticlass(cfg Config) (*Report, error) {
+	const (
+		p      = 32
+		wLight = 800.0
+		wHeavy = 2400.0
+		so     = 131.0
+	)
+	warm, measure := cfg.window()
+	tab := &Table{
+		Title:   fmt.Sprintf("Two-class work-pile (W=%g and %g, exponential; So=%g exp; St=%g): per-class throughput", wLight, wHeavy, so, figSt),
+		Columns: []string{"Ps", "class", "sim X", "general X", "gen err", "exact MVA", "exact err", "Bard MVA", "Bard err"},
+	}
+	pss := []int{2, 4, 8}
+	if cfg.Quick {
+		pss = []int{4}
+	}
+	for _, ps := range pss {
+		pc := p - ps
+		nLight := pc / 2
+		nHeavy := pc - nLight
+
+		// Simulation: first nLight clients are light, rest heavy.
+		perClient := make([]dist.Distribution, pc)
+		for i := 0; i < pc; i++ {
+			if i < nLight {
+				perClient[i] = dist.NewExponential(wLight)
+			} else {
+				perClient[i] = dist.NewExponential(wHeavy)
+			}
+		}
+		sim, err := workload.RunWorkpile(workload.WorkpileConfig{
+			P: p, Ps: ps,
+			Chunk:          dist.NewExponential(wLight), // unused default
+			PerClientChunk: perClient,
+			Latency:        dist.NewDeterministic(figSt),
+			Service:        dist.NewExponential(so),
+			WarmupTime:     warm, MeasureTime: measure,
+			Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		simX := [2]float64{}
+		for i, n := range sim.ChunksByClient {
+			cls := 0
+			if i >= nLight {
+				cls = 1
+			}
+			simX[cls] += float64(n) / measure
+		}
+
+		// General LoPC (Appendix A) with per-thread W.
+		ws := make([]float64, p)
+		for i := 0; i < pc; i++ {
+			if i < nLight {
+				ws[i] = wLight
+			} else {
+				ws[i] = wHeavy
+			}
+		}
+		gen, err := core.General(core.GeneralParams{
+			P: p, W: ws, V: core.ClientServerVisits(pc, ps),
+			St: figSt, So: []float64{so}, C2: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		genX := [2]float64{}
+		for i := 0; i < pc; i++ {
+			cls := 0
+			if i >= nLight {
+				cls = 1
+			}
+			genX[cls] += gen.X[i]
+		}
+
+		// Multiclass MVA.
+		mp, err := mva.MultiWorkpileNetwork([]int{nLight, nHeavy}, ps, []float64{wLight, wHeavy}, figSt, so)
+		if err != nil {
+			return nil, err
+		}
+		exact, err := mva.MultiExact(mp)
+		if err != nil {
+			return nil, err
+		}
+		bard, err := mva.MultiBard(mp)
+		if err != nil {
+			return nil, err
+		}
+		// MultiResult.X[c] is already the class-aggregate throughput
+		// (N_c customers cycling).
+		exactX := [2]float64{exact.X[0], exact.X[1]}
+		bardX := [2]float64{bard.X[0], bard.X[1]}
+
+		for cls, name := range []string{"light", "heavy"} {
+			tab.AddRow(fmt.Sprintf("%d", ps), name,
+				fmt.Sprintf("%.5f", simX[cls]),
+				fmt.Sprintf("%.5f", genX[cls]), Pct(stats.RelErr(genX[cls], simX[cls])),
+				fmt.Sprintf("%.5f", exactX[cls]), Pct(stats.RelErr(exactX[cls], simX[cls])),
+				fmt.Sprintf("%.5f", bardX[cls]), Pct(stats.RelErr(bardX[cls], simX[cls])))
+		}
+	}
+	tab.Notes = append(tab.Notes,
+		"three independent routes to the same numbers: the paper's AMVA with per-thread",
+		"parameters (App. A), classical multiclass MVA (Bard 1979), and the simulator;",
+		"the general LoPC model handles heterogeneity the closed forms of Ch. 6 cannot",
+		"the 'general' and 'Bard MVA' columns coincide digit for digit: on client-server",
+		"patterns the Appendix A equations ARE multiclass Bard MVA — the lineage the paper",
+		"cites made concrete")
+
+	return &Report{
+		Name:   "multiclass",
+		Title:  registry["multiclass"].Title,
+		Tables: []*Table{tab},
+	}, nil
+}

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Runner{
+		Name:  "threads",
+		Title: "Extension X10: multithreaded nodes — latency tolerance beyond the one-thread-per-node model",
+		Run:   runThreads,
+	})
+}
+
+// runThreads relaxes the paper's one-thread-per-node assumption: each
+// node runs T contexts that switch on miss, the latency-tolerance
+// design of the Alewife machine itself. Throughput climbs until the
+// processor-time conservation bound 1/(W+2So) — the same ceiling as
+// the non-blocking extension, reached here with blocking requests and
+// enough contexts.
+func runThreads(cfg Config) (*Report, error) {
+	warm, measure := cfg.cycles()
+	tab := &Table{
+		Title:   "Node cycle rate vs threads per node, all-to-all P=32, So=200, St=40, C²=0",
+		Columns: []string{"W", "T", "sim XNode", "model XNode", "err", "bound", "sim/bound", "knee T*"},
+	}
+	plot := &Plot{
+		Title:  "Latency tolerance: node throughput vs contexts",
+		XLabel: "threads per node", YLabel: "XNode",
+	}
+	ws := []float64{256, 1024}
+	ts := []int{1, 2, 3, 4, 6, 8}
+	if cfg.Quick {
+		ws = []float64{512}
+		ts = []int{1, 2, 4}
+	}
+	for _, w := range ws {
+		var xs, simY, modY []float64
+		for _, tc := range ts {
+			sim, err := workload.RunMultithread(workload.MultithreadConfig{
+				P: figP, T: tc,
+				Work:         dist.NewDeterministic(w),
+				Latency:      dist.NewDeterministic(figSt),
+				Service:      dist.NewDeterministic(200),
+				WarmupCycles: warm, MeasureCycles: measure,
+				Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			model, err := core.Multithreaded(core.Params{P: figP, W: w, St: figSt, So: 200, C2: 0}, tc)
+			if err != nil {
+				return nil, err
+			}
+			tab.AddRow(F(w), fmt.Sprintf("%d", tc),
+				fmt.Sprintf("%.6f", sim.XNode), fmt.Sprintf("%.6f", model.XNode),
+				Pct(stats.RelErr(model.XNode, sim.XNode)),
+				fmt.Sprintf("%.6f", model.Bound),
+				fmt.Sprintf("%.3f", sim.XNode/model.Bound),
+				fmt.Sprintf("%.2f", model.SaturationThreads))
+			xs = append(xs, float64(tc))
+			simY = append(simY, sim.XNode)
+			modY = append(modY, model.XNode)
+		}
+		plot.Add(fmt.Sprintf("sim W=%g", w), xs, simY, 0)
+		plot.Add(fmt.Sprintf("model W=%g", w), xs, modY, 0)
+	}
+	tab.Notes = append(tab.Notes,
+		"T* = R(1)/(W+2So): contexts needed to hide the round trip; past it the CPU never",
+		"idles and throughput pins to the conservation bound — blocking requests with enough",
+		"threads match the non-blocking extension's ceiling, the Alewife latency-tolerance story",
+		"the model composes pieces already validated here: the merged handler queue (X4),",
+		"exact MVA over the per-node closed network (A1), and the shadow-server CPU account")
+
+	return &Report{
+		Name:   "threads",
+		Title:  registry["threads"].Title,
+		Tables: []*Table{tab},
+		Plots:  []*Plot{plot},
+	}, nil
+}

@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Runner{
+		Name:  "netassume",
+		Title: "Ablation A3: the Ch. 2 network simplifications — link serialization and finite NI queues",
+		Run:   runNetAssume,
+	})
+}
+
+// runNetAssume actively relaxes the two simplifications the paper makes
+// in Chapter 2 — a contention-free interconnect and unbounded hardware
+// FIFOs — and measures when each starts to matter, quantifying the
+// paper's claim that "these assumptions don't affect our results for
+// short messages and low-cost handlers".
+func runNetAssume(cfg Config) (*Report, error) {
+	warm, measure := cfg.cycles()
+	model, err := core.AllToAll(core.Params{P: figP, W: 512, St: figSt, So: 200, C2: 0})
+	if err != nil {
+		return nil, err
+	}
+
+	// Part 1: link serialization. Each message occupies its (src, dst)
+	// link for `occ` cycles; 0 is the paper's network. For short
+	// messages occ << So and the effect should vanish.
+	link := &Table{
+		Title:   "All-to-all R vs per-link message occupancy (W=512, So=200, St=40, P=32)",
+		Columns: []string{"link occupancy", "sim R", "vs occ=0", "LoPC(St)", "LoPC(St+occ)", "err vs St+occ"},
+	}
+	occs := []float64{0, 10, 50, 100, 200, 400}
+	if cfg.Quick {
+		occs = []float64{0, 50, 200}
+	}
+	var baseR float64
+	for _, occ := range occs {
+		sim, err := workload.RunAllToAll(workload.AllToAllConfig{
+			P:             figP,
+			Work:          dist.NewDeterministic(512),
+			Latency:       dist.NewDeterministic(figSt),
+			Service:       dist.NewDeterministic(200),
+			WarmupCycles:  warm,
+			MeasureCycles: measure,
+			LinkOccupancy: occ,
+			Seed:          cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if occ == occs[0] {
+			baseR = sim.R.Mean()
+		}
+		// Occupancy adds to every trip whether or not links queue, so
+		// fold it into the wire time and let the model absorb it: if
+		// the residual error stays small, links are effectively
+		// contention-free — the Ch. 2 assumption survives.
+		folded, err := core.AllToAll(core.Params{P: figP, W: 512, St: figSt + occ, So: 200, C2: 0})
+		if err != nil {
+			return nil, err
+		}
+		link.AddRow(F(occ), F(sim.R.Mean()),
+			Pct(stats.RelErr(sim.R.Mean(), baseR)),
+			F(model.R), F(folded.R),
+			Pct(stats.RelErr(folded.R, sim.R.Mean())))
+	}
+	link.Notes = append(link.Notes,
+		"occupancy lengthens every trip (a bandwidth term, like LogP's g) but uniform random",
+		"destinations keep per-link queueing negligible: folding occupancy into St restores the",
+		"model to a few percent — the network stays effectively contention-free (Ch. 2's claim)")
+
+	// Part 2: finite NI queues with NACK/retry, at the deepest-queue
+	// operating point (W = 0).
+	fifo := &Table{
+		Title:   "All-to-all at W=0 vs NI queue capacity (NACK + 100-cycle retry)",
+		Columns: []string{"capacity", "sim R", "vs unbounded", "NACKs/cycle"},
+	}
+	caps := []int{0, 16, 8, 4, 2}
+	if cfg.Quick {
+		caps = []int{0, 4}
+	}
+	var unboundedR float64
+	for _, qc := range caps {
+		sim, err := workload.RunAllToAll(workload.AllToAllConfig{
+			P:             figP,
+			Work:          dist.NewDeterministic(0),
+			Latency:       dist.NewDeterministic(figSt),
+			Service:       dist.NewDeterministic(200),
+			WarmupCycles:  warm,
+			MeasureCycles: measure,
+			NIQueueCap:    qc,
+			RetryDelay:    100,
+			Seed:          cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if qc == 0 {
+			unboundedR = sim.R.Mean()
+		}
+		name := fmt.Sprintf("%d", qc)
+		if qc == 0 {
+			name = "unbounded"
+		}
+		fifo.AddRow(name, F(sim.R.Mean()),
+			Pct(stats.RelErr(sim.R.Mean(), unboundedR)),
+			fmt.Sprintf("%.4f", float64(sim.Nacks)/float64(sim.R.N())))
+	}
+	fifo.Notes = append(fifo.Notes,
+		"an Alewife-class queue (~a dozen messages) never NACKs even at W=0; and because the",
+		"requesting thread is blocked anyway, even aggressive caps barely move R for blocking",
+		"patterns — the retry latency hides behind the wait the model already accounts for")
+
+	return &Report{
+		Name:   "netassume",
+		Title:  registry["netassume"].Title,
+		Tables: []*Table{link, fifo},
+	}, nil
+}

@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one line of a Plot.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte
+}
+
+// Plot renders x/y series as an ASCII chart — enough to eyeball the
+// shape of each paper figure (who wins, where the crossover or optimum
+// falls) straight from a terminal.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX plots x on a log₂ axis, matching the paper's work sweeps.
+	LogX   bool
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 20)
+	Series []Series
+}
+
+var defaultMarkers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Add appends a series; when marker is 0 a default is assigned by
+// position.
+func (p *Plot) Add(name string, x, y []float64, marker byte) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("exp: series %q has %d x values and %d y values", name, len(x), len(y)))
+	}
+	if marker == 0 {
+		marker = defaultMarkers[len(p.Series)%len(defaultMarkers)]
+	}
+	p.Series = append(p.Series, Series{Name: name, X: x, Y: y, Marker: marker})
+}
+
+func (p *Plot) dims() (w, h int) {
+	w, h = p.Width, p.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+	return w, h
+}
+
+// WriteText renders the plot.
+func (p *Plot) WriteText(w io.Writer) error {
+	width, height := p.dims()
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	tx := func(x float64) float64 {
+		if p.LogX {
+			return math.Log2(math.Max(x, 1e-12))
+		}
+		return x
+	}
+	for _, s := range p.Series {
+		for i := range s.X {
+			x := tx(s.X[i])
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		_, err := fmt.Fprintf(w, "%s\n  (no data)\n", p.Title)
+		return err
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Leave headroom so the top row isn't flush against the frame.
+	ymax += (ymax - ymin) * 0.05
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range p.Series {
+		for i := range s.X {
+			cx := int((tx(s.X[i]) - xmin) / (xmax - xmin) * float64(width-1))
+			cy := int((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = s.Marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", p.Title)
+	legend := make([]string, 0, len(p.Series))
+	for _, s := range p.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.Marker, s.Name))
+	}
+	fmt.Fprintf(&b, "  [%s]\n", strings.Join(legend, "   "))
+	yLab := p.YLabel
+	for r, row := range grid {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%10.3g", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%10.3g", ymin)
+		case height / 2:
+			if yLab != "" {
+				if len(yLab) > 10 {
+					yLab = yLab[:10]
+				}
+				label = fmt.Sprintf("%10s", yLab)
+			}
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	axis := strings.Repeat("-", width)
+	fmt.Fprintf(&b, "%10s +%s+\n", "", axis)
+	lo, hi := xmin, xmax
+	if p.LogX {
+		lo, hi = math.Pow(2, xmin), math.Pow(2, xmax)
+	}
+	scale := ""
+	if p.LogX {
+		scale = " (log2 x)"
+	}
+	fmt.Fprintf(&b, "%10s  %-12.6g%s%12.6g  %s%s\n", "", lo,
+		strings.Repeat(" ", max(0, width-26)), hi, p.XLabel, scale)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

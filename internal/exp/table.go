@@ -1,0 +1,191 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the LoPC paper's evaluation from the model (internal/core)
+// and the simulator (internal/workload), and renders them as aligned
+// text tables, ASCII plots, and CSV.
+//
+// Each experiment is registered under the paper's figure/table id
+// (fig51, fig52, fig53, fig62, table31, errors) plus the extension
+// studies (sharedmem, multihop, hotspot). cmd/lopc-experiments runs
+// them; EXPERIMENTS.md records the paper-vs-measured comparison.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered-ready experiment table: a title, column headers,
+// string cells, and free-form notes.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, which must have one cell per column.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("exp: row has %d cells, table %q has %d columns", len(cells), t.Title, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// F formats a float for a table cell with sensible precision.
+func F(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10 || v <= -10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// Pct formats a ratio as a signed percentage.
+func Pct(v float64) string { return fmt.Sprintf("%+.1f%%", v*100) }
+
+// WriteText renders the table as aligned monospace text.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(fmt.Sprintf("%*s", widths[i], cell))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("  note: ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (RFC-4180 quoting for cells that
+// need it).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Report is the output of one experiment: its registry name, a title
+// matching the paper's figure/table, and the produced tables and plots.
+type Report struct {
+	Name   string
+	Title  string
+	Tables []*Table
+	Plots  []*Plot
+}
+
+// WriteText renders the full report as text.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n\n", r.Name, r.Title); err != nil {
+		return err
+	}
+	for _, t := range r.Tables {
+		if err := t.WriteText(w); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	for _, p := range r.Plots {
+		if err := p.WriteText(w); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown renders the table as a GitHub-flavored markdown table,
+// with notes as a trailing bullet list.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n* %s", n)
+	}
+	if len(t.Notes) > 0 {
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteMarkdown renders the full report as markdown (tables only; ASCII
+// plots are omitted as they do not survive proportional fonts).
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s: %s\n\n", r.Name, r.Title); err != nil {
+		return err
+	}
+	for _, t := range r.Tables {
+		if err := t.WriteMarkdown(w); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

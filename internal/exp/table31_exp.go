@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/logp"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Runner{
+		Name:  "table31",
+		Title: "Table 3.1: LoPC/LogP parameter correspondence, plus the Ch. 3 matrix-vector example",
+		Run:   runTable31,
+	})
+}
+
+func runTable31(cfg Config) (*Report, error) {
+	params := &Table{
+		Title:   "Architectural parameters of the LoPC model (Table 3.1)",
+		Columns: []string{"LoPC", "LogP", "description"},
+	}
+	params.AddRow("St", "L", "average wire time (latency) in the interconnect")
+	params.AddRow("So", "o", "average cost of message dispatch (interrupt + handler)")
+	params.AddRow("-", "g", "peak processor-to-network gap (balanced NI: 0; LoPC drops it)")
+	params.AddRow("P", "P", "number of processors")
+	params.AddRow("C2", "-", "variability of message processing time (optional)")
+
+	// Chapter 3's example: N×N matrix-vector multiply, cyclic rows,
+	// blocking puts; W = N·tMulAdd/(P−1). Predict total runtime with
+	// the homogeneous LoPC model and compare to simulation.
+	const (
+		n       = 512
+		tMulAdd = 4.0
+		so      = 200.0
+	)
+	mv := &Table{
+		Title:   fmt.Sprintf("Matrix-vector multiply, N=%d, tMulAdd=%g, So=%g, St=%g", n, tMulAdd, so, figSt),
+		Columns: []string{"P", "W", "msgs/node", "LoPC R", "LoPC total", "LogP total", "sim total", "LoPC err", "LogP err"},
+	}
+	for _, p := range []int{4, 8, 16, 32} {
+		w, msgs, err := core.MatVec(n, p, tMulAdd)
+		if err != nil {
+			return nil, err
+		}
+		mp := core.Params{P: p, W: w, St: figSt, So: so, C2: 0}
+		model, err := core.AllToAll(mp)
+		if err != nil {
+			return nil, err
+		}
+		lg := logp.Params{L: figSt, O: so, P: p}
+		logpTotal := float64(msgs) * lg.CyclesLoPC(w, so)
+
+		sim, err := simMatVec(cfg, p, w, so, msgs)
+		if err != nil {
+			return nil, err
+		}
+		lopcTotal := float64(msgs) * model.R
+		mv.AddRow(fmt.Sprintf("%d", p), F(w), fmt.Sprintf("%d", msgs),
+			F(model.R), F(lopcTotal), F(logpTotal), F(sim),
+			Pct(stats.RelErr(lopcTotal, sim)), Pct(stats.RelErr(logpTotal, sim)))
+	}
+	mv.Notes = append(mv.Notes,
+		"sim total = mean measured cycle time × messages per node (uniform-destination equivalent of the put pattern)",
+		"the LogP column is the contention-free estimate; its error is about one handler per request")
+
+	return &Report{
+		Name:   "table31",
+		Title:  registry["table31"].Title,
+		Tables: []*Table{params, mv},
+	}, nil
+}
+
+// simMatVec measures the mean cycle time of the matrix-vector put
+// pattern (homogeneous blocking puts with work w between them) and
+// scales to the total runtime of msgs requests.
+func simMatVec(cfg Config, p int, w, so float64, msgs int) (float64, error) {
+	sim, err := simAllToAllP(cfg, p, w, so, 0)
+	if err != nil {
+		return 0, err
+	}
+	return float64(msgs) * sim.R.Mean(), nil
+}

@@ -1,0 +1,124 @@
+// Package fit calibrates LoPC's architectural parameters from
+// measurements — the inverse problem practitioners face: a LogP/LoPC
+// analysis needs St (wire latency) and So (message-handling cost), and
+// the standard way to obtain them is to run a microbenchmark sweep and
+// fit the model to it.
+//
+// Given observed mean compute/request cycle times R_i at several work
+// settings W_i of the homogeneous all-to-all pattern, AllToAll finds
+// the (St, So) minimizing the sum of squared residuals against the
+// model of internal/core. Because the model is pessimistic by a few
+// percent against a real machine, fitted parameters absorb part of
+// that bias — which is exactly what a practitioner calibrating from
+// hardware wants.
+package fit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+)
+
+// Observation is one point of the calibration sweep: the configured
+// mean work W and the measured mean cycle time R. Rq, when positive, is
+// the measured mean request-handler response time (queueing plus
+// service) at that W; including it is strongly recommended — R(W)
+// sweeps alone leave St and So weakly identifiable (they trade off
+// along R ≈ W + 2St + ~3So), while Rq pins So directly.
+type Observation struct {
+	W, R float64
+	Rq   float64
+}
+
+// Result is the fitted parameterization.
+type Result struct {
+	// St and So are the fitted architectural parameters.
+	St, So float64
+	// RMSE is the root-mean-square residual of the fit, in cycles.
+	RMSE float64
+	// RelRMSE is RMSE over the mean observed R.
+	RelRMSE float64
+}
+
+// AllToAll fits (St, So) to all-to-all observations on a P-node machine
+// with handler variability c2. At least three observations spanning
+// different W values are required (two parameters plus a residual check).
+func AllToAll(obs []Observation, p int, c2 float64) (Result, error) {
+	if len(obs) < 3 {
+		return Result{}, fmt.Errorf("fit: need at least 3 observations, got %d", len(obs))
+	}
+	meanR := 0.0
+	for _, o := range obs {
+		if o.R <= 0 || o.W < 0 {
+			return Result{}, fmt.Errorf("fit: invalid observation %+v", o)
+		}
+		meanR += o.R
+	}
+	meanR /= float64(len(obs))
+
+	// Optimize in log space so St, So stay positive, seeded from crude
+	// closed-form guesses: at large W the model tends to
+	// R ≈ W + 2St + 3So, and the fixed overhead R − W at the smallest W
+	// is ≈ 2St + 3.45·So.
+	loss := func(x []float64) float64 {
+		st, so := math.Exp(x[0]), math.Exp(x[1])
+		sum := 0.0
+		for _, o := range obs {
+			res, err := core.AllToAll(core.Params{P: p, W: o.W, St: st, So: so, C2: c2})
+			if err != nil {
+				return math.Inf(1)
+			}
+			d := res.R - o.R
+			sum += d * d
+			if o.Rq > 0 {
+				dq := res.Rq - o.Rq
+				sum += dq * dq
+			}
+		}
+		return sum
+	}
+	// Initial guess: split the smallest fixed overhead evenly.
+	minOverhead := math.Inf(1)
+	for _, o := range obs {
+		if v := o.R - o.W; v < minOverhead {
+			minOverhead = v
+		}
+	}
+	if minOverhead <= 0 {
+		minOverhead = meanR * 0.1
+	}
+	x0 := []float64{math.Log(minOverhead / 4), math.Log(minOverhead / 4)}
+	best, fBest, err := numeric.NelderMead(loss, x0, numeric.DefaultNelderMeadOpts())
+	if err != nil && math.IsInf(fBest, 1) {
+		return Result{}, fmt.Errorf("fit: optimization failed: %w", err)
+	}
+	rmse := math.Sqrt(fBest / float64(len(obs)))
+	return Result{
+		St:      math.Exp(best[0]),
+		So:      math.Exp(best[1]),
+		RMSE:    rmse,
+		RelRMSE: rmse / meanR,
+	}, nil
+}
+
+// RoundTrip fits (St, So) from contention-free round-trip measurements
+// alone (a single-client microbenchmark): R = W + 2St + 2So is a line
+// in W with intercept 2St + 2So, so the two parameters cannot be
+// separated without contention data; RoundTrip therefore returns the
+// combined overhead per round trip. It exists to document why the
+// all-to-all sweep is the right calibration experiment.
+func RoundTrip(obs []Observation) (overhead float64, err error) {
+	if len(obs) < 1 {
+		return 0, fmt.Errorf("fit: need at least 1 observation")
+	}
+	sum := 0.0
+	for _, o := range obs {
+		if o.R <= o.W {
+			return 0, fmt.Errorf("fit: observation %+v has R <= W", o)
+		}
+		sum += o.R - o.W
+	}
+	return sum / float64(len(obs)), nil
+}

@@ -1,0 +1,139 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/workload"
+)
+
+// modelObservations builds a noiseless sweep from the model itself.
+func modelObservations(t *testing.T, p int, st, so, c2 float64, ws []float64) []Observation {
+	t.Helper()
+	obs := make([]Observation, 0, len(ws))
+	for _, w := range ws {
+		res, err := core.AllToAll(core.Params{P: p, W: w, St: st, So: so, C2: c2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs = append(obs, Observation{W: w, R: res.R, Rq: res.Rq})
+	}
+	return obs
+}
+
+// TestFitRecoversModelParameters: fitting noiseless model output must
+// recover the generating parameters almost exactly.
+func TestFitRecoversModelParameters(t *testing.T) {
+	cases := []struct{ st, so float64 }{
+		{40, 200}, {10, 500}, {120, 60},
+	}
+	ws := []float64{0, 32, 128, 512, 2048}
+	for _, c := range cases {
+		obs := modelObservations(t, 32, c.st, c.so, 0, ws)
+		res, err := AllToAll(obs, 32, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(res.So-c.so) / c.so; rel > 0.01 {
+			t.Errorf("St=%g So=%g: fitted So=%.2f (rel %.2f%%)", c.st, c.so, res.So, rel*100)
+		}
+		if rel := math.Abs(res.St-c.st) / c.st; rel > 0.05 {
+			t.Errorf("St=%g So=%g: fitted St=%.2f (rel %.2f%%)", c.st, c.so, res.St, rel*100)
+		}
+		if res.RelRMSE > 1e-3 {
+			t.Errorf("noiseless fit left residual %.4f%%", res.RelRMSE*100)
+		}
+	}
+}
+
+// TestFitFromSimulation: calibrating against the simulator (the
+// practitioner's situation: measurements from a machine whose St/So are
+// "unknown") recovers the true parameters within a few percent — the
+// model's own bias bound.
+func TestFitFromSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	const (
+		trueSt = 40.0
+		trueSo = 200.0
+	)
+	var obs []Observation
+	for _, w := range []float64{0, 64, 256, 1024, 4096} {
+		sim, err := workload.RunAllToAll(workload.AllToAllConfig{
+			P:             32,
+			Work:          dist.NewDeterministic(w),
+			Latency:       dist.NewDeterministic(trueSt),
+			Service:       dist.NewDeterministic(trueSo),
+			WarmupCycles:  300,
+			MeasureCycles: 1200,
+			Seed:          9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs = append(obs, Observation{W: w, R: sim.R.Mean(), Rq: sim.Rq.Mean()})
+	}
+	res, err := AllToAll(obs, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.So-trueSo) / trueSo; rel > 0.08 {
+		t.Errorf("fitted So=%.1f, true %.1f (rel %.1f%%)", res.So, trueSo, rel*100)
+	}
+	if math.Abs(res.St-trueSt) > 0.5*trueSo {
+		t.Errorf("fitted St=%.1f wildly off true %.1f", res.St, trueSt)
+	}
+	if res.RelRMSE > 0.03 {
+		t.Errorf("fit residual %.1f%%", res.RelRMSE*100)
+	}
+	// The calibrated model should predict held-out work values well.
+	held := 512.0
+	sim, err := workload.RunAllToAll(workload.AllToAllConfig{
+		P:             32,
+		Work:          dist.NewDeterministic(held),
+		Latency:       dist.NewDeterministic(trueSt),
+		Service:       dist.NewDeterministic(trueSo),
+		WarmupCycles:  300,
+		MeasureCycles: 1200,
+		Seed:          10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := core.AllToAll(core.Params{P: 32, W: held, St: res.St, So: res.So, C2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(pred.R-sim.R.Mean()) / sim.R.Mean(); rel > 0.03 {
+		t.Errorf("held-out prediction off by %.1f%%", rel*100)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := AllToAll([]Observation{{W: 0, R: 1}, {W: 1, R: 2}}, 32, 0); err == nil {
+		t.Error("two observations accepted")
+	}
+	if _, err := AllToAll([]Observation{{W: 0, R: -1}, {W: 1, R: 2}, {W: 2, R: 3}}, 32, 0); err == nil {
+		t.Error("negative R accepted")
+	}
+}
+
+func TestRoundTripOverhead(t *testing.T) {
+	obs := []Observation{{W: 100, R: 580}, {W: 200, R: 680}, {W: 400, R: 880}}
+	ov, err := RoundTrip(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ov-480) > 1e-9 {
+		t.Errorf("overhead = %v, want 480", ov)
+	}
+	if _, err := RoundTrip(nil); err == nil {
+		t.Error("empty observations accepted")
+	}
+	if _, err := RoundTrip([]Observation{{W: 100, R: 50}}); err == nil {
+		t.Error("R <= W accepted")
+	}
+}

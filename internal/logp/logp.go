@@ -1,0 +1,198 @@
+// Package logp implements the LogP model of Culler et al. ("LogP:
+// Towards a Realistic Model of Parallel Computation", PPoPP 1993) — the
+// contention-free baseline the LoPC paper extends.
+//
+// LogP characterizes a machine with four parameters: L, the network
+// latency; o, the processor overhead of sending or receiving one
+// message; g, the minimum gap between consecutive sends (the inverse of
+// per-processor bandwidth); and P, the number of processors. The model
+// assumes at most ⌈L/g⌉ messages in flight per processor pair and no
+// contention at the receivers — the assumption LoPC removes.
+//
+// The package provides the standard LogP costs (point-to-point,
+// round-trip request) and the classic optimal broadcast and reduction
+// schedules, plus the LoPC correspondence (Table 3.1): St = L, So ≈ o,
+// g = 0 on balanced machines.
+package logp
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Params are the four LogP parameters, in cycles (except P).
+type Params struct {
+	// L is the network latency: wire time for one small message.
+	L float64
+	// O is the send/receive overhead ("o" in the paper; capitalized for
+	// export).
+	O float64
+	// G is the minimum gap between consecutive message operations on
+	// one processor. Balanced network interfaces have G <= O, making
+	// the gap irrelevant; LoPC assumes this and drops the parameter.
+	G float64
+	// P is the number of processors.
+	P int
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.P < 1:
+		return fmt.Errorf("logp: P = %d", p.P)
+	case p.L < 0 || p.O < 0 || p.G < 0:
+		return fmt.Errorf("logp: negative parameter in %+v", p)
+	}
+	return nil
+}
+
+// SendInterval returns the minimum spacing between consecutive sends on
+// one processor: max(g, o).
+func (p Params) SendInterval() float64 {
+	if p.G > p.O {
+		return p.G
+	}
+	return p.O
+}
+
+// PointToPoint returns the end-to-end time to deliver one small message:
+// o + L + o.
+func (p Params) PointToPoint() float64 { return 2*p.O + p.L }
+
+// RoundTrip returns the time for a blocking remote request that runs a
+// handler costing handler cycles at the remote node: the requester pays
+// o to inject, L of latency, the remote pays o to receive plus the
+// handler plus o to reply, L back, and o to receive the reply.
+func (p Params) RoundTrip(handler float64) float64 {
+	return 4*p.O + 2*p.L + handler + p.O // receive, handle, send back, receive
+}
+
+// CyclesLoPC maps LogP onto the LoPC contention-free compute/request
+// cycle (Table 3.1: St = L, So = o, where So includes the handler): the
+// value a naive LogP-style analysis predicts for the patterns Chapter 5
+// studies. This is the baseline whose error the paper reports as ~37%
+// at W = 0.
+func (p Params) CyclesLoPC(w, so float64) float64 { return w + 2*p.L + 2*so }
+
+// informed tracks one processor that already holds the broadcast datum
+// and the earliest time it can complete its next send.
+type informed struct {
+	nextSendDone float64 // arrival time at the receiver of its next send
+	index        int
+}
+
+type informedHeap []informed
+
+func (h informedHeap) Len() int           { return len(h) }
+func (h informedHeap) Less(i, j int) bool { return h[i].nextSendDone < h[j].nextSendDone }
+func (h informedHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *informedHeap) Push(x any)        { *h = append(*h, x.(informed)) }
+func (h *informedHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// Broadcast returns the completion time of the optimal single-item
+// broadcast from one root to all P processors, and the time each
+// processor becomes informed (index 0 is the root). The optimal
+// schedule is greedy: every informed processor keeps sending to
+// uninformed processors as fast as the gap allows, and each arrival is
+// assigned the earliest possible slot (Culler et al., §4.1).
+func (p Params) Broadcast() (finish float64, informedAt []float64, err error) {
+	finish, informedAt, _, err = p.BroadcastTree()
+	return finish, informedAt, err
+}
+
+// BroadcastTree is Broadcast, additionally returning the schedule as a
+// parent vector: parent[i] is the processor that informs processor i
+// (parent[0] = -1 for the root). The simulated active-message broadcast
+// (internal/am) executes exactly this tree.
+func (p Params) BroadcastTree() (finish float64, informedAt []float64, parent []int, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, nil, nil, err
+	}
+	times := make([]float64, p.P)
+	parent = make([]int, p.P)
+	parent[0] = -1
+	if p.P == 1 {
+		return 0, times, parent, nil
+	}
+	gap := p.SendInterval()
+	h := &informedHeap{{nextSendDone: p.O + p.L + p.O, index: 0}}
+	finish = 0
+	for i := 1; i < p.P; i++ {
+		src := heap.Pop(h).(informed)
+		arrive := src.nextSendDone
+		times[i] = arrive
+		parent[i] = src.index
+		if arrive > finish {
+			finish = arrive
+		}
+		// The source can complete another send one gap later.
+		heap.Push(h, informed{nextSendDone: src.nextSendDone + gap, index: src.index})
+		// The newly informed processor becomes a sender: it pays o to
+		// receive, then o to send, then L + o until its message lands.
+		heap.Push(h, informed{nextSendDone: arrive + p.O + p.L + p.O, index: i})
+	}
+	return finish, times, parent, nil
+}
+
+// Reduce returns the completion time of the optimal P-input single-item
+// reduction; by symmetry with broadcast it equals the broadcast time
+// (run the schedule in reverse).
+func (p Params) Reduce() (float64, error) {
+	finish, _, err := p.Broadcast()
+	return finish, err
+}
+
+// AllToAllPersonalized returns the LogP estimate for each processor
+// sending one distinct small message to every other processor, assuming
+// perfectly interleaved arrivals (the CM-5 schedule of Brewer and
+// Kuszmaul): each processor issues P−1 sends spaced by max(g, o), the
+// last message lands L + o after its injection completes. Contention
+// makes real machines slower — the phenomenon LoPC models.
+func (p Params) AllToAllPersonalized() (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if p.P == 1 {
+		return 0, nil
+	}
+	n := float64(p.P - 1)
+	return p.O + (n-1)*p.SendInterval() + p.L + p.O, nil
+}
+
+// MaxInFlight returns the LogP capacity constraint ⌈L/g⌉: the maximum
+// number of messages a processor may have in flight. With g = 0 the
+// network is taken to impose no constraint and 0 is returned.
+func (p Params) MaxInFlight() int {
+	if p.G <= 0 {
+		return 0
+	}
+	n := int(p.L / p.G)
+	if float64(n)*p.G < p.L {
+		n++
+	}
+	return n
+}
+
+// Scatter returns the completion time of a one-to-all personalized
+// scatter: the root sends a distinct small message to each of the other
+// P−1 processors. Unlike broadcast, receivers cannot help (the items
+// are distinct), so the root's injection rate is the bottleneck: the
+// k-th send completes injection at o + (k−1)·max(g,o) and its receiver
+// finishes at that time + L + o.
+func (p Params) Scatter() (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if p.P == 1 {
+		return 0, nil
+	}
+	n := float64(p.P - 1)
+	return p.O + (n-1)*p.SendInterval() + p.L + p.O, nil
+}
+
+// Gather returns the completion time of an all-to-one personalized
+// gather, the mirror of Scatter: the root's receive rate bounds it, so
+// by symmetry it costs the same.
+func (p Params) Gather() (float64, error) {
+	return p.Scatter()
+}

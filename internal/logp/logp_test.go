@@ -1,0 +1,242 @@
+package logp
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (Params{L: 10, O: 2, G: 1, P: 8}).Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	for i, p := range []Params{
+		{L: 10, O: 2, G: 1, P: 0},
+		{L: -1, O: 2, G: 1, P: 4},
+		{L: 1, O: -2, G: 1, P: 4},
+		{L: 1, O: 2, G: -1, P: 4},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestPointToPoint(t *testing.T) {
+	p := Params{L: 10, O: 2, G: 1, P: 2}
+	if got := p.PointToPoint(); got != 14 {
+		t.Errorf("PointToPoint = %v, want 14", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := Params{L: 10, O: 2, G: 0, P: 2}
+	// o + L + o + handler + o + L + o + o(receive reply at home... the
+	// formula counts 5o total) = 5*2 + 2*10 + 7 = 37.
+	if got := p.RoundTrip(7); got != 37 {
+		t.Errorf("RoundTrip = %v, want 37", got)
+	}
+}
+
+func TestCyclesLoPCMatchesContentionFree(t *testing.T) {
+	p := Params{L: 40, O: 5, P: 32}
+	if got := p.CyclesLoPC(1000, 200); got != 1000+80+400 {
+		t.Errorf("CyclesLoPC = %v, want 1480", got)
+	}
+}
+
+func TestSendInterval(t *testing.T) {
+	if got := (Params{O: 5, G: 2}).SendInterval(); got != 5 {
+		t.Errorf("SendInterval = %v, want o = 5", got)
+	}
+	if got := (Params{O: 2, G: 5}).SendInterval(); got != 5 {
+		t.Errorf("SendInterval = %v, want g = 5", got)
+	}
+}
+
+func TestBroadcastTrivial(t *testing.T) {
+	finish, times, err := Params{L: 10, O: 2, G: 1, P: 1}.Broadcast()
+	if err != nil || finish != 0 || len(times) != 1 {
+		t.Fatalf("P=1 broadcast: finish=%v times=%v err=%v", finish, times, err)
+	}
+	finish, _, err = Params{L: 10, O: 2, G: 1, P: 2}.Broadcast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 + 10 + 2.0; finish != want {
+		t.Errorf("P=2 broadcast finish = %v, want %v", finish, want)
+	}
+}
+
+// bruteBroadcast exhaustively searches broadcast schedules for small P
+// by branch and bound: state is the multiset of "next send completion"
+// times of informed processors. The greedy schedule is known optimal;
+// this validates our implementation against an independent search.
+func bruteBroadcast(p Params, remaining int, senders []float64, best *float64, worst float64) {
+	if remaining == 0 {
+		return
+	}
+	// Prune: even the earliest possible assignment can't beat best.
+	sort.Float64s(senders)
+	if senders[0] >= *best {
+		return
+	}
+	// Branch: assign the next uninformed processor to any sender.
+	for i := range senders {
+		arrive := senders[i]
+		if arrive >= *best {
+			break
+		}
+		next := make([]float64, len(senders), len(senders)+1)
+		copy(next, senders)
+		next[i] = arrive + p.SendInterval()
+		next = append(next, arrive+p.O+p.L+p.O)
+		if remaining == 1 {
+			if arrive < *best {
+				*best = arrive
+			}
+		} else {
+			bruteBroadcast(p, remaining-1, next, best, worst)
+		}
+	}
+}
+
+func TestBroadcastOptimalSmallP(t *testing.T) {
+	for _, p := range []Params{
+		{L: 10, O: 2, G: 1, P: 5},
+		{L: 4, O: 1, G: 3, P: 6},
+		{L: 1, O: 5, G: 0, P: 4},
+		{L: 20, O: 1, G: 1, P: 7},
+	} {
+		finish, _, err := p.Broadcast()
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		bruteBroadcast(p, p.P-1, []float64{p.O + p.L + p.O}, &best, finish)
+		if math.Abs(finish-best) > 1e-9 {
+			t.Errorf("%+v: greedy broadcast %v, brute force %v", p, finish, best)
+		}
+	}
+}
+
+func TestBroadcastTimesSortedAndComplete(t *testing.T) {
+	p := Params{L: 10, O: 2, G: 1, P: 16}
+	finish, times, err := p.Broadcast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 16 {
+		t.Fatalf("times has %d entries", len(times))
+	}
+	if times[0] != 0 {
+		t.Errorf("root informed at %v, want 0", times[0])
+	}
+	maxT := 0.0
+	for _, v := range times[1:] {
+		if v <= 0 {
+			t.Errorf("non-root informed at %v", v)
+		}
+		if v > maxT {
+			maxT = v
+		}
+	}
+	if maxT != finish {
+		t.Errorf("finish %v != max informed time %v", finish, maxT)
+	}
+	// The assignment is greedy-earliest, so times are non-decreasing.
+	if !sort.Float64sAreSorted(times) {
+		t.Errorf("informed times not sorted: %v", times)
+	}
+}
+
+func TestBroadcastScalesLogarithmically(t *testing.T) {
+	// Doubling P should add roughly a constant (one message time), not
+	// double the finish time.
+	p := Params{L: 10, O: 2, G: 1}
+	p.P = 64
+	f64, _, _ := p.Broadcast()
+	p.P = 128
+	f128, _, _ := p.Broadcast()
+	if f128-f64 > p.PointToPoint()+p.SendInterval() {
+		t.Errorf("broadcast growth %v per doubling, too steep", f128-f64)
+	}
+	if f128 <= f64 {
+		t.Errorf("broadcast time not increasing: %v -> %v", f64, f128)
+	}
+}
+
+func TestReduceEqualsBroadcast(t *testing.T) {
+	p := Params{L: 10, O: 2, G: 1, P: 32}
+	b, _, _ := p.Broadcast()
+	r, err := p.Reduce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != r {
+		t.Errorf("reduce %v != broadcast %v", r, b)
+	}
+}
+
+func TestAllToAllPersonalized(t *testing.T) {
+	p := Params{L: 10, O: 2, G: 0, P: 5}
+	// o + 3·max(g,o) + L + o = 2 + 6 + 10 + 2 = 20.
+	got, err := p.AllToAllPersonalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 20 {
+		t.Errorf("AllToAll = %v, want 20", got)
+	}
+	if v, _ := (Params{L: 10, O: 2, P: 1}).AllToAllPersonalized(); v != 0 {
+		t.Errorf("P=1 all-to-all = %v, want 0", v)
+	}
+}
+
+func TestMaxInFlight(t *testing.T) {
+	if got := (Params{L: 10, G: 3}).MaxInFlight(); got != 4 {
+		t.Errorf("MaxInFlight = %v, want ceil(10/3) = 4", got)
+	}
+	if got := (Params{L: 9, G: 3}).MaxInFlight(); got != 3 {
+		t.Errorf("MaxInFlight = %v, want 3", got)
+	}
+	if got := (Params{L: 10, G: 0}).MaxInFlight(); got != 0 {
+		t.Errorf("MaxInFlight with g=0 = %v, want 0 (unconstrained)", got)
+	}
+}
+
+func TestScatterGather(t *testing.T) {
+	p := Params{L: 10, O: 2, G: 0, P: 5}
+	s, err := p.Scatter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// o + 3·o + L + o = 2 + 6 + 10 + 2 = 20.
+	if s != 20 {
+		t.Errorf("Scatter = %v, want 20", s)
+	}
+	g, err := p.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != s {
+		t.Errorf("Gather %v != Scatter %v", g, s)
+	}
+	if v, _ := (Params{L: 10, O: 2, P: 1}).Scatter(); v != 0 {
+		t.Errorf("P=1 scatter = %v", v)
+	}
+	if _, err := (Params{L: -1, O: 2, P: 4}).Scatter(); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestScatterSlowerThanBroadcastAtScale(t *testing.T) {
+	// Scatter is serial in the root; broadcast parallelizes. For large
+	// P broadcast wins decisively.
+	p := Params{L: 10, O: 2, G: 0, P: 64}
+	s, _ := p.Scatter()
+	b, _, _ := p.Broadcast()
+	if b >= s {
+		t.Errorf("broadcast %v not faster than scatter %v at P=64", b, s)
+	}
+}

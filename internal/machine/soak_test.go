@@ -1,0 +1,43 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// TestSoakMillionsOfEvents is a long-run stability check: a 64-node
+// machine processing several million events must complete, keep its
+// statistics consistent, and never let the handler queue integrate
+// negatively.
+func TestSoakMillionsOfEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const p = 64
+	m := New(Config{P: p, NetLatency: dist.NewExponential(30), Seed: 31})
+	for i := 0; i < p; i++ {
+		m.SetProgram(i, newPing(120, dist.NewExponential(90), 6000, func(m *Machine, self int) int {
+			d := m.Rand(self).Intn(p - 1)
+			if d >= self {
+				d++
+			}
+			return d
+		}))
+	}
+	m.Start()
+	m.Run()
+	if m.Halted() != p {
+		t.Fatalf("halted %d of %d threads", m.Halted(), p)
+	}
+	if m.Engine().Processed() < 1_000_000 {
+		t.Fatalf("processed only %d events", m.Engine().Processed())
+	}
+	s := m.Stats()
+	if s.ReqQueue < 0 || s.RepQueue < 0 || s.UtilReq < 0 || s.UtilReq > 1 {
+		t.Fatalf("inconsistent aggregate stats: %+v", s)
+	}
+	if s.ReqArrivals != int64(p*6000) {
+		t.Fatalf("request arrivals %d, want %d", s.ReqArrivals, p*6000)
+	}
+}

@@ -1,0 +1,110 @@
+package mva_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mva"
+)
+
+// TestGeneralLoPCIsMulticlassBard pins the structural identity behind
+// the model's §4 citations: on a client-server pattern (no handler
+// interference at clients, exponential handlers) the Appendix A LoPC
+// equations reduce exactly to multiclass Bard MVA. The two solvers are
+// implemented independently (fixed point on per-thread cycle times vs
+// fixed point on per-class queue vectors), so digit-level agreement is
+// a strong correctness check on both.
+func TestGeneralLoPCIsMulticlassBard(t *testing.T) {
+	const (
+		p  = 24
+		ps = 3
+		so = 131.0
+		st = 40.0
+	)
+	pc := p - ps
+	nLight := pc / 2
+	nHeavy := pc - nLight
+	const (
+		wLight = 700.0
+		wHeavy = 2100.0
+	)
+
+	ws := make([]float64, p)
+	for i := 0; i < pc; i++ {
+		if i < nLight {
+			ws[i] = wLight
+		} else {
+			ws[i] = wHeavy
+		}
+	}
+	gen, err := core.General(core.GeneralParams{
+		P: p, W: ws, V: core.ClientServerVisits(pc, ps),
+		St: st, So: []float64{so}, C2: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	genX := [2]float64{}
+	for i := 0; i < pc; i++ {
+		if i < nLight {
+			genX[0] += gen.X[i]
+		} else {
+			genX[1] += gen.X[i]
+		}
+	}
+
+	mp, err := mva.MultiWorkpileNetwork([]int{nLight, nHeavy}, ps, []float64{wLight, wHeavy}, st, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bard, err := mva.MultiBard(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 2; c++ {
+		if rel := math.Abs(genX[c]-bard.X[c]) / bard.X[c]; rel > 1e-8 {
+			t.Errorf("class %d: general LoPC X %v vs multiclass Bard %v (rel %v)",
+				c, genX[c], bard.X[c], rel)
+		}
+	}
+
+	// The per-class cycle times agree too: CycleTime[c] = N_c/X_c is
+	// the per-customer cycle, since X_c is the class-aggregate rate.
+	for c, first := range []int{0, nLight} {
+		if rel := math.Abs(gen.R[first]-bard.CycleTime[c]) / bard.CycleTime[c]; rel > 1e-8 {
+			t.Errorf("class %d: general cycle %v vs Bard %v", c, gen.R[first], bard.CycleTime[c])
+		}
+	}
+}
+
+// TestGeneralLoPCBardSingleClass is the same identity in the
+// single-class case against the scalar Bard solver.
+func TestGeneralLoPCBardSingleClass(t *testing.T) {
+	const (
+		p  = 20
+		ps = 4
+		w  = 1200.0
+		so = 100.0
+		st = 30.0
+	)
+	pc := p - ps
+	ws := make([]float64, p)
+	for i := 0; i < pc; i++ {
+		ws[i] = w
+	}
+	gen, err := core.General(core.GeneralParams{
+		P: p, W: ws, V: core.ClientServerVisits(pc, ps),
+		St: st, So: []float64{so}, C2: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bard, err := mva.Bard(mva.WorkpileNetwork(pc, ps, w, st, so), pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(gen.TotalX-bard.X) / bard.X; rel > 1e-8 {
+		t.Errorf("general X %v vs Bard X %v (rel %v)", gen.TotalX, bard.X, rel)
+	}
+}

@@ -1,0 +1,227 @@
+package mva
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func twoClassParams() MultiParams {
+	p, err := MultiWorkpileNetwork([]int{10, 10}, 3, []float64{800, 2400}, 40, 131)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestMultiValidate(t *testing.T) {
+	bad := []MultiParams{
+		{},
+		{Centers: []Center{{Kind: Delay}}, Demand: [][]float64{{1}}, N: []int{1, 2}},
+		{Centers: []Center{{Kind: Delay}}, Demand: [][]float64{{1, 2}}, N: []int{1}},
+		{Centers: []Center{{Kind: Delay}}, Demand: [][]float64{{-1}}, N: []int{1}},
+		{Centers: []Center{{Kind: Delay}}, Demand: [][]float64{{1}}, N: []int{-1}},
+	}
+	for i, p := range bad {
+		if _, err := MultiExact(p); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+// TestMultiExactReducesToSingleClass: one class must reproduce the
+// single-class exact solver.
+func TestMultiExactReducesToSingleClass(t *testing.T) {
+	centers := WorkpileNetwork(20, 3, 1500, 40, 131)
+	single, err := Exact(centers, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand := make([]float64, len(centers))
+	for k, c := range centers {
+		demand[k] = c.Demand
+	}
+	multi, err := MultiExact(MultiParams{
+		Centers: centers,
+		Demand:  [][]float64{demand},
+		N:       []int{20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(multi.X[0]-single.X) > 1e-9 {
+		t.Errorf("multi X %v != single X %v", multi.X[0], single.X)
+	}
+	for k := range centers {
+		if math.Abs(multi.QTotal[k]-single.Q[k]) > 1e-9 {
+			t.Errorf("center %d: multi Q %v != single Q %v", k, multi.QTotal[k], single.Q[k])
+		}
+	}
+}
+
+// TestMultiExactSymmetricClassesMergeToOne: two identical classes of n
+// customers behave exactly like one class of 2n.
+func TestMultiExactSymmetricClassesMergeToOne(t *testing.T) {
+	centers := WorkpileNetwork(20, 2, 1000, 40, 100)
+	demand := make([]float64, len(centers))
+	for k, c := range centers {
+		demand[k] = c.Demand
+	}
+	single, err := Exact(centers, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := MultiExact(MultiParams{
+		Centers: centers,
+		Demand:  [][]float64{demand, demand},
+		N:       []int{10, 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(multi.X[0]+multi.X[1]-single.X) > 1e-9 {
+		t.Errorf("summed class throughput %v != merged %v", multi.X[0]+multi.X[1], single.X)
+	}
+	if math.Abs(multi.X[0]-multi.X[1]) > 1e-9 {
+		t.Errorf("identical classes have different throughputs: %v vs %v", multi.X[0], multi.X[1])
+	}
+}
+
+// TestMultiLittleLaw: Σ_k Q[c][k] = N[c] for every class, under every
+// solver.
+func TestMultiLittleLaw(t *testing.T) {
+	p := twoClassParams()
+	for name, solve := range map[string]func(MultiParams) (MultiResult, error){
+		"exact": MultiExact, "bard": MultiBard, "schweitzer": MultiSchweitzer,
+	} {
+		res, err := solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for c := range p.N {
+			sum := 0.0
+			for k := range p.Centers {
+				sum += res.Q[c][k]
+				if d := res.Q[c][k] - res.X[c]*res.R[c][k]; math.Abs(d) > 1e-6 {
+					t.Errorf("%s: class %d center %d: Q != X·R (diff %v)", name, c, k, d)
+				}
+			}
+			if math.Abs(sum-float64(p.N[c])) > 1e-6 {
+				t.Errorf("%s: class %d population %v, want %d", name, c, sum, p.N[c])
+			}
+		}
+	}
+}
+
+// TestMultiClassOrdering: the class with less work per chunk cycles
+// faster.
+func TestMultiClassOrdering(t *testing.T) {
+	res, err := MultiExact(twoClassParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class 0 has W=800, class 1 W=2400; same populations.
+	if res.X[0] <= res.X[1] {
+		t.Errorf("light class X %v not above heavy class X %v", res.X[0], res.X[1])
+	}
+	if res.CycleTime[0] >= res.CycleTime[1] {
+		t.Errorf("light class cycle %v not below heavy %v", res.CycleTime[0], res.CycleTime[1])
+	}
+}
+
+// TestMultiBardConservative: Bard's throughput sits at or below exact,
+// Schweitzer between.
+func TestMultiBardConservative(t *testing.T) {
+	p := twoClassParams()
+	exact, err := MultiExact(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bard, err := MultiBard(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schw, err := MultiSchweitzer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range p.N {
+		if bard.X[c] > exact.X[c]+1e-9 {
+			t.Errorf("class %d: Bard X %v above exact %v", c, bard.X[c], exact.X[c])
+		}
+		if !(bard.X[c] <= schw.X[c]+1e-9 && schw.X[c] <= exact.X[c]+1e-9) {
+			t.Errorf("class %d ordering violated: %v / %v / %v", c, bard.X[c], schw.X[c], exact.X[c])
+		}
+	}
+}
+
+// TestMultiLittleLawProperty: random two-class networks satisfy the
+// population constraint under the exact solver.
+func TestMultiLittleLawProperty(t *testing.T) {
+	f := func(w1, w2 uint8, n1, n2, psRaw uint8) bool {
+		ps := int(psRaw%4) + 1
+		p, err := MultiWorkpileNetwork(
+			[]int{int(n1%8) + 1, int(n2%8) + 1}, ps,
+			[]float64{100 + float64(w1)*10, 100 + float64(w2)*10}, 20, 80)
+		if err != nil {
+			return false
+		}
+		res, err := MultiExact(p)
+		if err != nil {
+			return false
+		}
+		for c := range p.N {
+			sum := 0.0
+			for k := range p.Centers {
+				sum += res.Q[c][k]
+			}
+			if math.Abs(sum-float64(p.N[c])) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiExactStateLimit(t *testing.T) {
+	p, err := MultiWorkpileNetwork([]int{3000, 3000}, 2, []float64{100, 200}, 10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MultiExact(p); err == nil {
+		t.Error("state-space explosion not rejected")
+	}
+	// The approximations handle it fine.
+	if _, err := MultiBard(p); err != nil {
+		t.Errorf("Bard failed on large population: %v", err)
+	}
+}
+
+func TestMultiZeroPopulationClass(t *testing.T) {
+	p, err := MultiWorkpileNetwork([]int{10, 0}, 2, []float64{500, 900}, 10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MultiExact(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[1] != 0 {
+		t.Errorf("empty class throughput %v", res.X[1])
+	}
+	if res.X[0] <= 0 {
+		t.Errorf("non-empty class throughput %v", res.X[0])
+	}
+}
+
+func TestMultiWorkpileNetworkValidation(t *testing.T) {
+	if _, err := MultiWorkpileNetwork([]int{1}, 2, []float64{1, 2}, 1, 1); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := MultiWorkpileNetwork([]int{1}, 0, []float64{1}, 1, 1); err == nil {
+		t.Error("ps = 0 accepted")
+	}
+}

@@ -1,0 +1,224 @@
+// Package mva implements single-class closed queueing network analysis
+// by mean value analysis: the exact MVA recursion and the two standard
+// approximations, Bard's (used by the LoPC paper) and Schweitzer's.
+//
+// The LoPC model (internal/core) bakes Bard's approximation into its
+// equations because it yields the paper's closed forms and rules of
+// thumb. This package provides the reference solvers those
+// approximations shortcut, so the ablation experiments can quantify
+// what the simplification costs. The client-server work-pile maps
+// directly onto a closed network (a delay center for the clients' work
+// and round trips, plus one queueing center per server); exact MVA for
+// it is the ground truth Bard approximates.
+//
+// The solvers follow Reiser & Lavenberg (exact MVA) and Lazowska et
+// al., "Quantitative System Performance", chs. 6–7 (approximations).
+package mva
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind classifies a service center.
+type Kind int
+
+const (
+	// Queueing is a single-server FCFS/PS center: customers queue.
+	Queueing Kind = iota
+	// Delay is an infinite-server center: customers never queue (think
+	// time, network latency, dedicated per-customer resources).
+	Delay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Queueing:
+		return "queueing"
+	case Delay:
+		return "delay"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Center is one service center of the network. Demand is the total
+// service demand per customer cycle: visit count times service time per
+// visit.
+type Center struct {
+	Name   string
+	Kind   Kind
+	Demand float64
+}
+
+// Result is the steady-state solution of a closed network with N
+// customers.
+type Result struct {
+	// X is the system throughput (customer cycles per unit time).
+	X float64
+	// CycleTime is N/X, the mean time around the network.
+	CycleTime float64
+	// R[k] is the residence time at center k per cycle (queueing plus
+	// service, summed over the cycle's visits).
+	R []float64
+	// Q[k] is the mean number of customers at center k.
+	Q []float64
+	// U[k] is the utilization of center k (demand flow; may exceed 1
+	// only for Delay centers, where it is the mean population).
+	U []float64
+}
+
+func validate(centers []Center, n int) error {
+	if len(centers) == 0 {
+		return fmt.Errorf("mva: no service centers")
+	}
+	if n < 0 {
+		return fmt.Errorf("mva: negative population %d", n)
+	}
+	for i, c := range centers {
+		if c.Demand < 0 || math.IsNaN(c.Demand) {
+			return fmt.Errorf("mva: center %d (%s) has demand %v", i, c.Name, c.Demand)
+		}
+	}
+	return nil
+}
+
+// finish computes throughput, queue lengths and utilizations from
+// residence times.
+func finish(centers []Center, n int, r []float64) Result {
+	total := 0.0
+	for _, rk := range r {
+		total += rk
+	}
+	res := Result{
+		R: r,
+		Q: make([]float64, len(centers)),
+		U: make([]float64, len(centers)),
+	}
+	if total > 0 && n > 0 {
+		res.X = float64(n) / total
+	}
+	res.CycleTime = total
+	for k := range centers {
+		res.Q[k] = res.X * r[k]
+		res.U[k] = res.X * centers[k].Demand
+	}
+	return res
+}
+
+// Exact solves the network by the exact MVA recursion on population:
+//
+//	R_k(n) = D_k · (1 + Q_k(n−1))   (queueing centers)
+//	R_k(n) = D_k                     (delay centers)
+//	X(n)   = n / Σ_k R_k(n),  Q_k(n) = X(n)·R_k(n)
+//
+// Complexity O(n·K); exact for product-form networks.
+func Exact(centers []Center, n int) (Result, error) {
+	if err := validate(centers, n); err != nil {
+		return Result{}, err
+	}
+	k := len(centers)
+	q := make([]float64, k) // Q at population i-1
+	r := make([]float64, k)
+	for i := 1; i <= n; i++ {
+		total := 0.0
+		for j, c := range centers {
+			if c.Kind == Delay {
+				r[j] = c.Demand
+			} else {
+				r[j] = c.Demand * (1 + q[j])
+			}
+			total += r[j]
+		}
+		x := float64(i) / total
+		for j := range centers {
+			q[j] = x * r[j]
+		}
+	}
+	if n == 0 {
+		return finish(centers, 0, make([]float64, k)), nil
+	}
+	return finish(centers, n, r), nil
+}
+
+// approximate runs the fixed-point AMVA with the given arrival-queue
+// estimator: est(qk, n) is the queue length an arriving customer is
+// assumed to see at a queueing center, given the time-average queue qk
+// with the full population n.
+func approximate(centers []Center, n int, est func(q float64, n int) float64) (Result, error) {
+	if err := validate(centers, n); err != nil {
+		return Result{}, err
+	}
+	if n == 0 {
+		return finish(centers, 0, make([]float64, len(centers))), nil
+	}
+	k := len(centers)
+	q := make([]float64, k)
+	// Start from an even split of the population.
+	for j := range q {
+		q[j] = float64(n) / float64(k)
+	}
+	r := make([]float64, k)
+	const (
+		maxIter = 100000
+		tol     = 1e-12
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		total := 0.0
+		for j, c := range centers {
+			if c.Kind == Delay {
+				r[j] = c.Demand
+			} else {
+				r[j] = c.Demand * (1 + est(q[j], n))
+			}
+			total += r[j]
+		}
+		x := float64(n) / total
+		delta := 0.0
+		for j := range centers {
+			nq := x * r[j]
+			delta = math.Max(delta, math.Abs(nq-q[j]))
+			q[j] = nq
+		}
+		if delta < tol {
+			return finish(centers, n, r), nil
+		}
+	}
+	return Result{}, fmt.Errorf("mva: approximation did not converge for n=%d", n)
+}
+
+// Bard solves the network with Bard's approximation to the arrival
+// theorem: an arriving customer sees the time-average queue with the
+// full population N. This is the approximation the LoPC model uses; it
+// slightly over-estimates queue lengths and response times, with the
+// error vanishing as N grows.
+func Bard(centers []Center, n int) (Result, error) {
+	return approximate(centers, n, func(q float64, _ int) float64 { return q })
+}
+
+// Schweitzer solves the network with Schweitzer's approximation: an
+// arriving customer sees (N−1)/N of the time-average queue. It is
+// usually more accurate than Bard at small populations.
+func Schweitzer(centers []Center, n int) (Result, error) {
+	return approximate(centers, n, func(q float64, n int) float64 {
+		return q * float64(n-1) / float64(n)
+	})
+}
+
+// WorkpileNetwork builds the closed network of the Chapter 6 work-pile:
+// pc client customers cycle through a delay center (their own chunk
+// work, two network trips, and the reply handler — none of which they
+// queue for) and ps identical queueing centers (the servers), each
+// visited with probability 1/ps and holding the request for so cycles.
+func WorkpileNetwork(pc, ps int, w, st, so float64) []Center {
+	centers := make([]Center, 0, ps+1)
+	centers = append(centers, Center{
+		Name: "client+net", Kind: Delay, Demand: w + 2*st + so,
+	})
+	for i := 0; i < ps; i++ {
+		centers = append(centers, Center{
+			Name: fmt.Sprintf("server%d", i), Kind: Queueing, Demand: so / float64(ps),
+		})
+	}
+	return centers
+}

@@ -1,0 +1,243 @@
+package mva
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := Exact(nil, 5); err == nil {
+		t.Error("empty network accepted")
+	}
+	if _, err := Exact([]Center{{Demand: -1}}, 5); err == nil {
+		t.Error("negative demand accepted")
+	}
+	if _, err := Exact([]Center{{Demand: 1}}, -1); err == nil {
+		t.Error("negative population accepted")
+	}
+	if _, err := Bard([]Center{{Demand: math.NaN()}}, 1); err == nil {
+		t.Error("NaN demand accepted")
+	}
+}
+
+func TestZeroPopulation(t *testing.T) {
+	res, err := Exact([]Center{{Kind: Queueing, Demand: 2}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X != 0 || res.Q[0] != 0 {
+		t.Errorf("zero population gave X=%v Q=%v", res.X, res.Q[0])
+	}
+}
+
+// TestSingleCustomer: with one customer there is never queueing, so the
+// cycle time is the total demand for every solver.
+func TestSingleCustomer(t *testing.T) {
+	centers := []Center{
+		{Kind: Delay, Demand: 100},
+		{Kind: Queueing, Demand: 30},
+		{Kind: Queueing, Demand: 20},
+	}
+	// Exact and Schweitzer see an empty queue with one customer;
+	// Bard's arriving customer sees the time-average queue, which
+	// includes itself, so Bard over-estimates even at n = 1 — that is
+	// the approximation the paper accepts for its closed forms.
+	for name, solve := range map[string]func([]Center, int) (Result, error){
+		"exact": Exact, "schweitzer": Schweitzer,
+	} {
+		res, err := solve(centers, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(res.CycleTime-150) > 1e-9 {
+			t.Errorf("%s: cycle time %v, want 150", name, res.CycleTime)
+		}
+		if math.Abs(res.X-1.0/150) > 1e-12 {
+			t.Errorf("%s: X = %v, want 1/150", name, res.X)
+		}
+	}
+	bard, err := Bard(centers, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bard.CycleTime <= 150 {
+		t.Errorf("Bard cycle time %v, expected above the contention-free 150", bard.CycleTime)
+	}
+}
+
+// TestExactTwoCustomersByHand verifies the recursion against a hand
+// computation: one queueing center D=1, one delay center D=1.
+func TestExactTwoCustomersByHand(t *testing.T) {
+	centers := []Center{
+		{Kind: Queueing, Demand: 1},
+		{Kind: Delay, Demand: 1},
+	}
+	// n=1: R = [1, 1], X = 1/2, Q = [1/2, 1/2].
+	// n=2: Rq = 1·(1+1/2) = 1.5, Rd = 1, X = 2/2.5 = 0.8, Qq = 1.2.
+	res, err := Exact(centers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.R[0]-1.5) > 1e-12 || math.Abs(res.R[1]-1) > 1e-12 {
+		t.Errorf("R = %v, want [1.5 1]", res.R)
+	}
+	if math.Abs(res.X-0.8) > 1e-12 {
+		t.Errorf("X = %v, want 0.8", res.X)
+	}
+	if math.Abs(res.Q[0]-1.2) > 1e-12 {
+		t.Errorf("Q = %v, want [1.2 0.8]", res.Q)
+	}
+}
+
+// TestLittleLawInvariant: for every solver, N = Σ Q and Q_k = X·R_k.
+func TestLittleLawInvariant(t *testing.T) {
+	f := func(d1, d2, d3 uint8, nRaw uint8) bool {
+		centers := []Center{
+			{Kind: Delay, Demand: 1 + float64(d1%100)},
+			{Kind: Queueing, Demand: 1 + float64(d2%50)},
+			{Kind: Queueing, Demand: 1 + float64(d3%50)},
+		}
+		n := int(nRaw%20) + 1
+		for _, solve := range []func([]Center, int) (Result, error){Exact, Bard, Schweitzer} {
+			res, err := solve(centers, n)
+			if err != nil {
+				return false
+			}
+			sum := 0.0
+			for k := range centers {
+				if math.Abs(res.Q[k]-res.X*res.R[k]) > 1e-6 {
+					return false
+				}
+				sum += res.Q[k]
+			}
+			if math.Abs(sum-float64(n)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsymptoticBounds: X(n) ≤ min(1/Dmax, n/ΣD), and approaches the
+// bottleneck bound for large n (Lazowska et al. ch. 5).
+func TestAsymptoticBounds(t *testing.T) {
+	centers := []Center{
+		{Kind: Delay, Demand: 50},
+		{Kind: Queueing, Demand: 10},
+		{Kind: Queueing, Demand: 5},
+	}
+	totalD := 65.0
+	for _, n := range []int{1, 2, 5, 10, 50} {
+		res, err := Exact(centers, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := math.Min(1.0/10, float64(n)/totalD)
+		if res.X > bound+1e-9 {
+			t.Errorf("n=%d: X = %v exceeds bound %v", n, res.X, bound)
+		}
+	}
+	res, _ := Exact(centers, 100)
+	if res.X < 0.99/10 {
+		t.Errorf("large-n throughput %v does not approach bottleneck bound 0.1", res.X)
+	}
+}
+
+// TestBardOverestimatesExact: Bard's arrival queue includes the arriving
+// customer, so its response times exceed exact MVA's and its throughput
+// is below (the direction of error the paper relies on).
+func TestBardOverestimatesExact(t *testing.T) {
+	centers := WorkpileNetwork(29, 3, 1500, 40, 131)
+	for _, n := range []int{5, 15, 29} {
+		exact, err := Exact(centers, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bard, err := Bard(centers, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bard.X > exact.X+1e-9 {
+			t.Errorf("n=%d: Bard X %v above exact %v", n, bard.X, exact.X)
+		}
+		if bard.CycleTime < exact.CycleTime-1e-9 {
+			t.Errorf("n=%d: Bard cycle %v below exact %v", n, bard.CycleTime, exact.CycleTime)
+		}
+	}
+}
+
+// TestSchweitzerBetweenBardAndExact: Schweitzer's (n−1)/n correction
+// sits between Bard and exact for these networks.
+func TestSchweitzerBetweenBardAndExact(t *testing.T) {
+	centers := WorkpileNetwork(29, 3, 1500, 40, 131)
+	exact, _ := Exact(centers, 29)
+	bard, _ := Bard(centers, 29)
+	schw, _ := Schweitzer(centers, 29)
+	if !(bard.X <= schw.X+1e-9 && schw.X <= exact.X+1e-9) {
+		t.Errorf("ordering violated: bard %v, schweitzer %v, exact %v", bard.X, schw.X, exact.X)
+	}
+}
+
+// TestApproximationErrorShrinksWithN: Bard's relative throughput error
+// vs exact decreases as the population grows.
+func TestApproximationErrorShrinksWithN(t *testing.T) {
+	centers := []Center{
+		{Kind: Delay, Demand: 500},
+		{Kind: Queueing, Demand: 100},
+	}
+	relErr := func(n int) float64 {
+		exact, _ := Exact(centers, n)
+		bard, _ := Bard(centers, n)
+		return math.Abs(bard.X-exact.X) / exact.X
+	}
+	// The error is not monotone at tiny populations, but it must decay
+	// asymptotically (Bard's stated property).
+	e8, e64, e256 := relErr(8), relErr(64), relErr(256)
+	if e64 >= e8 {
+		t.Errorf("Bard error did not shrink: %v at n=8, %v at n=64", e8, e64)
+	}
+	if e256 >= e64 {
+		t.Errorf("Bard error did not shrink: %v at n=64, %v at n=256", e64, e256)
+	}
+	if e256 > 0.02 {
+		t.Errorf("Bard error at n=256 still %v", e256)
+	}
+}
+
+func TestWorkpileNetworkShape(t *testing.T) {
+	centers := WorkpileNetwork(29, 3, 1500, 40, 131)
+	if len(centers) != 4 {
+		t.Fatalf("centers = %d, want 4", len(centers))
+	}
+	if centers[0].Kind != Delay || math.Abs(centers[0].Demand-(1500+80+131)) > 1e-9 {
+		t.Errorf("delay center wrong: %+v", centers[0])
+	}
+	for _, c := range centers[1:] {
+		if c.Kind != Queueing || math.Abs(c.Demand-131.0/3) > 1e-9 {
+			t.Errorf("server center wrong: %+v", c)
+		}
+	}
+}
+
+// TestWorkpileExactMatchesBalancedIntuition: with one server the
+// bottleneck bound is 1/So; exact MVA at large Pc should approach it.
+func TestWorkpileExactSaturation(t *testing.T) {
+	centers := WorkpileNetwork(64, 1, 500, 10, 100)
+	res, err := Exact(centers, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X < 0.95/100 || res.X > 1.0/100+1e-9 {
+		t.Errorf("saturated throughput %v, want just below 0.01", res.X)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Queueing.String() != "queueing" || Delay.String() != "delay" || Kind(7).String() == "" {
+		t.Error("Kind.String wrong")
+	}
+}

@@ -1,0 +1,145 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NelderMeadOpts controls the downhill-simplex minimizer.
+type NelderMeadOpts struct {
+	// Tol is the convergence tolerance on the simplex's function-value
+	// spread.
+	Tol float64
+	// XTol is the convergence tolerance on the simplex's diameter.
+	// Both criteria must hold: vertices straddling a symmetric minimum
+	// can have equal values while still far from it.
+	XTol float64
+	// MaxIter bounds the number of reflection steps.
+	MaxIter int
+	// Scale sets the initial simplex size relative to |x0| (plus an
+	// absolute floor of Scale itself).
+	Scale float64
+}
+
+// DefaultNelderMeadOpts suit the low-dimensional calibration problems
+// in this repository.
+func DefaultNelderMeadOpts() NelderMeadOpts {
+	return NelderMeadOpts{Tol: 1e-10, XTol: 1e-8, MaxIter: 20000, Scale: 0.1}
+}
+
+// NelderMead minimizes f starting from x0 using the Nelder–Mead
+// downhill simplex method, returning the best point found and its
+// value. It is derivative-free, which suits objectives defined through
+// the model solvers.
+func NelderMead(f func([]float64) float64, x0 []float64, opts NelderMeadOpts) ([]float64, float64, error) {
+	n := len(x0)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("numeric: NelderMead needs at least one dimension")
+	}
+	if opts.Tol <= 0 || opts.XTol <= 0 || opts.MaxIter <= 0 || opts.Scale <= 0 {
+		return nil, 0, fmt.Errorf("numeric: invalid NelderMead options %+v", opts)
+	}
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	eval := func(x []float64) float64 {
+		v := f(x)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+	simplex := make([]vertex, n+1)
+	simplex[0] = vertex{append([]float64(nil), x0...), eval(x0)}
+	for i := 0; i < n; i++ {
+		x := append([]float64(nil), x0...)
+		step := opts.Scale * (math.Abs(x[i]) + 1)
+		x[i] += step
+		simplex[i+1] = vertex{x, eval(x)}
+	}
+
+	const (
+		alpha       = 1.0 // reflection
+		gamma       = 2.0 // expansion
+		rho         = 0.5 // contraction
+		sigmaShrink = 0.5 // shrink
+	)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+		best, worst := simplex[0], simplex[n]
+		if math.Abs(worst.f-best.f) <= opts.Tol*(1+math.Abs(best.f)) {
+			diam := 0.0
+			for _, v := range simplex[1:] {
+				for k := range v.x {
+					diam = math.Max(diam, math.Abs(v.x[k]-best.x[k]))
+				}
+			}
+			if diam <= opts.XTol*(1+norm1(best.x)) {
+				return best.x, best.f, nil
+			}
+			// Equal values across a still-large simplex: shrink toward
+			// the best vertex and keep going.
+			for i := 1; i <= n; i++ {
+				for k := range simplex[i].x {
+					simplex[i].x[k] = best.x[k] + sigmaShrink*(simplex[i].x[k]-best.x[k])
+				}
+				simplex[i].f = eval(simplex[i].x)
+			}
+			continue
+		}
+		// Centroid of all but the worst.
+		centroid := make([]float64, n)
+		for _, v := range simplex[:n] {
+			for k := range centroid {
+				centroid[k] += v.x[k] / float64(n)
+			}
+		}
+		point := func(coef float64) []float64 {
+			x := make([]float64, n)
+			for k := range x {
+				x[k] = centroid[k] + coef*(centroid[k]-worst.x[k])
+			}
+			return x
+		}
+		refl := point(alpha)
+		fRefl := eval(refl)
+		switch {
+		case fRefl < best.f:
+			exp := point(gamma)
+			if fExp := eval(exp); fExp < fRefl {
+				simplex[n] = vertex{exp, fExp}
+			} else {
+				simplex[n] = vertex{refl, fRefl}
+			}
+		case fRefl < simplex[n-1].f:
+			simplex[n] = vertex{refl, fRefl}
+		default:
+			contr := point(-rho)
+			if fContr := eval(contr); fContr < worst.f {
+				simplex[n] = vertex{contr, fContr}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					for k := range simplex[i].x {
+						simplex[i].x[k] = best.x[k] + sigmaShrink*(simplex[i].x[k]-best.x[k])
+					}
+					simplex[i].f = eval(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+	return simplex[0].x, simplex[0].f, ErrNoConvergence
+}
+
+// norm1 returns the L∞-ish magnitude used for relative tolerances.
+func norm1(x []float64) float64 {
+	m := 0.0
+	for _, v := range x {
+		m = math.Max(m, math.Abs(v))
+	}
+	return m
+}

@@ -1,0 +1,76 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	// f(x, y) = (x-3)² + (y+2)², minimum at (3, -2).
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + (x[1]+2)*(x[1]+2)
+	}
+	x, v, err := NelderMead(f, []float64{0, 0}, DefaultNelderMeadOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-4 || math.Abs(x[1]+2) > 1e-4 {
+		t.Errorf("minimum at %v, want (3, -2)", x)
+	}
+	if v > 1e-6 {
+		t.Errorf("minimum value %v", v)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	// The classic banana function, minimum at (1, 1).
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	x, _, err := NelderMead(f, []float64{-1.2, 1}, DefaultNelderMeadOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-3 || math.Abs(x[1]-1) > 1e-3 {
+		t.Errorf("minimum at %v, want (1, 1)", x)
+	}
+}
+
+func TestNelderMead1D(t *testing.T) {
+	f := func(x []float64) float64 { return math.Cosh(x[0] - 5) }
+	x, _, err := NelderMead(f, []float64{0}, DefaultNelderMeadOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-5) > 1e-4 {
+		t.Errorf("minimum at %v, want 5", x[0])
+	}
+}
+
+func TestNelderMeadNaNObjective(t *testing.T) {
+	// NaN regions are treated as +Inf and avoided.
+	f := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.NaN()
+		}
+		return (x[0] - 2) * (x[0] - 2)
+	}
+	x, _, err := NelderMead(f, []float64{1}, DefaultNelderMeadOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-4 {
+		t.Errorf("minimum at %v, want 2", x[0])
+	}
+}
+
+func TestNelderMeadInvalidInput(t *testing.T) {
+	if _, _, err := NelderMead(func([]float64) float64 { return 0 }, nil, DefaultNelderMeadOpts()); err == nil {
+		t.Error("empty x0 accepted")
+	}
+	if _, _, err := NelderMead(func([]float64) float64 { return 0 }, []float64{1}, NelderMeadOpts{}); err == nil {
+		t.Error("zero options accepted")
+	}
+}

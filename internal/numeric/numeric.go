@@ -1,0 +1,190 @@
+// Package numeric provides the small set of numerical routines the LoPC
+// solvers need: damped fixed-point iteration (for the AMVA equation
+// systems), bracketing bisection and Newton's method (for the bound
+// derivation of §5.3), and polynomial utilities (the homogeneous model
+// reduces to a quartic; we solve it by iteration but expose the
+// polynomial machinery for verification).
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoConvergence is returned when an iterative method exhausts its
+// iteration budget without meeting its tolerance.
+var ErrNoConvergence = errors.New("numeric: iteration did not converge")
+
+// FixedPointOpts controls FixedPoint.
+type FixedPointOpts struct {
+	// Tol is the absolute convergence tolerance on |x' - x|.
+	Tol float64
+	// MaxIter bounds the number of iterations.
+	MaxIter int
+	// Damping in (0, 1] blends each update: x <- (1-d)x + d·f(x).
+	// 1 means undamped. AMVA systems occasionally oscillate at high
+	// utilization; mild damping keeps them contractive.
+	Damping float64
+}
+
+// DefaultFixedPointOpts are suitable for all the model systems in this
+// repository: they converge in tens of iterations at the paper's
+// parameter ranges.
+func DefaultFixedPointOpts() FixedPointOpts {
+	return FixedPointOpts{Tol: 1e-10, MaxIter: 100000, Damping: 0.5}
+}
+
+// FixedPoint iterates x <- (1-d)x + d·f(x) from x0 until successive
+// iterates differ by at most Tol, returning the fixed point.
+func FixedPoint(f func(float64) float64, x0 float64, opts FixedPointOpts) (float64, error) {
+	if opts.Tol <= 0 || opts.MaxIter <= 0 || opts.Damping <= 0 || opts.Damping > 1 {
+		return 0, fmt.Errorf("numeric: invalid fixed point options %+v", opts)
+	}
+	x := x0
+	for i := 0; i < opts.MaxIter; i++ {
+		fx := f(x)
+		if math.IsNaN(fx) || math.IsInf(fx, 0) {
+			return 0, fmt.Errorf("numeric: fixed point map returned %v at x=%v", fx, x)
+		}
+		next := (1-opts.Damping)*x + opts.Damping*fx
+		if math.Abs(next-x) <= opts.Tol*(1+math.Abs(next)) {
+			return next, nil
+		}
+		x = next
+	}
+	return x, ErrNoConvergence
+}
+
+// Bisect finds a root of f on [lo, hi], where f(lo) and f(hi) must have
+// opposite signs (or one of them be zero). It returns a point where |hi
+// - lo| has shrunk below tol.
+func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if flo*fhi > 0 {
+		return 0, fmt.Errorf("numeric: Bisect endpoints do not bracket a root: f(%v)=%v, f(%v)=%v", lo, flo, hi, fhi)
+	}
+	for i := 0; i < 200 && hi-lo > tol; i++ {
+		mid := lo + (hi-lo)/2
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if flo*fm < 0 {
+			hi = mid
+		} else {
+			lo, flo = mid, fm
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// Newton finds a root of f starting at x0 using derivatives estimated by
+// central differences. It falls back on returning ErrNoConvergence if
+// the iteration stalls; callers needing guarantees should use Bisect.
+func Newton(f func(float64) float64, x0, tol float64, maxIter int) (float64, error) {
+	x := x0
+	for i := 0; i < maxIter; i++ {
+		fx := f(x)
+		if math.Abs(fx) <= tol {
+			return x, nil
+		}
+		h := 1e-6 * (1 + math.Abs(x))
+		d := (f(x+h) - f(x-h)) / (2 * h)
+		if d == 0 || math.IsNaN(d) {
+			return 0, fmt.Errorf("numeric: Newton derivative vanished at x=%v", x)
+		}
+		next := x - fx/d
+		if math.IsNaN(next) || math.IsInf(next, 0) {
+			return 0, fmt.Errorf("numeric: Newton diverged from x=%v", x)
+		}
+		x = next
+	}
+	return x, ErrNoConvergence
+}
+
+// Poly evaluates the polynomial with the given coefficients (c[0] +
+// c[1]x + c[2]x² + ...) at x using Horner's rule.
+func Poly(c []float64, x float64) float64 {
+	v := 0.0
+	for i := len(c) - 1; i >= 0; i-- {
+		v = v*x + c[i]
+	}
+	return v
+}
+
+// PolyDeriv returns the coefficients of the derivative polynomial.
+func PolyDeriv(c []float64) []float64 {
+	if len(c) <= 1 {
+		return []float64{0}
+	}
+	d := make([]float64, len(c)-1)
+	for i := 1; i < len(c); i++ {
+		d[i-1] = float64(i) * c[i]
+	}
+	return d
+}
+
+// PolyRealRootsIn finds all real roots of the polynomial c inside
+// [lo, hi] by recursively bracketing between the critical points. It is
+// exact enough for the low-degree polynomials (≤ quartic) arising from
+// the LoPC equations.
+func PolyRealRootsIn(c []float64, lo, hi float64) []float64 {
+	// Trim trailing zero coefficients.
+	deg := len(c) - 1
+	for deg > 0 && c[deg] == 0 {
+		deg--
+	}
+	c = c[:deg+1]
+	if deg == 0 {
+		return nil
+	}
+	if deg == 1 {
+		r := -c[0] / c[1]
+		if r >= lo && r <= hi {
+			return []float64{r}
+		}
+		return nil
+	}
+	// Critical points of c partition [lo, hi] into monotone intervals.
+	crit := PolyRealRootsIn(PolyDeriv(c), lo, hi)
+	pts := append([]float64{lo}, crit...)
+	pts = append(pts, hi)
+	var roots []float64
+	f := func(x float64) float64 { return Poly(c, x) }
+	const tol = 1e-12
+	for i := 0; i+1 < len(pts); i++ {
+		a, b := pts[i], pts[i+1]
+		fa, fb := f(a), f(b)
+		switch {
+		case fa == 0:
+			roots = appendRoot(roots, a)
+		case fb == 0 && i+2 == len(pts):
+			roots = appendRoot(roots, b)
+		case fa*fb < 0:
+			if r, err := Bisect(f, a, b, tol*(1+math.Abs(b))); err == nil {
+				roots = appendRoot(roots, r)
+			}
+		}
+	}
+	return roots
+}
+
+// appendRoot appends r unless it duplicates the last root found (within
+// a small tolerance), which happens when a root coincides with a
+// critical point shared by two intervals.
+func appendRoot(roots []float64, r float64) []float64 {
+	if n := len(roots); n > 0 && math.Abs(roots[n-1]-r) < 1e-9*(1+math.Abs(r)) {
+		return roots
+	}
+	return append(roots, r)
+}

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"container/heap"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// drainCalendar pops everything and returns (time, seq) pairs in order.
+func drainCalendar(cq *CalendarQueue) []*Event {
+	var out []*Event
+	for {
+		e := cq.Dequeue()
+		if e == nil {
+			return out
+		}
+		out = append(out, e)
+	}
+}
+
+func TestCalendarBasicOrdering(t *testing.T) {
+	cq := NewCalendarQueue(1)
+	times := []float64{5, 1, 3, 2, 4, 0.5, 10, 7.5}
+	for i, tm := range times {
+		cq.Enqueue(&Event{time: tm, seq: uint64(i)})
+	}
+	if cq.Len() != len(times) {
+		t.Fatalf("len = %d", cq.Len())
+	}
+	out := drainCalendar(cq)
+	if len(out) != len(times) {
+		t.Fatalf("drained %d events", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].time < out[i-1].time {
+			t.Fatalf("out of order at %d: %v after %v", i, out[i].time, out[i-1].time)
+		}
+	}
+}
+
+func TestCalendarTieBreaksBySeq(t *testing.T) {
+	cq := NewCalendarQueue(1)
+	for i := 9; i >= 0; i-- {
+		cq.Enqueue(&Event{time: 7, seq: uint64(i)})
+	}
+	out := drainCalendar(cq)
+	for i, e := range out {
+		if e.seq != uint64(i) {
+			t.Fatalf("tie order wrong: %v", out)
+		}
+	}
+}
+
+func TestCalendarEmpty(t *testing.T) {
+	cq := NewCalendarQueue(1)
+	if cq.Dequeue() != nil {
+		t.Fatal("empty dequeue returned an event")
+	}
+	if cq.Len() != 0 {
+		t.Fatal("empty len != 0")
+	}
+}
+
+func TestCalendarInvalidWidth(t *testing.T) {
+	for _, w := range []float64{0, -5} {
+		cq := NewCalendarQueue(w)
+		cq.Enqueue(&Event{time: 3})
+		if e := cq.Dequeue(); e == nil || e.time != 3 {
+			t.Fatalf("width %v: calendar unusable", w)
+		}
+	}
+}
+
+// TestCalendarMatchesHeapProperty: for random workloads with
+// interleaved enqueues and dequeues, the calendar queue yields exactly
+// the heap's order.
+func TestCalendarMatchesHeapProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw)%200 + 1
+		cq := NewCalendarQueue(0.5)
+		hq := &eventQueue{}
+		now := 0.0
+		var fromCal, fromHeap []uint64
+		seq := uint64(0)
+		for i := 0; i < n; i++ {
+			// Random mix of inserts and removals, with times that only
+			// move forward (as the engine guarantees).
+			k := r.Intn(4) + 1
+			for j := 0; j < k; j++ {
+				tm := now + r.Float64()*100
+				cq.Enqueue(&Event{time: tm, seq: seq})
+				heap.Push(hq, &Event{time: tm, seq: seq})
+				seq++
+			}
+			drains := r.Intn(k + 1)
+			for j := 0; j < drains && cq.Len() > 0; j++ {
+				a := cq.Dequeue()
+				b := heap.Pop(hq).(*Event)
+				fromCal = append(fromCal, a.seq)
+				fromHeap = append(fromHeap, b.seq)
+				if a.time != b.time || a.seq != b.seq {
+					return false
+				}
+				now = a.time
+			}
+		}
+		for cq.Len() > 0 {
+			a := cq.Dequeue()
+			b := heap.Pop(hq).(*Event)
+			if a.time != b.time || a.seq != b.seq {
+				return false
+			}
+			fromCal = append(fromCal, a.seq)
+			fromHeap = append(fromHeap, b.seq)
+		}
+		return hq.Len() == 0 && len(fromCal) == len(fromHeap)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalendarResizeGrowShrink(t *testing.T) {
+	cq := NewCalendarQueue(1)
+	// Grow well past the initial 16 buckets, then drain past shrink.
+	const n = 5000
+	for i := 0; i < n; i++ {
+		cq.Enqueue(&Event{time: float64(i) * 0.37, seq: uint64(i)})
+	}
+	if len(cq.buckets) <= 16 {
+		t.Fatalf("calendar did not grow: %d buckets for %d events", len(cq.buckets), n)
+	}
+	out := drainCalendar(cq)
+	if len(out) != n {
+		t.Fatalf("drained %d of %d", len(out), n)
+	}
+	if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i].time < out[j].time }) {
+		t.Fatal("drain out of order after resizes")
+	}
+}
+
+func TestCalendarClusteredTimes(t *testing.T) {
+	// All events in one narrow cluster far from the start — exercises
+	// the sparse direct-search path and resize re-basing.
+	cq := NewCalendarQueue(1)
+	for i := 0; i < 500; i++ {
+		cq.Enqueue(&Event{time: 1e6 + float64(i%7)*1e-3, seq: uint64(i)})
+	}
+	out := drainCalendar(cq)
+	if len(out) != 500 {
+		t.Fatalf("drained %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].time < out[i-1].time {
+			t.Fatal("cluster drain out of order")
+		}
+	}
+}
+
+func benchCalendarOrHeap(b *testing.B, useCalendar bool, horizon float64) {
+	r := rng.New(1)
+	const pending = 4096
+	if useCalendar {
+		cq := NewCalendarQueue(horizon / pending)
+		now := 0.0
+		seq := uint64(0)
+		for i := 0; i < pending; i++ {
+			cq.Enqueue(&Event{time: r.Float64() * horizon, seq: seq})
+			seq++
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := cq.Dequeue()
+			now = e.time
+			e.time = now + r.Float64()*horizon
+			e.seq = seq
+			seq++
+			cq.Enqueue(e)
+		}
+		return
+	}
+	hq := &eventQueue{}
+	seq := uint64(0)
+	for i := 0; i < pending; i++ {
+		heap.Push(hq, &Event{time: r.Float64() * horizon, seq: seq})
+		seq++
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := heap.Pop(hq).(*Event)
+		e.time += r.Float64() * horizon
+		e.seq = seq
+		seq++
+		heap.Push(hq, e)
+	}
+}
+
+// BenchmarkHoldModelHeap and BenchmarkHoldModelCalendar run the classic
+// "hold" benchmark (steady-state dequeue-then-enqueue) on both calendar
+// implementations.
+func BenchmarkHoldModelHeap(b *testing.B)     { benchCalendarOrHeap(b, false, 100) }
+func BenchmarkHoldModelCalendar(b *testing.B) { benchCalendarOrHeap(b, true, 100) }
+
+// TestEngineBackendsAgree runs an identical randomized self-scheduling
+// workload on heap- and calendar-backed engines and requires identical
+// dispatch traces (times, order, and cancellation behavior).
+func TestEngineBackendsAgree(t *testing.T) {
+	run := func(e *Engine) []float64 {
+		r := rng.New(99)
+		var trace []float64
+		var pendingCancel *Event
+		n := 0
+		var tick func()
+		tick = func() {
+			trace = append(trace, e.Now())
+			n++
+			if n > 3000 {
+				return
+			}
+			k := r.Intn(3) + 1
+			for j := 0; j < k; j++ {
+				ev := e.Schedule(r.Float64()*50, tick)
+				if r.Intn(5) == 0 {
+					// Cancel a previously stashed event and stash this one.
+					e.Cancel(pendingCancel)
+					pendingCancel = ev
+				}
+			}
+		}
+		e.Schedule(0, tick)
+		e.Run()
+		return trace
+	}
+	a := run(NewEngine())
+	b := run(NewEngineWithEventSet(NewCalendarQueue(1)))
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: heap %d vs calendar %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: heap %v vs calendar %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCalendarPeek(t *testing.T) {
+	cq := NewCalendarQueue(1)
+	if cq.Peek() != nil {
+		t.Fatal("peek on empty returned event")
+	}
+	cq.Enqueue(&Event{time: 5, seq: 1})
+	cq.Enqueue(&Event{time: 3, seq: 2})
+	if p := cq.Peek(); p == nil || p.time != 3 {
+		t.Fatalf("peek = %+v, want time 3", p)
+	}
+	if cq.Len() != 2 {
+		t.Fatal("peek removed an event")
+	}
+	if e := cq.Dequeue(); e.time != 3 {
+		t.Fatalf("dequeue after peek = %v", e.time)
+	}
+}

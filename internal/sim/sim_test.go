@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	for _, d := range []float64{5, 1, 3, 2, 4} {
+		d := d
+		e.Schedule(d, func() { got = append(got, d) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(7, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		if e.Now() != 10 {
+			t.Errorf("now = %v inside event, want 10", e.Now())
+		}
+		e.Schedule(5, func() {
+			if e.Now() != 15 {
+				t.Errorf("now = %v inside nested event, want 15", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if e.Now() != 15 {
+		t.Fatalf("final now = %v, want 15", e.Now())
+	}
+	if e.Processed() != 2 {
+		t.Fatalf("processed = %d, want 2", e.Processed())
+	}
+}
+
+func TestZeroDelayFiresAfterCurrentInstant(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.Schedule(1, func() {
+		got = append(got, "a")
+		e.Schedule(0, func() { got = append(got, "c") })
+		got = append(got, "b")
+	})
+	e.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScheduleAt in the past did not panic")
+			}
+		}()
+		e.ScheduleAt(5, func() {})
+	})
+	e.Run()
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(5, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("event does not report canceled")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(5, func() {})
+	e.Cancel(ev)
+	e.Cancel(ev)
+	e.Cancel(nil)
+	e.Run()
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 5; i++ {
+		i := i
+		evs = append(evs, e.Schedule(float64(i), func() { got = append(got, i) }))
+	}
+	e.Cancel(evs[2])
+	e.Run()
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for _, d := range []float64{1, 2, 3, 10, 20} {
+		e.Schedule(d, func() { fired++ })
+	}
+	e.RunUntil(5)
+	if fired != 3 {
+		t.Fatalf("fired %d events by t=5, want 3", fired)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("now = %v after RunUntil(5)", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if fired != 5 {
+		t.Fatalf("fired %d events total, want 5", fired)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("now = %v, want 100", e.Now())
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(float64(i), func() { count++ })
+	}
+	e.RunWhile(func() bool { return count < 4 })
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	if NewEngine().Step() {
+		t.Fatal("Step on empty calendar returned true")
+	}
+}
+
+// TestHeapOrderingProperty: any random batch of delays fires in
+// non-decreasing time order with ties broken by scheduling order.
+func TestHeapOrderingProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw%100) + 1
+		e := NewEngine()
+		type rec struct {
+			time float64
+			seq  int
+		}
+		var fired []rec
+		for i := 0; i < n; i++ {
+			i := i
+			d := float64(r.Intn(20)) // coarse so ties occur
+			e.Schedule(d, func() { fired = append(fired, rec{d, i}) })
+		}
+		e.Run()
+		if len(fired) != n {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if fired[i].time < fired[i-1].time {
+				return false
+			}
+			if fired[i].time == fired[i-1].time && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterleavedScheduleAndRun exercises the calendar under the
+// scheduling pattern the machine layer produces: events scheduling
+// further events.
+func TestInterleavedScheduleAndRun(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var descend func()
+	descend = func() {
+		depth++
+		if depth < 1000 {
+			e.Schedule(1, descend)
+		}
+	}
+	e.Schedule(0, descend)
+	e.Run()
+	if depth != 1000 {
+		t.Fatalf("depth = %d, want 1000", depth)
+	}
+	if e.Now() != 999 {
+		t.Fatalf("now = %v, want 999", e.Now())
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	r := rng.New(1)
+	e := NewEngine()
+	nop := func() {}
+	for i := 0; i < b.N; i++ {
+		e.Schedule(r.Float64()*100, nop)
+		if e.Pending() > 1024 {
+			for e.Pending() > 512 {
+				e.Step()
+			}
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,317 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTallyAgainstNaive(t *testing.T) {
+	r := rng.New(1)
+	var tl Tally
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		x := r.Float64()*100 - 50
+		xs = append(xs, x)
+		tl.Add(x)
+	}
+	// Naive two-pass computation.
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	ss := 0.0
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	variance := ss / float64(len(xs)-1)
+	if !almost(tl.Mean(), mean, 1e-9) {
+		t.Errorf("Welford mean %v, naive %v", tl.Mean(), mean)
+	}
+	if !almost(tl.Variance(), variance, 1e-6) {
+		t.Errorf("Welford variance %v, naive %v", tl.Variance(), variance)
+	}
+}
+
+func TestTallyMinMaxSum(t *testing.T) {
+	var tl Tally
+	for _, x := range []float64{3, -1, 4, 1, 5} {
+		tl.Add(x)
+	}
+	if tl.Min() != -1 || tl.Max() != 5 {
+		t.Errorf("min/max = %v/%v, want -1/5", tl.Min(), tl.Max())
+	}
+	if !almost(tl.Sum(), 12, 1e-9) {
+		t.Errorf("sum = %v, want 12", tl.Sum())
+	}
+	if tl.N() != 5 {
+		t.Errorf("n = %d, want 5", tl.N())
+	}
+}
+
+func TestTallyEmpty(t *testing.T) {
+	var tl Tally
+	if tl.Mean() != 0 || tl.Variance() != 0 || tl.SCV() != 0 {
+		t.Error("empty tally should report zero moments")
+	}
+}
+
+func TestTallySingleObservation(t *testing.T) {
+	var tl Tally
+	tl.Add(7)
+	if tl.Variance() != 0 {
+		t.Errorf("variance of single observation = %v, want 0", tl.Variance())
+	}
+}
+
+// TestTallyMergeProperty: merging two tallies equals one tally over the
+// concatenated observations.
+func TestTallyMergeProperty(t *testing.T) {
+	f := func(seed uint64, n1Raw, n2Raw uint8) bool {
+		r := rng.New(seed)
+		n1, n2 := int(n1Raw%50), int(n2Raw%50)
+		var a, b, all Tally
+		for i := 0; i < n1; i++ {
+			x := r.Float64() * 10
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < n2; i++ {
+			x := r.Float64() * 10
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(&b)
+		return a.N() == all.N() &&
+			almost(a.Mean(), all.Mean(), 1e-9) &&
+			almost(a.Variance(), all.Variance(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTallySCV(t *testing.T) {
+	var tl Tally
+	// Samples 1 and 3: mean 2, variance (unbiased) 2, SCV 0.5.
+	tl.Add(1)
+	tl.Add(3)
+	if !almost(tl.SCV(), 0.5, 1e-12) {
+		t.Errorf("SCV = %v, want 0.5", tl.SCV())
+	}
+}
+
+func TestTimeWeightedMean(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 1)  // value 1 on [0, 10)
+	w.Set(10, 3) // value 3 on [10, 20)
+	w.Advance(20)
+	if !almost(w.Mean(), 2, 1e-12) {
+		t.Errorf("time-weighted mean = %v, want 2", w.Mean())
+	}
+	if w.Elapsed() != 20 {
+		t.Errorf("elapsed = %v, want 20", w.Elapsed())
+	}
+}
+
+func TestTimeWeightedReset(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 100)
+	w.Set(50, 100)
+	w.Reset(50, 2)
+	w.Advance(60)
+	if !almost(w.Mean(), 2, 1e-12) {
+		t.Errorf("mean after reset = %v, want 2", w.Mean())
+	}
+}
+
+func TestTimeWeightedBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards time did not panic")
+		}
+	}()
+	var w TimeWeighted
+	w.Set(10, 1)
+	w.Set(5, 2)
+}
+
+func TestTimeWeightedNoElapsed(t *testing.T) {
+	var w TimeWeighted
+	w.Set(3, 9)
+	if w.Mean() != 0 {
+		t.Errorf("mean with no elapsed time = %v, want 0", w.Mean())
+	}
+	if w.Value() != 9 {
+		t.Errorf("value = %v, want 9", w.Value())
+	}
+}
+
+func TestBatchMeansIIDCoverage(t *testing.T) {
+	// For iid observations the CI should usually cover the true mean.
+	covered := 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		r := rng.New(uint64(trial) + 1)
+		bm := NewBatchMeans(50)
+		for i := 0; i < 2500; i++ {
+			bm.Add(r.ExpFloat64()) // true mean 1
+		}
+		if math.Abs(bm.Mean()-1) <= bm.HalfWidth95() {
+			covered++
+		}
+	}
+	if covered < 85 {
+		t.Errorf("95%% CI covered true mean in only %d/%d trials", covered, trials)
+	}
+}
+
+func TestBatchMeansFewBatches(t *testing.T) {
+	bm := NewBatchMeans(10)
+	for i := 0; i < 15; i++ {
+		bm.Add(1)
+	}
+	if bm.Batches() != 1 {
+		t.Fatalf("batches = %d, want 1", bm.Batches())
+	}
+	if !math.IsInf(bm.HalfWidth95(), 1) {
+		t.Error("half-width with one batch should be +Inf")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(11)
+	for i := 0; i < 10; i++ {
+		if h.Count(i) != 1 {
+			t.Errorf("bucket %d count %d, want 1", i, h.Count(i))
+		}
+	}
+	if h.Underflow() != 1 || h.Overflow() != 1 {
+		t.Errorf("under/over = %d/%d, want 1/1", h.Underflow(), h.Overflow())
+	}
+	if h.Total() != 12 {
+		t.Errorf("total = %d, want 12", h.Total())
+	}
+	if h.Buckets() != 10 {
+		t.Errorf("buckets = %d, want 10", h.Buckets())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Errorf("median estimate %v, want ~50", med)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %v, want 2", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even median = %v, want 2.5", m)
+	}
+	if m := Median(nil); m != 0 {
+		t.Errorf("empty median = %v, want 0", m)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated its argument: %v", xs)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if e := RelErr(110, 100); !almost(e, 0.1, 1e-12) {
+		t.Errorf("RelErr = %v, want 0.1", e)
+	}
+	if e := RelErr(5, 0); e != 0 {
+		t.Errorf("RelErr with zero want = %v, want 0", e)
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if v := tCritical95(1); v != 12.706 {
+		t.Errorf("t(1) = %v", v)
+	}
+	if v := tCritical95(1000); v != 1.96 {
+		t.Errorf("t(1000) = %v", v)
+	}
+	if !math.IsInf(tCritical95(0), 1) {
+		t.Error("t(0) should be +Inf")
+	}
+}
+
+func TestAutoCorrWhiteNoise(t *testing.T) {
+	r := rng.New(77)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	if c := AutoCorr(xs, 1); math.Abs(c) > 0.03 {
+		t.Errorf("white-noise lag-1 autocorr = %v, want ~0", c)
+	}
+}
+
+func TestAutoCorrAR1(t *testing.T) {
+	// x[i] = 0.8·x[i-1] + noise has lag-1 autocorrelation ≈ 0.8.
+	r := rng.New(78)
+	xs := make([]float64, 50000)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 0.8*xs[i-1] + r.NormFloat64()
+	}
+	if c := AutoCorr(xs, 1); math.Abs(c-0.8) > 0.03 {
+		t.Errorf("AR(1) lag-1 autocorr = %v, want ~0.8", c)
+	}
+	if c2 := AutoCorr(xs, 2); math.Abs(c2-0.64) > 0.04 {
+		t.Errorf("AR(1) lag-2 autocorr = %v, want ~0.64", c2)
+	}
+}
+
+func TestAutoCorrEdgeCases(t *testing.T) {
+	if AutoCorr(nil, 1) != 0 {
+		t.Error("nil series")
+	}
+	if AutoCorr([]float64{1, 2, 3}, 0) != 0 {
+		t.Error("lag 0 should return 0 (undefined here)")
+	}
+	if AutoCorr([]float64{5, 5, 5, 5}, 1) != 0 {
+		t.Error("constant series should return 0")
+	}
+}
+
+func TestSuggestBatchSize(t *testing.T) {
+	// Strongly correlated series needs bigger batches than white noise.
+	r := rng.New(79)
+	ar := make([]float64, 40000)
+	white := make([]float64, 40000)
+	for i := 1; i < len(ar); i++ {
+		ar[i] = 0.95*ar[i-1] + r.NormFloat64()
+		white[i] = r.NormFloat64()
+	}
+	bAR := SuggestBatchSize(ar, 0.1, 4, 4096)
+	bWhite := SuggestBatchSize(white, 0.1, 4, 4096)
+	if bAR <= bWhite {
+		t.Errorf("AR batch %d not above white-noise batch %d", bAR, bWhite)
+	}
+	if bWhite > 16 {
+		t.Errorf("white-noise batch %d unexpectedly large", bWhite)
+	}
+}

@@ -1,0 +1,137 @@
+// Package trace records a machine simulation as a Chrome trace (the
+// JSON format consumed by chrome://tracing and Perfetto), so the
+// interleaving of computation threads, handler service, and message
+// flights can be inspected visually.
+//
+// Each simulated node is rendered as a process with two tracks: the
+// computation thread and the handler processor. Handler service and
+// thread execution appear as complete ("X") slices; each message's
+// flight from injection to handler start is a flow arrow ("s"/"f").
+// Times are emitted in microseconds with one simulated cycle mapped to
+// one microsecond.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/machine"
+)
+
+// Track ids within each node's process.
+const (
+	tidThread  = 1
+	tidHandler = 2
+)
+
+// Event is one Chrome trace event. Field names follow the Trace Event
+// Format specification.
+type Event struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Tracer implements machine.Observer, accumulating events in memory.
+// Attach it via machine.Config.Observer, run the simulation, then call
+// WriteJSON. The zero value is ready to use.
+type Tracer struct {
+	events []Event
+	// MaxEvents caps collection (0 = unlimited); traces of long runs
+	// otherwise grow without bound. Once the cap is reached further
+	// events are dropped and Truncated reports true.
+	MaxEvents int
+	truncated bool
+}
+
+// Truncated reports whether the tracer hit MaxEvents and dropped
+// events.
+func (t *Tracer) Truncated() bool { return t.truncated }
+
+// Len returns the number of collected events.
+func (t *Tracer) Len() int { return len(t.events) }
+
+func (t *Tracer) add(e Event) {
+	if t.MaxEvents > 0 && len(t.events) >= t.MaxEvents {
+		t.truncated = true
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// MessageSent implements machine.Observer: the start of a flow arrow.
+func (t *Tracer) MessageSent(msg *machine.Message, at float64) {
+	t.add(Event{
+		Name: msg.Kind.String(), Phase: "s", Ts: at,
+		Pid: msg.Src, Tid: tidHandler,
+		ID: fmt.Sprintf("msg%d", msg.ID), Cat: "net",
+	})
+}
+
+// MessageArrived implements machine.Observer: the end of a flow arrow.
+func (t *Tracer) MessageArrived(msg *machine.Message, at float64) {
+	t.add(Event{
+		Name: msg.Kind.String(), Phase: "f", Ts: at,
+		Pid: msg.Dst, Tid: tidHandler,
+		ID: fmt.Sprintf("msg%d", msg.ID), Cat: "net", BP: "e",
+	})
+}
+
+// HandlerStart implements machine.Observer. The slice is emitted at
+// HandlerEnd, when the duration is known; the start is kept implicitly
+// in the message's ServiceStart timestamp.
+func (t *Tracer) HandlerStart(node int, msg *machine.Message, at float64) {}
+
+// HandlerEnd implements machine.Observer.
+func (t *Tracer) HandlerEnd(node int, msg *machine.Message, at float64) {
+	t.add(Event{
+		Name: msg.Kind.String() + " handler", Phase: "X",
+		Ts: msg.ServiceStart, Dur: at - msg.ServiceStart,
+		Pid: node, Tid: tidHandler, Cat: "handler",
+		Args: map[string]any{
+			"src": msg.Src, "dst": msg.Dst, "msg": msg.ID,
+			"queued": msg.ServiceStart - msg.Arrived,
+		},
+	})
+}
+
+// ThreadRun implements machine.Observer.
+func (t *Tracer) ThreadRun(node int, start, end float64) {
+	t.add(Event{
+		Name: "compute", Phase: "X", Ts: start, Dur: end - start,
+		Pid: node, Tid: tidThread, Cat: "thread",
+	})
+}
+
+// WriteJSON emits the trace in Chrome's JSON array format, including
+// process/thread name metadata so the viewer labels each node.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	pids := map[int]bool{}
+	for _, e := range t.events {
+		pids[e.Pid] = true
+	}
+	out := make([]Event, 0, len(t.events)+3*len(pids))
+	for pid := range pids {
+		out = append(out,
+			Event{Name: "process_name", Phase: "M", Pid: pid, Tid: 0,
+				Args: map[string]any{"name": fmt.Sprintf("node %d", pid)}},
+			Event{Name: "thread_name", Phase: "M", Pid: pid, Tid: tidThread,
+				Args: map[string]any{"name": "thread"}},
+			Event{Name: "thread_name", Phase: "M", Pid: pid, Tid: tidHandler,
+				Args: map[string]any{"name": "handlers"}},
+		)
+	}
+	out = append(out, t.events...)
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+var _ machine.Observer = (*Tracer)(nil)

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/machine"
+)
+
+// runTraced drives a small blocking-request workload with a tracer
+// attached and returns the tracer.
+func runTraced(t *testing.T, maxEvents int) *Tracer {
+	t.Helper()
+	tr := &Tracer{MaxEvents: maxEvents}
+	m := machine.New(machine.Config{
+		P:          4,
+		NetLatency: dist.NewDeterministic(40),
+		Seed:       1,
+		Observer:   tr,
+	})
+	for i := 0; i < 4; i++ {
+		cycles := 0
+		blocked := false
+		i := i
+		m.SetProgram(i, machine.ProgramFunc(func(mm *machine.Machine, self int) machine.Action {
+			if blocked {
+				blocked = false
+				cycles++
+				if cycles >= 5 {
+					return machine.Halt()
+				}
+			}
+			if cycles >= 0 && !blocked {
+				// Alternate compute and blocking request.
+				blocked = true
+				dst := (self + 1) % 4
+				return machine.SendAndBlock(&machine.Message{
+					Src: self, Dst: dst, Kind: machine.KindRequest,
+					Service: dist.NewDeterministic(100),
+					OnComplete: func(mm *machine.Machine, msg *machine.Message) {
+						mm.Send(&machine.Message{
+							Src: msg.Dst, Dst: msg.Src, Kind: machine.KindReply,
+							Service: dist.NewDeterministic(100),
+							OnComplete: func(mm *machine.Machine, r *machine.Message) {
+								mm.Unblock(r.Dst)
+							},
+						})
+					},
+				})
+			}
+			_ = i
+			return machine.Halt()
+		}))
+	}
+	m.Start()
+	m.Run()
+	return tr
+}
+
+func TestTraceProducesValidJSON(t *testing.T) {
+	tr := runTraced(t, 0)
+	if tr.Len() == 0 {
+		t.Fatal("no events collected")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(events) <= tr.Len() {
+		t.Errorf("expected metadata events in addition to %d collected", tr.Len())
+	}
+	phases := map[string]int{}
+	for _, e := range events {
+		phases[e["ph"].(string)]++
+	}
+	for _, ph := range []string{"X", "s", "f", "M"} {
+		if phases[ph] == 0 {
+			t.Errorf("no %q events in trace", ph)
+		}
+	}
+	// Flow starts and ends pair up.
+	if phases["s"] != phases["f"] {
+		t.Errorf("flow starts %d != flow ends %d", phases["s"], phases["f"])
+	}
+}
+
+func TestTraceHandlerSlicesDoNotOverlapPerNode(t *testing.T) {
+	tr := runTraced(t, 0)
+	type slice struct{ ts, dur float64 }
+	byNode := map[int][]slice{}
+	for _, e := range tr.events {
+		if e.Phase == "X" && e.Tid == tidHandler {
+			byNode[e.Pid] = append(byNode[e.Pid], slice{e.Ts, e.Dur})
+		}
+	}
+	if len(byNode) == 0 {
+		t.Fatal("no handler slices")
+	}
+	for node, ss := range byNode {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].ts < ss[j].ts })
+		for i := 1; i < len(ss); i++ {
+			if ss[i].ts < ss[i-1].ts+ss[i-1].dur-1e-9 {
+				t.Fatalf("node %d: handler slices overlap: %v then %v", node, ss[i-1], ss[i])
+			}
+		}
+	}
+}
+
+func TestTraceThreadSlicesPositive(t *testing.T) {
+	tr := runTraced(t, 0)
+	// This workload has no Compute actions, so thread slices may be
+	// absent; run one with compute to check.
+	tr2 := &Tracer{}
+	m := machine.New(machine.Config{
+		P: 2, NetLatency: dist.NewDeterministic(10), Seed: 2, Observer: tr2,
+	})
+	n := 0
+	m.SetProgram(0, machine.ProgramFunc(func(mm *machine.Machine, self int) machine.Action {
+		if n >= 3 {
+			return machine.Halt()
+		}
+		n++
+		return machine.Compute(50)
+	}))
+	m.Start()
+	m.Run()
+	found := false
+	for _, e := range tr2.events {
+		if e.Tid == tidThread && e.Phase == "X" {
+			found = true
+			if e.Dur <= 0 {
+				t.Errorf("non-positive thread slice: %+v", e)
+			}
+		}
+	}
+	if !found {
+		t.Error("no thread slices recorded")
+	}
+	_ = tr
+}
+
+func TestTraceTruncation(t *testing.T) {
+	tr := runTraced(t, 10)
+	if tr.Len() != 10 {
+		t.Fatalf("len = %d, want capped at 10", tr.Len())
+	}
+	if !tr.Truncated() {
+		t.Fatal("tracer did not report truncation")
+	}
+}
+
+func TestTraceMessageIDsUnique(t *testing.T) {
+	tr := runTraced(t, 0)
+	seen := map[string]int{}
+	for _, e := range tr.events {
+		if e.Phase == "s" {
+			seen[e.ID]++
+		}
+	}
+	for id, count := range seen {
+		if count != 1 {
+			t.Errorf("flow id %s started %d times", id, count)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no flow ids recorded")
+	}
+}

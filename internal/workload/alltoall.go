@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// AllToAllConfig describes an all-to-all simulation run: every node
+// alternates local work with a blocking request to a peer chosen by
+// Pattern; the request handler sends a reply; the reply handler unblocks
+// the thread.
+type AllToAllConfig struct {
+	// P is the number of nodes.
+	P int
+	// Work is the distribution of local work per cycle (mean W).
+	Work dist.Distribution
+	// Latency is the per-trip network latency distribution (mean St).
+	Latency dist.Distribution
+	// Service is the handler service distribution (mean So, SCV C²),
+	// used for both request and reply handlers.
+	Service dist.Distribution
+	// Pattern picks request destinations; nil means UniformPattern.
+	Pattern Pattern
+	// WarmupCycles and MeasureCycles are per-thread cycle counts: the
+	// first WarmupCycles cycles are discarded, the next MeasureCycles
+	// are measured, then the thread halts.
+	WarmupCycles, MeasureCycles int
+	// ProtocolProcessor runs handlers on per-node protocol processors
+	// (the shared-memory variant).
+	ProtocolProcessor bool
+	// Seed roots the run's random streams.
+	Seed uint64
+	// Observer, when non-nil, receives the machine's structural events
+	// (see machine.Observer); internal/trace implements it for
+	// Chrome-trace export.
+	Observer machine.Observer
+	// LinkOccupancy, NIQueueCap and RetryDelay relax the paper's Ch. 2
+	// network simplifications (see machine.Config); zero values give
+	// the paper's machine.
+	LinkOccupancy float64
+	NIQueueCap    int
+	RetryDelay    float64
+	// PairLatency optionally gives every ordered node pair its own wire
+	// time (see machine.Config.PairLatency).
+	PairLatency func(src, dst int) float64
+}
+
+func (c AllToAllConfig) validate() error {
+	switch {
+	case c.P < 2:
+		return fmt.Errorf("workload: all-to-all needs P >= 2, got %d", c.P)
+	case c.Work == nil || c.Latency == nil || c.Service == nil:
+		return fmt.Errorf("workload: nil distribution in config")
+	case c.MeasureCycles < 1:
+		return fmt.Errorf("workload: MeasureCycles = %d", c.MeasureCycles)
+	case c.WarmupCycles < 0:
+		return fmt.Errorf("workload: WarmupCycles = %d", c.WarmupCycles)
+	}
+	return nil
+}
+
+// AllToAllResult holds the measured per-cycle statistics, aligned with
+// the model's quantities.
+type AllToAllResult struct {
+	// R is the complete compute/request cycle time (reply completion to
+	// reply completion).
+	R stats.Tally
+	// Rw is the thread residence: from becoming ready (previous reply
+	// handler completion) to injecting the next request, including
+	// interference from request handlers.
+	Rw stats.Tally
+	// Rq is the request handler response at the remote node (arrival to
+	// completion: queueing plus service).
+	Rq stats.Tally
+	// Ry is the reply handler response at the home node.
+	Ry stats.Tally
+	// Net is the total wire time per cycle (both trips).
+	Net stats.Tally
+	// Machine aggregates node-level measurements (queue lengths,
+	// utilizations) over the measurement window.
+	Machine machine.MachineStats
+	// X is the system throughput implied by the measured mean cycle
+	// time: P / mean(R).
+	X float64
+	// Nacks counts messages bounced off full NI queues (finite
+	// NIQueueCap only).
+	Nacks int64
+}
+
+// cycleTimestamps carries one in-flight cycle's measurements.
+type cycleTimestamps struct {
+	ready   float64 // previous reply completion (thread became ready)
+	send    float64 // request injection
+	req     *machine.Message
+	rep     *machine.Message
+	repDone float64
+}
+
+// atProgram is the per-node all-to-all driver.
+type atProgram struct {
+	run   *allToAllRun
+	self  int
+	phase int // 0: start, 1: work done -> send, 2: unblocked
+	cycle int
+	cur   cycleTimestamps
+}
+
+// allToAllRun is state shared by all node programs in one run.
+type allToAllRun struct {
+	cfg        AllToAllConfig
+	pattern    Pattern
+	res        *AllToAllResult
+	warmupLeft int // nodes still warming up
+	statsReset bool
+	// machineSnap captures machine-wide stats when the first thread
+	// halts, so the drain phase (nodes finishing at different times)
+	// does not bias the time-averaged queue lengths and utilizations.
+	machineSnap bool
+}
+
+const (
+	phaseStart = iota
+	phaseSend
+	phaseUnblocked
+)
+
+// Next implements machine.Program.
+func (p *atProgram) Next(m *machine.Machine, self int) machine.Action {
+	switch p.phase {
+	case phaseStart:
+		p.cur.ready = m.Now()
+		p.phase = phaseSend
+		return machine.Compute(p.run.cfg.Work.Sample(m.Rand(self)))
+
+	case phaseSend:
+		p.cur.send = m.Now()
+		p.phase = phaseUnblocked
+		req := &machine.Message{
+			Src: self, Dst: p.run.pattern.Dest(m, self),
+			Kind: machine.KindRequest, Service: p.run.cfg.Service,
+		}
+		p.cur.req = req
+		req.OnComplete = func(m *machine.Machine, msg *machine.Message) {
+			rep := &machine.Message{
+				Src: msg.Dst, Dst: msg.Src,
+				Kind: machine.KindReply, Service: p.run.cfg.Service,
+			}
+			p.cur.rep = rep
+			rep.OnComplete = func(m *machine.Machine, rmsg *machine.Message) {
+				p.cur.repDone = rmsg.Done
+				m.Unblock(rmsg.Dst)
+			}
+			m.Send(rep)
+		}
+		return machine.SendAndBlock(req)
+
+	case phaseUnblocked:
+		p.endCycle(m)
+		if p.cycle >= p.run.cfg.WarmupCycles+p.run.cfg.MeasureCycles {
+			if !p.run.machineSnap {
+				p.run.machineSnap = true
+				p.run.res.Machine = m.Stats()
+			}
+			return machine.Halt()
+		}
+		p.phase = phaseSend
+		return machine.Compute(p.run.cfg.Work.Sample(m.Rand(self)))
+
+	default:
+		panic(fmt.Sprintf("workload: invalid all-to-all phase %d", p.phase))
+	}
+}
+
+// endCycle records the completed cycle and rolls the timestamps so the
+// next cycle's Rw starts at the reply handler completion (not at the
+// instant the thread regained the CPU, which may be later if request
+// handlers were queued — that wait belongs to the next cycle's Rw, per
+// the BKT decomposition).
+func (p *atProgram) endCycle(m *machine.Machine) {
+	c := &p.cur
+	measured := p.cycle >= p.run.cfg.WarmupCycles
+	if measured {
+		res := p.run.res
+		res.R.Add(c.repDone - c.ready)
+		res.Rw.Add(c.send - c.ready)
+		res.Rq.Add(c.req.Done - c.req.Arrived)
+		res.Ry.Add(c.rep.Done - c.rep.Arrived)
+		res.Net.Add((c.req.Arrived - c.req.Sent) + (c.rep.Arrived - c.rep.Sent))
+	}
+	p.cycle++
+	if p.cycle == p.run.cfg.WarmupCycles {
+		p.run.warmupLeft--
+		if p.run.warmupLeft == 0 && !p.run.statsReset {
+			p.run.statsReset = true
+			m.ResetStats()
+		}
+	}
+	p.cur = cycleTimestamps{ready: c.repDone}
+}
+
+// RunAllToAll executes one all-to-all simulation and returns the
+// measured statistics.
+func RunAllToAll(cfg AllToAllConfig) (AllToAllResult, error) {
+	if err := cfg.validate(); err != nil {
+		return AllToAllResult{}, err
+	}
+	pattern := cfg.Pattern
+	if pattern == nil {
+		pattern = UniformPattern{}
+	}
+	m := machine.New(machine.Config{
+		P:                 cfg.P,
+		NetLatency:        cfg.Latency,
+		ProtocolProcessor: cfg.ProtocolProcessor,
+		Seed:              cfg.Seed,
+		Observer:          cfg.Observer,
+		LinkOccupancy:     cfg.LinkOccupancy,
+		NIQueueCap:        cfg.NIQueueCap,
+		RetryDelay:        cfg.RetryDelay,
+		PairLatency:       cfg.PairLatency,
+	})
+	run := &allToAllRun{
+		cfg:        cfg,
+		pattern:    pattern,
+		res:        &AllToAllResult{},
+		warmupLeft: cfg.P,
+	}
+	if cfg.WarmupCycles == 0 {
+		run.warmupLeft = 0
+		run.statsReset = true
+	}
+	for i := 0; i < cfg.P; i++ {
+		m.SetProgram(i, &atProgram{run: run, self: i})
+	}
+	m.Start()
+	m.Run()
+	res := run.res
+	if !run.machineSnap {
+		res.Machine = m.Stats()
+	}
+	if mean := res.R.Mean(); mean > 0 {
+		res.X = float64(cfg.P) / mean
+	}
+	res.Nacks = m.Nacks()
+	return *res, nil
+}

@@ -1,0 +1,338 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/machine"
+)
+
+// ExchangeConfig describes a bulk-synchronous all-to-all personalized
+// exchange: in each round every node sends one put to every other node
+// on the carefully staggered CM-5-style schedule (node i's k-th message
+// goes to node (i+k) mod P), then waits for its own P−1 incoming puts,
+// and optionally runs a dissemination barrier before the next round.
+//
+// This workload reproduces the phenomenon the paper's introduction
+// builds on: with deterministic costs and send spacing ≥ handler cost
+// the schedule is perfectly contention-free (each round takes exactly
+// (P−1)·o + l + h); with any handler-time variability the interleaving
+// decays and receivers queue — unless barriers resynchronize the rounds,
+// which is exactly why the original LogP study had to insert barriers
+// on the CM-5.
+type ExchangeConfig struct {
+	// P is the number of nodes.
+	P int
+	// Rounds is the number of exchange rounds to run.
+	Rounds int
+	// SendOverhead is the sender-side injection cost o per message.
+	SendOverhead float64
+	// Latency is the wire-time distribution (mean l).
+	Latency dist.Distribution
+	// Handler is the receive-handler cost distribution (mean h).
+	Handler dist.Distribution
+	// Barrier inserts a dissemination barrier after each round.
+	Barrier bool
+	// Seed roots the run's random streams.
+	Seed uint64
+}
+
+func (c ExchangeConfig) validate() error {
+	switch {
+	case c.P < 2:
+		return fmt.Errorf("workload: exchange needs P >= 2, got %d", c.P)
+	case c.Rounds < 1:
+		return fmt.Errorf("workload: Rounds = %d", c.Rounds)
+	case c.Latency == nil || c.Handler == nil:
+		return fmt.Errorf("workload: nil distribution in config")
+	case c.SendOverhead < 0:
+		return fmt.Errorf("workload: negative send overhead %v", c.SendOverhead)
+	}
+	return nil
+}
+
+// ExchangeResult reports the measured exchange.
+type ExchangeResult struct {
+	// RoundEnd[r] is the time the last node finished round r (including
+	// the barrier, if enabled).
+	RoundEnd []float64
+	// RoundTime[r] is RoundEnd[r] − RoundEnd[r−1].
+	RoundTime []float64
+	// DataTime[r] is the data phase of round r alone: from the round's
+	// start to the last node completing its P−1 receives, excluding the
+	// barrier. This is the quantity barriers are supposed to keep near
+	// the schedule.
+	DataTime []float64
+	// Total is the completion time of the last round.
+	Total float64
+	// SchedulePerRound is the LogP (polling-model) per-round data
+	// estimate: (P−1)·o + l + h. On this interrupt-driven machine even
+	// the deterministic schedule runs somewhat above it, because
+	// arriving handlers preempt the send loop — each of the P−1
+	// arrivals can insert up to one handler time.
+	SchedulePerRound float64
+	// BarrierPerRound is the deterministic dissemination-barrier cost
+	// ceil(log2 P)·(o + l + h), or 0 when barriers are disabled.
+	BarrierPerRound float64
+}
+
+// MeanDataTime averages DataTime over [from, to), clamped.
+func (r ExchangeResult) MeanDataTime(from, to int) float64 {
+	return meanRange(r.DataTime, from, to)
+}
+
+// MeanRoundTime averages RoundTime over the given half-open round range
+// (clamped to the available rounds).
+func (r ExchangeResult) MeanRoundTime(from, to int) float64 {
+	return meanRange(r.RoundTime, from, to)
+}
+
+func meanRange(xs []float64, from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(xs) {
+		to = len(xs)
+	}
+	if to <= from {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range xs[from:to] {
+		sum += v
+	}
+	return sum / float64(to-from)
+}
+
+type exMsgData struct {
+	round   int
+	barrier int // -1 for data messages
+}
+
+type exchangeRun struct {
+	cfg       ExchangeConfig
+	barRounds int
+	// dataRecv[node][round] counts puts received; barRecv[node][round]
+	// counts per dissemination step.
+	dataRecv [][]int
+	barRecv  [][][]int
+	// remaining / dataRemaining count nodes yet to finish the round /
+	// its data phase.
+	remaining     []int
+	dataRemaining []int
+	roundEnd      []float64
+	dataEnd       []float64
+	progs         []*exchangeProgram
+}
+
+type exPhase int
+
+const (
+	exSendData exPhase = iota
+	exWaitData
+	exSendBar
+	exWaitBar
+)
+
+type exchangeProgram struct {
+	run     *exchangeRun
+	round   int
+	phase   exPhase
+	k       int // next data destination offset (1..P-1)
+	br      int // current barrier step
+	paid    bool
+	waitKey [2]int // {round, barrier-step or -1} when blocked
+	blocked bool
+}
+
+// Next implements machine.Program.
+func (p *exchangeProgram) Next(m *machine.Machine, self int) machine.Action {
+	run := p.run
+	cfg := run.cfg
+	for {
+		switch p.phase {
+		case exSendData:
+			if p.k >= cfg.P {
+				p.phase = exWaitData
+				continue
+			}
+			if cfg.SendOverhead > 0 && !p.paid {
+				p.paid = true
+				return machine.Compute(cfg.SendOverhead)
+			}
+			p.paid = false
+			dst := (self + p.k) % cfg.P
+			p.k++
+			return machine.SendAsync(p.dataMsg(self, dst))
+
+		case exWaitData:
+			if run.dataRecv[self][p.round] < cfg.P-1 {
+				p.blocked = true
+				p.waitKey = [2]int{p.round, -1}
+				return machine.Block()
+			}
+			run.dataRemaining[p.round]--
+			if run.dataRemaining[p.round] == 0 {
+				run.dataEnd[p.round] = m.Now()
+			}
+			if cfg.Barrier {
+				p.phase = exSendBar
+				p.br = 0
+				continue
+			}
+			p.endRound(m, self)
+			if p.round == cfg.Rounds {
+				return machine.Halt()
+			}
+			continue
+
+		case exSendBar:
+			if cfg.SendOverhead > 0 && !p.paid {
+				p.paid = true
+				return machine.Compute(cfg.SendOverhead)
+			}
+			p.paid = false
+			dst := (self + 1<<p.br) % cfg.P
+			p.phase = exWaitBar
+			return machine.SendAsync(p.barMsg(self, dst))
+
+		case exWaitBar:
+			if run.barRecv[self][p.round][p.br] < 1 {
+				p.blocked = true
+				p.waitKey = [2]int{p.round, p.br}
+				return machine.Block()
+			}
+			run.barRecv[self][p.round][p.br]--
+			p.br++
+			if p.br < run.barRounds {
+				p.phase = exSendBar
+				continue
+			}
+			p.endRound(m, self)
+			if p.round == cfg.Rounds {
+				return machine.Halt()
+			}
+			p.phase = exSendData
+			continue
+
+		default:
+			panic(fmt.Sprintf("workload: invalid exchange phase %d", p.phase))
+		}
+	}
+}
+
+// endRound advances the program into the next round and updates the
+// global completion bookkeeping.
+func (p *exchangeProgram) endRound(m *machine.Machine, self int) {
+	run := p.run
+	run.remaining[p.round]--
+	if run.remaining[p.round] == 0 {
+		run.roundEnd[p.round] = m.Now()
+	}
+	p.round++
+	p.phase = exSendData
+	p.k = 1
+}
+
+func (p *exchangeProgram) dataMsg(self, dst int) *machine.Message {
+	run := p.run
+	return &machine.Message{
+		Src: self, Dst: dst, Kind: machine.KindRequest, Service: run.cfg.Handler,
+		UserData: exMsgData{round: p.round, barrier: -1},
+		OnComplete: func(m *machine.Machine, msg *machine.Message) {
+			d := msg.UserData.(exMsgData)
+			run.dataRecv[msg.Dst][d.round]++
+			run.maybeUnblock(m, msg.Dst)
+		},
+	}
+}
+
+func (p *exchangeProgram) barMsg(self, dst int) *machine.Message {
+	run := p.run
+	return &machine.Message{
+		Src: self, Dst: dst, Kind: machine.KindRequest, Service: run.cfg.Handler,
+		UserData: exMsgData{round: p.round, barrier: p.br},
+		OnComplete: func(m *machine.Machine, msg *machine.Message) {
+			d := msg.UserData.(exMsgData)
+			run.barRecv[msg.Dst][d.round][d.barrier]++
+			run.maybeUnblock(m, msg.Dst)
+		},
+	}
+}
+
+// maybeUnblock wakes a node's program if the message it waits for has
+// arrived.
+func (r *exchangeRun) maybeUnblock(m *machine.Machine, node int) {
+	prog := r.progs[node]
+	if !prog.blocked {
+		return
+	}
+	round, br := prog.waitKey[0], prog.waitKey[1]
+	var ready bool
+	if br < 0 {
+		ready = r.dataRecv[node][round] >= r.cfg.P-1
+	} else {
+		ready = r.barRecv[node][round][br] >= 1
+	}
+	if ready {
+		prog.blocked = false
+		m.Unblock(node)
+	}
+}
+
+// RunExchange executes the bulk-synchronous exchange.
+func RunExchange(cfg ExchangeConfig) (ExchangeResult, error) {
+	if err := cfg.validate(); err != nil {
+		return ExchangeResult{}, err
+	}
+	barRounds := 0
+	for 1<<barRounds < cfg.P {
+		barRounds++
+	}
+	m := machine.New(machine.Config{P: cfg.P, NetLatency: cfg.Latency, Seed: cfg.Seed})
+	run := &exchangeRun{
+		cfg:           cfg,
+		barRounds:     barRounds,
+		dataRecv:      make([][]int, cfg.P),
+		barRecv:       make([][][]int, cfg.P),
+		remaining:     make([]int, cfg.Rounds),
+		dataRemaining: make([]int, cfg.Rounds),
+		roundEnd:      make([]float64, cfg.Rounds),
+		dataEnd:       make([]float64, cfg.Rounds),
+		progs:         make([]*exchangeProgram, cfg.P),
+	}
+	for r := range run.remaining {
+		run.remaining[r] = cfg.P
+		run.dataRemaining[r] = cfg.P
+	}
+	for i := 0; i < cfg.P; i++ {
+		run.dataRecv[i] = make([]int, cfg.Rounds+1)
+		run.barRecv[i] = make([][]int, cfg.Rounds+1)
+		for r := range run.barRecv[i] {
+			run.barRecv[i][r] = make([]int, barRounds+1)
+		}
+		prog := &exchangeProgram{run: run, k: 1}
+		run.progs[i] = prog
+		m.SetProgram(i, prog)
+	}
+	m.Start()
+	m.Run()
+
+	res := ExchangeResult{
+		RoundEnd:         run.roundEnd,
+		RoundTime:        make([]float64, cfg.Rounds),
+		DataTime:         make([]float64, cfg.Rounds),
+		Total:            run.roundEnd[cfg.Rounds-1],
+		SchedulePerRound: float64(cfg.P-1)*cfg.SendOverhead + cfg.Latency.Mean() + cfg.Handler.Mean(),
+	}
+	if cfg.Barrier {
+		res.BarrierPerRound = float64(barRounds) * (cfg.SendOverhead + cfg.Latency.Mean() + cfg.Handler.Mean())
+	}
+	prev := 0.0
+	for r, end := range run.roundEnd {
+		res.RoundTime[r] = end - prev
+		res.DataTime[r] = run.dataEnd[r] - prev
+		prev = end
+	}
+	return res, nil
+}

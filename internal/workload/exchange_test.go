@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func exCfg(p, rounds int, o float64, handler dist.Distribution, barrier bool, seed uint64) ExchangeConfig {
+	return ExchangeConfig{
+		P: p, Rounds: rounds,
+		SendOverhead: o,
+		Latency:      dist.NewDeterministic(40),
+		Handler:      handler,
+		Barrier:      barrier,
+		Seed:         seed,
+	}
+}
+
+// TestExchangeDeterministicIsPeriodic: with constant costs the
+// staggered schedule settles into perfectly periodic rounds, bounded
+// below by the LogP (polling-model) schedule and above by it plus one
+// handler insertion per arrival — the interrupt-driven machine lets
+// incoming handlers preempt the send loop, which pure LogP does not
+// model.
+func TestExchangeDeterministicIsPeriodic(t *testing.T) {
+	for _, p := range []int{4, 8, 32} {
+		res, err := RunExchange(exCfg(p, 10, 25, dist.NewDeterministic(20), false, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := float64(p-1)*25 + 40 + 20
+		if math.Abs(res.SchedulePerRound-sched) > 1e-9 {
+			t.Fatalf("P=%d: schedule %v, want %v", p, res.SchedulePerRound, sched)
+		}
+		upper := sched + float64(p-1)*20
+		first := res.RoundTime[0]
+		for r, rt := range res.RoundTime {
+			if math.Abs(rt-first) > 1e-9 {
+				t.Fatalf("P=%d: deterministic rounds not periodic: round %d took %v vs %v", p, r, rt, first)
+			}
+			if rt < sched-1e-9 || rt > upper+1e-9 {
+				t.Fatalf("P=%d round %d took %v, outside [%v, %v]", p, r, rt, sched, upper)
+			}
+		}
+	}
+}
+
+// TestExchangeSlowHandlersQueueEvenWhenScheduled: with h > o the
+// receivers cannot drain at the send rate, so even the deterministic
+// schedule queues and rounds exceed the naive estimate.
+func TestExchangeSlowHandlersQueueEvenWhenScheduled(t *testing.T) {
+	res, err := RunExchange(exCfg(16, 5, 10, dist.NewDeterministic(30), false, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Receiver-bound: the last of 15 messages cannot finish before
+	// 15·h after the first arrival.
+	lower := 15*30 + 40.0
+	for r, rt := range res.RoundTime {
+		if rt < lower-1e-9 {
+			t.Fatalf("round %d took %v, below receiver bound %v", r, rt, lower)
+		}
+		if rt <= res.SchedulePerRound {
+			t.Fatalf("round %d took %v, not above naive schedule %v", r, rt, res.SchedulePerRound)
+		}
+	}
+}
+
+// TestExchangeVarianceDecaysSchedule: exponential handlers make rounds
+// slower than the schedule — the CM-5 observation.
+func TestExchangeVarianceDecaysSchedule(t *testing.T) {
+	res, err := RunExchange(exCfg(32, 20, 25, dist.NewExponential(20), false, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean := res.MeanRoundTime(0, 20); mean <= res.SchedulePerRound {
+		t.Errorf("mean round %v not above schedule %v", mean, res.SchedulePerRound)
+	}
+}
+
+// TestExchangeBarrierResynchronizes: the introduction's claim — with
+// barriers the *data phase* stays tighter (the rounds restart
+// synchronized), at the price of the barrier itself, which is why the
+// original LogP study needed barriers on the CM-5 and why the paper
+// notes such barriers are expensive on most machines.
+func TestExchangeBarrierResynchronizes(t *testing.T) {
+	handler := func() dist.Distribution { return dist.NewExponential(20) }
+	noBar, err := RunExchange(exCfg(32, 30, 25, handler(), false, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withBar, err := RunExchange(exCfg(32, 30, 25, handler(), true, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steady-state tail (skip the first rounds while drift builds).
+	dataNo := noBar.MeanDataTime(10, 30)
+	dataBar := withBar.MeanDataTime(10, 30)
+	if dataBar >= dataNo {
+		t.Errorf("barrier did not tighten the data phase: %v with barrier, %v without", dataBar, dataNo)
+	}
+	if withBar.BarrierPerRound <= 0 {
+		t.Error("barrier cost not reported")
+	}
+	// And the barrier is not free: total rounds cost more with it.
+	if withBar.MeanRoundTime(10, 30) <= dataNo {
+		t.Errorf("expected the barrier's own cost to show in total round time")
+	}
+}
+
+// TestExchangeVarianceDecayIsPersistent: without barriers the decayed
+// state persists — late rounds stay well above what the same
+// configuration costs with deterministic handlers.
+func TestExchangeVarianceDecayIsPersistent(t *testing.T) {
+	det, err := RunExchange(exCfg(32, 30, 25, dist.NewDeterministic(20), false, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := RunExchange(exCfg(32, 30, 25, dist.NewExponential(20), false, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late := exp.MeanRoundTime(20, 30); late <= det.MeanRoundTime(20, 30) {
+		t.Errorf("late exponential rounds %v not above deterministic %v", late, det.MeanRoundTime(20, 30))
+	}
+}
+
+func TestExchangeBarrierDeterministicCost(t *testing.T) {
+	// Deterministic with barriers: rounds are periodic and cost at
+	// least schedule + barrier; the interrupt interference adds at most
+	// one handler per received message (data + barrier steps).
+	res, err := RunExchange(exCfg(16, 5, 25, dist.NewDeterministic(20), true, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := res.SchedulePerRound + res.BarrierPerRound
+	upper := lower + float64(16-1+4)*20
+	first := res.RoundTime[0]
+	for r, rt := range res.RoundTime {
+		if math.Abs(rt-first) > 1e-9 {
+			t.Fatalf("deterministic barrier rounds not periodic: round %d %v vs %v", r, rt, first)
+		}
+		if rt < lower-1e-9 || rt > upper+1e-9 {
+			t.Fatalf("round %d took %v, outside [%v, %v]", r, rt, lower, upper)
+		}
+	}
+}
+
+func TestExchangeRoundEndsMonotone(t *testing.T) {
+	res, err := RunExchange(exCfg(8, 10, 10, dist.NewExponential(30), false, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for r, end := range res.RoundEnd {
+		if end <= prev {
+			t.Fatalf("round %d end %v not after %v", r, end, prev)
+		}
+		prev = end
+	}
+	if res.Total != res.RoundEnd[len(res.RoundEnd)-1] {
+		t.Error("Total != last round end")
+	}
+}
+
+func TestExchangeConfigValidation(t *testing.T) {
+	bad := []ExchangeConfig{
+		{P: 1, Rounds: 1, Latency: dist.NewDeterministic(1), Handler: dist.NewDeterministic(1)},
+		{P: 4, Rounds: 0, Latency: dist.NewDeterministic(1), Handler: dist.NewDeterministic(1)},
+		{P: 4, Rounds: 1, Handler: dist.NewDeterministic(1)},
+		{P: 4, Rounds: 1, Latency: dist.NewDeterministic(1), Handler: dist.NewDeterministic(1), SendOverhead: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := RunExchange(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestExchangeMeanRoundTimeClamps(t *testing.T) {
+	res := ExchangeResult{RoundTime: []float64{1, 2, 3}}
+	if m := res.MeanRoundTime(-5, 100); math.Abs(m-2) > 1e-12 {
+		t.Errorf("clamped mean = %v, want 2", m)
+	}
+	if m := res.MeanRoundTime(2, 2); m != 0 {
+		t.Errorf("empty range mean = %v, want 0", m)
+	}
+}

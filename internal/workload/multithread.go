@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// MultithreadConfig describes the multithreaded all-to-all workload:
+// every node runs T computation threads, each independently cycling
+// through W cycles of work and a blocking request to a uniformly random
+// peer. While one thread waits for its reply the node's other threads
+// use the CPU — Alewife-style latency tolerance.
+type MultithreadConfig struct {
+	// P is the number of nodes; T the threads per node.
+	P, T int
+	// Work, Latency, Service are as in AllToAllConfig.
+	Work, Latency, Service dist.Distribution
+	// WarmupCycles and MeasureCycles are per-thread cycle counts.
+	WarmupCycles, MeasureCycles int
+	// Seed roots the run's random streams.
+	Seed uint64
+}
+
+func (c MultithreadConfig) validate() error {
+	switch {
+	case c.P < 2:
+		return fmt.Errorf("workload: multithread needs P >= 2, got %d", c.P)
+	case c.T < 1:
+		return fmt.Errorf("workload: T = %d", c.T)
+	case c.Work == nil || c.Latency == nil || c.Service == nil:
+		return fmt.Errorf("workload: nil distribution in config")
+	case c.MeasureCycles < 1:
+		return fmt.Errorf("workload: MeasureCycles = %d", c.MeasureCycles)
+	case c.WarmupCycles < 0:
+		return fmt.Errorf("workload: WarmupCycles = %d", c.WarmupCycles)
+	}
+	return nil
+}
+
+// MultithreadResult holds the measured statistics.
+type MultithreadResult struct {
+	// R is the per-thread compute/request cycle time (reply completion
+	// to reply completion).
+	R stats.Tally
+	// Rq and Ry are handler response times.
+	Rq, Ry stats.Tally
+	// XNode is the node-level cycle rate T/mean(R) implied by Little's
+	// law on the closed per-node population.
+	XNode float64
+	// ThreadUtil is the measured CPU fraction spent running threads.
+	ThreadUtil float64
+	// HandlerUtil is the measured CPU fraction spent in handlers.
+	HandlerUtil float64
+}
+
+type mtProgram struct {
+	run   *multithreadRun
+	tid   int
+	phase int
+	cycle int
+	cur   cycleTimestamps
+}
+
+type multithreadRun struct {
+	cfg     MultithreadConfig
+	res     *MultithreadResult
+	snapped bool
+}
+
+// Next implements machine.Program.
+func (p *mtProgram) Next(m *machine.Machine, self int) machine.Action {
+	cfg := p.run.cfg
+	switch p.phase {
+	case phaseStart:
+		p.cur.ready = m.Now()
+		p.phase = phaseSend
+		return machine.Compute(cfg.Work.Sample(m.Rand(self)))
+
+	case phaseSend:
+		p.cur.send = m.Now()
+		p.phase = phaseUnblocked
+		dst := m.Rand(self).Intn(cfg.P - 1)
+		if dst >= self {
+			dst++
+		}
+		tid := p.tid
+		req := &machine.Message{
+			Src: self, Dst: dst, Kind: machine.KindRequest, Service: cfg.Service,
+		}
+		p.cur.req = req
+		req.OnComplete = func(m *machine.Machine, msg *machine.Message) {
+			rep := &machine.Message{
+				Src: msg.Dst, Dst: msg.Src, Kind: machine.KindReply, Service: cfg.Service,
+			}
+			p.cur.rep = rep
+			rep.OnComplete = func(m *machine.Machine, rmsg *machine.Message) {
+				p.cur.repDone = rmsg.Done
+				m.UnblockThread(rmsg.Dst, tid)
+			}
+			m.Send(rep)
+		}
+		return machine.SendAndBlock(req)
+
+	case phaseUnblocked:
+		c := &p.cur
+		if p.cycle >= cfg.WarmupCycles {
+			res := p.run.res
+			res.R.Add(c.repDone - c.ready)
+			res.Rq.Add(c.req.Done - c.req.Arrived)
+			res.Ry.Add(c.rep.Done - c.rep.Arrived)
+		}
+		p.cycle++
+		p.cur = cycleTimestamps{ready: c.repDone}
+		if p.cycle >= cfg.WarmupCycles+cfg.MeasureCycles {
+			if !p.run.snapped {
+				p.run.snapped = true
+				s := m.Stats()
+				p.run.res.ThreadUtil = s.ThreadUtil
+				p.run.res.HandlerUtil = s.UtilReq + s.UtilRep
+			}
+			return machine.Halt()
+		}
+		p.phase = phaseSend
+		return machine.Compute(cfg.Work.Sample(m.Rand(self)))
+
+	default:
+		panic(fmt.Sprintf("workload: invalid multithread phase %d", p.phase))
+	}
+}
+
+// RunMultithread executes the multithreaded all-to-all workload.
+func RunMultithread(cfg MultithreadConfig) (MultithreadResult, error) {
+	if err := cfg.validate(); err != nil {
+		return MultithreadResult{}, err
+	}
+	m := machine.New(machine.Config{
+		P:          cfg.P,
+		NetLatency: cfg.Latency,
+		Seed:       cfg.Seed,
+	})
+	run := &multithreadRun{cfg: cfg, res: &MultithreadResult{}}
+	for i := 0; i < cfg.P; i++ {
+		for j := 0; j < cfg.T; j++ {
+			prog := &mtProgram{run: run}
+			prog.tid = m.AddThread(i, prog)
+		}
+	}
+	m.Start()
+	m.Run()
+	res := run.res
+	if mean := res.R.Mean(); mean > 0 {
+		res.XNode = float64(cfg.T) / mean
+	}
+	return *res, nil
+}

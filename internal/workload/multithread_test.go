@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+func mtCfg(t int, seed uint64) MultithreadConfig {
+	return MultithreadConfig{
+		P: 32, T: t,
+		Work:         dist.NewDeterministic(512),
+		Latency:      dist.NewDeterministic(40),
+		Service:      dist.NewDeterministic(200),
+		WarmupCycles: 200, MeasureCycles: 800,
+		Seed: seed,
+	}
+}
+
+// TestMultithreadSingleThreadMatchesAllToAll: T=1 must reproduce the
+// plain all-to-all workload's measurements.
+func TestMultithreadSingleThreadMatchesAllToAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	mt, err := RunMultithread(mtCfg(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := RunAllToAll(AllToAllConfig{
+		P:             32,
+		Work:          dist.NewDeterministic(512),
+		Latency:       dist.NewDeterministic(40),
+		Service:       dist.NewDeterministic(200),
+		WarmupCycles:  200,
+		MeasureCycles: 800,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(mt.R.Mean()-at.R.Mean()) / at.R.Mean(); rel > 0.01 {
+		t.Errorf("T=1 multithread R %v vs all-to-all R %v (rel %v)", mt.R.Mean(), at.R.Mean(), rel)
+	}
+}
+
+// TestMultithreadLatencyHidingCurve: node throughput rises with T and
+// saturates at the conservation bound 1/(W+2So), never exceeding it.
+func TestMultithreadLatencyHidingCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	bound := 1.0 / (512 + 2*200)
+	prev := 0.0
+	for _, tc := range []int{1, 2, 4, 8} {
+		sim, err := RunMultithread(mtCfg(tc, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sim.XNode < prev-1e-6 {
+			t.Errorf("T=%d: XNode %v dropped below T-1's %v", tc, sim.XNode, prev)
+		}
+		if sim.XNode > bound*1.01 {
+			t.Errorf("T=%d: XNode %v exceeds conservation bound %v", tc, sim.XNode, bound)
+		}
+		prev = sim.XNode
+	}
+	if prev < 0.99*bound {
+		t.Errorf("saturated throughput %v did not reach bound %v", prev, bound)
+	}
+}
+
+// TestMultithreadModelAccuracy: the Multithreaded model tracks the
+// simulator within ~10% across the latency-hiding curve and becomes
+// essentially exact at saturation.
+func TestMultithreadModelAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	for _, tc := range []int{1, 2, 4, 8} {
+		sim, err := RunMultithread(mtCfg(tc, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := core.Multithreaded(core.Params{P: 32, W: 512, St: 40, So: 200, C2: 0}, tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := (model.XNode - sim.XNode) / sim.XNode
+		if rel > 0.02 || rel < -0.12 {
+			t.Errorf("T=%d: model XNode %v vs sim %v (rel %+.1f%%)", tc, model.XNode, sim.XNode, rel*100)
+		}
+		if tc >= 8 {
+			if math.Abs(rel) > 0.01 {
+				t.Errorf("T=%d (saturated): model %v vs sim %v", tc, model.XNode, sim.XNode)
+			}
+		}
+	}
+}
+
+// TestMultithreadedModelStructure checks the model's own invariants.
+func TestMultithreadedModelStructure(t *testing.T) {
+	p := core.Params{P: 32, W: 512, St: 40, So: 200, C2: 0}
+	prev := 0.0
+	for _, tc := range []int{1, 2, 3, 4, 8, 16, 32} {
+		res, err := core.Multithreaded(p, tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.XNode < prev-1e-9 {
+			t.Errorf("model XNode not monotone in T at %d", tc)
+		}
+		if res.XNode > res.Bound+1e-9 {
+			t.Errorf("T=%d: model XNode %v above bound %v", tc, res.XNode, res.Bound)
+		}
+		if res.CPUUtil > 1+1e-6 {
+			t.Errorf("T=%d: CPU utilization %v > 1", tc, res.CPUUtil)
+		}
+		prev = res.XNode
+	}
+	// The knee estimate is where the curve saturates: at T beyond it
+	// the model should be within a few percent of the bound.
+	res, _ := core.Multithreaded(p, 1)
+	knee := int(math.Ceil(res.SaturationThreads)) + 1
+	sat, err := core.Multithreaded(p, knee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat.XNode < 0.9*sat.Bound {
+		t.Errorf("XNode at T=%d (past knee) is %v, bound %v", knee, sat.XNode, sat.Bound)
+	}
+}
+
+func TestMultithreadedModelErrors(t *testing.T) {
+	p := core.Params{P: 32, W: 512, St: 40, So: 200, C2: 0}
+	if _, err := core.Multithreaded(p, 0); err == nil {
+		t.Error("T=0 accepted")
+	}
+	pp := p
+	pp.ProtocolProcessor = true
+	if _, err := core.Multithreaded(pp, 2); err == nil {
+		t.Error("protocol-processor variant accepted")
+	}
+	if _, err := core.Multithreaded(core.Params{P: 1}, 2); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestMultithreadConfigValidation(t *testing.T) {
+	bad := []MultithreadConfig{
+		{P: 1, T: 1, Work: dist.NewDeterministic(1), Latency: dist.NewDeterministic(1), Service: dist.NewDeterministic(1), MeasureCycles: 1},
+		{P: 4, T: 0, Work: dist.NewDeterministic(1), Latency: dist.NewDeterministic(1), Service: dist.NewDeterministic(1), MeasureCycles: 1},
+		{P: 4, T: 1, Latency: dist.NewDeterministic(1), Service: dist.NewDeterministic(1), MeasureCycles: 1},
+		{P: 4, T: 1, Work: dist.NewDeterministic(1), Latency: dist.NewDeterministic(1), Service: dist.NewDeterministic(1), MeasureCycles: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := RunMultithread(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// NonBlockingConfig describes the non-blocking variant of the
+// homogeneous pattern (the paper's future-work extension): each thread
+// alternates W cycles of work with a fire-and-forget request to a
+// uniformly random peer; the reply handler deposits its result without
+// unblocking anything, so the thread always has work and requests
+// overlap computation.
+type NonBlockingConfig struct {
+	// P is the number of nodes.
+	P int
+	// Work, Latency, Service are as in AllToAllConfig.
+	Work, Latency, Service dist.Distribution
+	// WarmupCycles and MeasureCycles count sends per thread.
+	WarmupCycles, MeasureCycles int
+	// ProtocolProcessor runs handlers beside the thread rather than on
+	// it.
+	ProtocolProcessor bool
+	// Seed roots the run's random streams.
+	Seed uint64
+}
+
+func (c NonBlockingConfig) validate() error {
+	switch {
+	case c.P < 2:
+		return fmt.Errorf("workload: non-blocking needs P >= 2, got %d", c.P)
+	case c.Work == nil || c.Latency == nil || c.Service == nil:
+		return fmt.Errorf("workload: nil distribution in config")
+	case c.MeasureCycles < 1:
+		return fmt.Errorf("workload: MeasureCycles = %d", c.MeasureCycles)
+	case c.WarmupCycles < 0:
+		return fmt.Errorf("workload: WarmupCycles = %d", c.WarmupCycles)
+	}
+	return nil
+}
+
+// NonBlockingResult holds the measured statistics.
+type NonBlockingResult struct {
+	// X is per-thread throughput: 1 / mean inter-send time.
+	X float64
+	// CycleTime is the time between a thread's consecutive sends.
+	CycleTime stats.Tally
+	// Latency is the time from injecting a request to its reply handler
+	// completing at home.
+	Latency stats.Tally
+	// Rq and Ry are handler response times (arrival to completion).
+	Rq, Ry stats.Tally
+	// HandlerUtil is the measured fraction of processor time spent in
+	// handlers over the measurement window.
+	HandlerUtil float64
+}
+
+type nbProgram struct {
+	run      *nonBlockingRun
+	sends    int
+	working  bool // a Compute was just issued; next step is the send
+	lastSend float64
+	started  bool
+}
+
+type nonBlockingRun struct {
+	cfg        NonBlockingConfig
+	res        *NonBlockingResult
+	warmupLeft int
+	statsReset bool
+	snapped    bool
+}
+
+// Next implements machine.Program.
+func (p *nbProgram) Next(m *machine.Machine, self int) machine.Action {
+	cfg := p.run.cfg
+	if !p.working {
+		// Start (or continue with) a work period.
+		if p.sends >= cfg.WarmupCycles+cfg.MeasureCycles {
+			if !p.run.snapped {
+				p.run.snapped = true
+				p.run.res.HandlerUtil = handlerUtil(m)
+			}
+			return machine.Halt()
+		}
+		p.working = true
+		return machine.Compute(cfg.Work.Sample(m.Rand(self)))
+	}
+
+	// Work finished: fire the request and loop back to working state.
+	p.working = false
+	now := m.Now()
+	measured := p.sends >= cfg.WarmupCycles
+	if p.started && measured {
+		p.run.res.CycleTime.Add(now - p.lastSend)
+	}
+	p.started = true
+	p.lastSend = now
+	p.sends++
+	if p.sends == cfg.WarmupCycles && cfg.WarmupCycles > 0 {
+		p.run.warmupLeft--
+		if p.run.warmupLeft == 0 && !p.run.statsReset {
+			p.run.statsReset = true
+			m.ResetStats()
+		}
+	}
+
+	dst := m.Rand(self).Intn(cfg.P - 1)
+	if dst >= self {
+		dst++
+	}
+	sent := now
+	run := p.run
+	return machine.SendAsync(&machine.Message{
+		Src: self, Dst: dst, Kind: machine.KindRequest, Service: cfg.Service,
+		OnComplete: func(m *machine.Machine, msg *machine.Message) {
+			if measured {
+				run.res.Rq.Add(msg.Done - msg.Arrived)
+			}
+			m.Send(&machine.Message{
+				Src: msg.Dst, Dst: msg.Src, Kind: machine.KindReply, Service: cfg.Service,
+				OnComplete: func(m *machine.Machine, rmsg *machine.Message) {
+					if measured {
+						run.res.Ry.Add(rmsg.Done - rmsg.Arrived)
+						run.res.Latency.Add(rmsg.Done - sent)
+					}
+				},
+			})
+		},
+	})
+}
+
+// handlerUtil reads the machine-wide handler utilization.
+func handlerUtil(m *machine.Machine) float64 {
+	s := m.Stats()
+	return s.UtilReq + s.UtilRep
+}
+
+// RunNonBlocking executes the non-blocking workload.
+func RunNonBlocking(cfg NonBlockingConfig) (NonBlockingResult, error) {
+	if err := cfg.validate(); err != nil {
+		return NonBlockingResult{}, err
+	}
+	m := machine.New(machine.Config{
+		P:                 cfg.P,
+		NetLatency:        cfg.Latency,
+		ProtocolProcessor: cfg.ProtocolProcessor,
+		Seed:              cfg.Seed,
+	})
+	run := &nonBlockingRun{cfg: cfg, res: &NonBlockingResult{}, warmupLeft: cfg.P}
+	if cfg.WarmupCycles == 0 {
+		run.warmupLeft = 0
+		run.statsReset = true
+	}
+	for i := 0; i < cfg.P; i++ {
+		m.SetProgram(i, &nbProgram{run: run})
+	}
+	m.Start()
+	m.Run()
+	res := run.res
+	if !run.snapped {
+		res.HandlerUtil = handlerUtil(m)
+	}
+	if mean := res.CycleTime.Mean(); mean > 0 {
+		res.X = 1 / mean
+	}
+	return *res, nil
+}

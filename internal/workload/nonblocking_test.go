@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+func nbConfig(w float64, pp bool, seed uint64) NonBlockingConfig {
+	return NonBlockingConfig{
+		P:                 32,
+		Work:              dist.NewDeterministic(w),
+		Latency:           dist.NewDeterministic(40),
+		Service:           dist.NewDeterministic(200),
+		WarmupCycles:      300,
+		MeasureCycles:     1500,
+		ProtocolProcessor: pp,
+		Seed:              seed,
+	}
+}
+
+// TestNonBlockingThroughputConservation: the model's headline result —
+// per-thread throughput is exactly 1/(W+2So) because the processor
+// never idles — holds in simulation to well under a percent.
+func TestNonBlockingThroughputConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	for _, w := range []float64{200, 800, 3200} {
+		sim, err := RunNonBlocking(nbConfig(w, false, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := core.NonBlocking(core.Params{P: 32, W: w, St: 40, So: 200, C2: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := (model.X - sim.X) / sim.X
+		if math.Abs(rel) > 0.01 {
+			t.Errorf("W=%v: model X=%.6f vs sim X=%.6f (rel %.2f%%)", w, model.X, sim.X, rel*100)
+		}
+	}
+}
+
+// TestNonBlockingLatency: request latency tracks the M/G/1-style
+// prediction.
+func TestNonBlockingLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	for _, w := range []float64{400, 1600} {
+		sim, err := RunNonBlocking(nbConfig(w, false, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := core.NonBlocking(core.Params{P: 32, W: w, St: 40, So: 200, C2: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The model assumes Poisson handler arrivals; the real merged
+		// stream of near-periodic senders is smoother, so the model is
+		// conservative (over-predicts), most at high handler load.
+		rel := (model.Latency - sim.Latency.Mean()) / sim.Latency.Mean()
+		if rel < -0.02 || rel > 0.16 {
+			t.Errorf("W=%v: model latency=%.1f vs sim=%.1f (rel %.1f%%)",
+				w, model.Latency, sim.Latency.Mean(), rel*100)
+		}
+	}
+}
+
+// TestNonBlockingBeatsBlockingThroughput: overlapping communication
+// with computation shortens the effective cycle: 1/X = W + 2So is below
+// the blocking R = W + 2St + Rq + Ry + interference for the same
+// parameters.
+func TestNonBlockingBeatsBlockingThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	nb, err := RunNonBlocking(nbConfig(512, false, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := RunAllToAll(stdAllToAll(512, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbCycle := 1 / nb.X
+	if nbCycle >= bl.R.Mean() {
+		t.Errorf("non-blocking cycle %v not below blocking cycle %v", nbCycle, bl.R.Mean())
+	}
+}
+
+// TestNonBlockingHandlerUtil: measured handler occupancy matches
+// 2·X·So.
+func TestNonBlockingHandlerUtil(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	sim, err := RunNonBlocking(nbConfig(800, false, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * sim.X * 200
+	if math.Abs(sim.HandlerUtil-want) > 0.03 {
+		t.Errorf("handler util %.3f, want ~%.3f", sim.HandlerUtil, want)
+	}
+}
+
+// TestNonBlockingProtocolProcessor: with a protocol processor the
+// thread is never interrupted, so X = 1/W exactly; the PP carries
+// utilization 2So/W.
+func TestNonBlockingProtocolProcessor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	sim, err := RunNonBlocking(nbConfig(800, true, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sim.X-1.0/800) > 1e-9 {
+		t.Errorf("PP non-blocking X = %v, want exactly 1/800", sim.X)
+	}
+	model, err := core.NonBlocking(core.Params{P: 32, W: 800, St: 40, So: 200, C2: 0, ProtocolProcessor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(model.X-1.0/800) > 1e-12 {
+		t.Errorf("PP model X = %v, want 1/800", model.X)
+	}
+	relLat := (model.Latency - sim.Latency.Mean()) / sim.Latency.Mean()
+	if math.Abs(relLat) > 0.10 {
+		t.Errorf("PP latency model %.1f vs sim %.1f", model.Latency, sim.Latency.Mean())
+	}
+}
+
+func TestNonBlockingModelSaturation(t *testing.T) {
+	// W = 0 in the interrupt model drives handler load to exactly 1.
+	if _, err := core.NonBlocking(core.Params{P: 32, W: 0, St: 40, So: 200, C2: 0}); err == nil {
+		t.Error("saturated non-blocking model accepted")
+	}
+	// PP mode needs 2So < W.
+	if _, err := core.NonBlocking(core.Params{P: 32, W: 300, St: 40, So: 200, C2: 0, ProtocolProcessor: true}); err == nil {
+		t.Error("saturated PP non-blocking model accepted")
+	}
+}
+
+func TestNonBlockingModelMM1Limits(t *testing.T) {
+	// C² = 1 must give the M/M/1 sojourn So/(1−2a); C² = 0 the M/D/1
+	// sojourn So(1−a)/(1−2a).
+	p := core.Params{P: 32, W: 800, St: 40, So: 200, C2: 1}
+	res, err := core.NonBlocking(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.X * 200
+	if want := 200 / (1 - 2*a); math.Abs(res.Rq-want) > 1e-9 {
+		t.Errorf("C²=1 Rq = %v, want M/M/1 %v", res.Rq, want)
+	}
+	p.C2 = 0
+	res, err = core.NonBlocking(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 200 * (1 - a) / (1 - 2*a); math.Abs(res.Rq-want) > 1e-9 {
+		t.Errorf("C²=0 Rq = %v, want M/D/1 %v", res.Rq, want)
+	}
+	// Little's law for outstanding requests.
+	if want := res.X * res.Latency; math.Abs(res.Outstanding-want) > 1e-12 {
+		t.Errorf("Outstanding = %v, want X·Latency = %v", res.Outstanding, want)
+	}
+}
+
+func TestNonBlockingConfigValidation(t *testing.T) {
+	bad := []NonBlockingConfig{
+		{P: 1, Work: dist.NewDeterministic(1), Latency: dist.NewDeterministic(1), Service: dist.NewDeterministic(1), MeasureCycles: 1},
+		{P: 4, Latency: dist.NewDeterministic(1), Service: dist.NewDeterministic(1), MeasureCycles: 1},
+		{P: 4, Work: dist.NewDeterministic(1), Latency: dist.NewDeterministic(1), Service: dist.NewDeterministic(1), MeasureCycles: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := RunNonBlocking(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestNonBlockingCycleCount(t *testing.T) {
+	cfg := nbConfig(100, false, 6)
+	cfg.P = 4
+	cfg.WarmupCycles, cfg.MeasureCycles = 10, 50
+	sim, err := RunNonBlocking(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each thread records MeasureCycles−0 or −1 intervals depending on
+	// the warmup boundary; with warmup > 0 it is exactly MeasureCycles.
+	if sim.CycleTime.N() != int64(4*50) {
+		t.Errorf("recorded %d intervals, want %d", sim.CycleTime.N(), 4*50)
+	}
+	if sim.Latency.N() == 0 || sim.Rq.N() == 0 {
+		t.Error("no latency / handler samples recorded")
+	}
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// TestAllToAllInvariantsProperty drives the simulator over random
+// configurations and checks the structural invariants the model's
+// derivation rests on:
+//
+//	R ≥ contention-free time (the lower bound of Eq. 5.12)
+//	R = Rw + net + Rq + Ry  (the Figure 4-3 decomposition, exactly)
+//	Rw ≥ W, Rq ≥ So, Ry ≥ So  (deterministic costs)
+//	net = 2·St exactly  (contention-free network)
+func TestAllToAllInvariantsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	f := func(seed uint64, pRaw, wRaw, stRaw, soRaw uint8) bool {
+		p := int(pRaw%11) + 2 // 2..12
+		w := float64(wRaw) * 8
+		st := float64(stRaw%100) + 1
+		so := float64(soRaw%200) + 20
+		sim, err := RunAllToAll(AllToAllConfig{
+			P:             p,
+			Work:          dist.NewDeterministic(w),
+			Latency:       dist.NewDeterministic(st),
+			Service:       dist.NewDeterministic(so),
+			WarmupCycles:  20,
+			MeasureCycles: 120,
+			Seed:          seed,
+		})
+		if err != nil {
+			return false
+		}
+		cf := w + 2*st + 2*so
+		if sim.R.Mean() < cf-1e-9 || sim.R.Min() < cf-1e-9 {
+			return false
+		}
+		sum := sim.Rw.Mean() + sim.Net.Mean() + sim.Rq.Mean() + sim.Ry.Mean()
+		if math.Abs(sum-sim.R.Mean()) > 1e-6 {
+			return false
+		}
+		if sim.Rw.Min() < w-1e-9 || sim.Rq.Min() < so-1e-9 || sim.Ry.Min() < so-1e-9 {
+			return false
+		}
+		return math.Abs(sim.Net.Mean()-2*st) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllToAllUpperBoundProperty: simulated response stays below the
+// Eq. 5.12 upper bound across random deterministic configurations.
+func TestAllToAllUpperBoundProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	beta := core.UpperBoundBeta(0)
+	f := func(seed uint64, wRaw, soRaw uint8) bool {
+		w := float64(wRaw) * 8
+		so := float64(soRaw%200) + 20
+		sim, err := RunAllToAll(AllToAllConfig{
+			P:             16,
+			Work:          dist.NewDeterministic(w),
+			Latency:       dist.NewDeterministic(40),
+			Service:       dist.NewDeterministic(so),
+			WarmupCycles:  40,
+			MeasureCycles: 200,
+			Seed:          seed,
+		})
+		if err != nil {
+			return false
+		}
+		return sim.R.Mean() <= w+80+beta*so+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkpileBoundsProperty: simulated work-pile throughput never
+// exceeds the LogP-style optimistic bounds, at any allocation.
+func TestWorkpileBoundsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	f := func(seed uint64, psRaw, wRaw uint8) bool {
+		ps := int(psRaw%14) + 1
+		w := 200 + float64(wRaw)*16
+		sim, err := RunWorkpile(WorkpileConfig{
+			P: 16, Ps: ps,
+			Chunk:      dist.NewExponential(w),
+			Latency:    dist.NewDeterministic(40),
+			Service:    dist.NewDeterministic(100),
+			WarmupTime: 30_000, MeasureTime: 400_000,
+			Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		server, client := core.ClientServerBounds(core.ClientServerParams{
+			P: 16, Ps: ps, W: w, St: 40, So: 100, C2: 0,
+		})
+		// The allowance covers finite-window measurement noise: with
+		// few clients and exponential chunks the window holds only a
+		// few hundred completions, so the estimator carries several
+		// percent of standard error.
+		return sim.X <= math.Min(server, client)*1.10+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonBlockingConservationProperty: per-thread non-blocking
+// throughput equals 1/(W+2So) across random configurations.
+func TestNonBlockingConservationProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	f := func(seed uint64, wRaw, soRaw uint8) bool {
+		w := 100 + float64(wRaw)*8
+		so := 20 + float64(soRaw%150)
+		sim, err := RunNonBlocking(NonBlockingConfig{
+			P:            8,
+			Work:         dist.NewDeterministic(w),
+			Latency:      dist.NewDeterministic(30),
+			Service:      dist.NewDeterministic(so),
+			WarmupCycles: 50, MeasureCycles: 400,
+			Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		want := 1 / (w + 2*so)
+		return math.Abs(sim.X-want)/want < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllToAllSeedInsensitivityOfMeans: different seeds give means
+// within statistical noise of each other (a smoke test for hidden
+// seed-dependent bias).
+func TestAllToAllSeedInsensitivityOfMeans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	var means []float64
+	for seed := uint64(1); seed <= 5; seed++ {
+		sim, err := RunAllToAll(stdAllToAll(256, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		means = append(means, sim.R.Mean())
+	}
+	lo, hi := means[0], means[0]
+	for _, m := range means {
+		lo, hi = math.Min(lo, m), math.Max(hi, m)
+	}
+	if (hi-lo)/lo > 0.02 {
+		t.Errorf("seed spread %.2f%% across means %v", 100*(hi-lo)/lo, means)
+	}
+}

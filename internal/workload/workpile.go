@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// WorkpileConfig describes a client-server work-pile run (Chapter 6):
+// the first P−Ps nodes are clients that process chunks of work and
+// request the next chunk from a uniformly random server; the last Ps
+// nodes are servers whose threads are idle — they only run request
+// handlers.
+type WorkpileConfig struct {
+	// P is the total node count; the last Ps nodes act as servers.
+	P, Ps int
+	// Chunk is the distribution of work per chunk at a client (the
+	// paper motivates work-piles by highly variable chunk sizes, so an
+	// exponential with mean W is the natural choice).
+	Chunk dist.Distribution
+	// PerClientChunk optionally overrides Chunk per client (length
+	// P−Ps): heterogeneous client classes for validating the general
+	// model and multiclass MVA. Nil entries fall back to Chunk.
+	PerClientChunk []dist.Distribution
+	// Latency is the per-trip network latency distribution.
+	Latency dist.Distribution
+	// Service is the handler service distribution (request handler at
+	// the server handing out a chunk descriptor; reply handler at the
+	// client).
+	Service dist.Distribution
+	// WarmupTime and MeasureTime bound the run: statistics cover
+	// [WarmupTime, WarmupTime+MeasureTime] of simulated cycles. The
+	// work-pile is measured over a time window (not a cycle count)
+	// because throughput is the metric of interest.
+	WarmupTime, MeasureTime float64
+	// Seed roots the run's random streams.
+	Seed uint64
+}
+
+func (c WorkpileConfig) validate() error {
+	switch {
+	case c.P < 2 || c.Ps < 1 || c.Ps >= c.P:
+		return fmt.Errorf("workload: need 1 <= Ps < P, got Ps=%d P=%d", c.Ps, c.P)
+	case c.Chunk == nil || c.Latency == nil || c.Service == nil:
+		return fmt.Errorf("workload: nil distribution in config")
+	case c.PerClientChunk != nil && len(c.PerClientChunk) != c.P-c.Ps:
+		return fmt.Errorf("workload: PerClientChunk has %d entries for %d clients", len(c.PerClientChunk), c.P-c.Ps)
+	case c.WarmupTime < 0 || c.MeasureTime <= 0:
+		return fmt.Errorf("workload: invalid window warmup=%v measure=%v", c.WarmupTime, c.MeasureTime)
+	}
+	return nil
+}
+
+// WorkpileResult holds the measured work-pile statistics.
+type WorkpileResult struct {
+	// X is the system throughput: chunks completed per cycle during the
+	// measurement window, across the whole machine.
+	X float64
+	// R is the client compute/request cycle time.
+	R stats.Tally
+	// Rs is the response time of chunk requests at the servers
+	// (queueing + service) — the model's Rs.
+	Rs stats.Tally
+	// Qs is the time-averaged number of requests present per server; at
+	// the optimal allocation the model says this is 1.
+	Qs float64
+	// Us is the time-averaged utilization per server.
+	Us float64
+	// Chunks is the number of chunks completed in the window.
+	Chunks int64
+	// ChunksByClient counts completed chunks per client node (indices
+	// 0..Pc−1), for per-class throughput with heterogeneous clients.
+	ChunksByClient []int64
+}
+
+// wpProgram drives one client.
+type wpProgram struct {
+	run   *workpileRun
+	chunk dist.Distribution
+	phase int
+	cur   cycleTimestamps
+}
+
+type workpileRun struct {
+	cfg    WorkpileConfig
+	res    *WorkpileResult
+	inWin  func(t float64) bool
+	chunks int64
+}
+
+// Next implements machine.Program.
+func (p *wpProgram) Next(m *machine.Machine, self int) machine.Action {
+	switch p.phase {
+	case phaseStart:
+		p.cur.ready = m.Now()
+		p.phase = phaseSend
+		return machine.Compute(p.chunk.Sample(m.Rand(self)))
+
+	case phaseSend:
+		p.cur.send = m.Now()
+		p.phase = phaseUnblocked
+		// Pick a uniformly random server.
+		pc := p.run.cfg.P - p.run.cfg.Ps
+		dst := pc + m.Rand(self).Intn(p.run.cfg.Ps)
+		req := &machine.Message{
+			Src: self, Dst: dst, Kind: machine.KindRequest, Service: p.run.cfg.Service,
+		}
+		p.cur.req = req
+		req.OnComplete = func(m *machine.Machine, msg *machine.Message) {
+			rep := &machine.Message{
+				Src: msg.Dst, Dst: msg.Src, Kind: machine.KindReply, Service: p.run.cfg.Service,
+			}
+			p.cur.rep = rep
+			rep.OnComplete = func(m *machine.Machine, rmsg *machine.Message) {
+				p.cur.repDone = rmsg.Done
+				m.Unblock(rmsg.Dst)
+			}
+			m.Send(rep)
+		}
+		return machine.SendAndBlock(req)
+
+	case phaseUnblocked:
+		c := &p.cur
+		if p.run.inWin(c.repDone) {
+			res := p.run.res
+			res.R.Add(c.repDone - c.ready)
+			res.Rs.Add(c.req.Done - c.req.Arrived)
+			p.run.chunks++
+			res.ChunksByClient[self]++
+		}
+		p.cur = cycleTimestamps{ready: c.repDone}
+		p.phase = phaseSend
+		return machine.Compute(p.chunk.Sample(m.Rand(self)))
+
+	default:
+		panic(fmt.Sprintf("workload: invalid work-pile phase %d", p.phase))
+	}
+}
+
+// RunWorkpile executes one work-pile simulation.
+func RunWorkpile(cfg WorkpileConfig) (WorkpileResult, error) {
+	if err := cfg.validate(); err != nil {
+		return WorkpileResult{}, err
+	}
+	m := machine.New(machine.Config{
+		P:          cfg.P,
+		NetLatency: cfg.Latency,
+		Seed:       cfg.Seed,
+	})
+	end := cfg.WarmupTime + cfg.MeasureTime
+	pc := cfg.P - cfg.Ps
+	run := &workpileRun{
+		cfg: cfg,
+		res: &WorkpileResult{ChunksByClient: make([]int64, pc)},
+		inWin: func(t float64) bool {
+			return t >= cfg.WarmupTime && t <= end
+		},
+	}
+	for i := 0; i < pc; i++ {
+		chunk := cfg.Chunk
+		if cfg.PerClientChunk != nil && cfg.PerClientChunk[i] != nil {
+			chunk = cfg.PerClientChunk[i]
+		}
+		m.SetProgram(i, &wpProgram{run: run, chunk: chunk})
+	}
+	m.Start()
+	m.RunUntil(cfg.WarmupTime)
+	m.ResetStats()
+	m.RunUntil(end)
+
+	res := run.res
+	res.Chunks = run.chunks
+	res.X = float64(run.chunks) / cfg.MeasureTime
+	// Server-side time averages over the measurement window.
+	for s := pc; s < cfg.P; s++ {
+		ns := m.NodeStats(s)
+		res.Qs += ns.ReqQueue
+		res.Us += ns.UtilReq
+	}
+	res.Qs /= float64(cfg.Ps)
+	res.Us /= float64(cfg.Ps)
+	return *res, nil
+}
