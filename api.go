@@ -6,6 +6,8 @@ import (
 	"repro/internal/dist"
 	"repro/internal/fit"
 	"repro/internal/logp"
+	"repro/internal/rng"
+	"repro/internal/runner"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -259,3 +261,57 @@ func FitAllToAll(obs []FitObservation, p int, c2 float64) (FitResult, error) {
 // Perfetto JSON). Set it as the Observer of a simulation config, run,
 // then call WriteJSON.
 type Tracer = trace.Tracer
+
+// --- Parallel execution (internal/runner) ---
+
+// ParallelOptions tunes a parallel run: worker count (Jobs), and
+// optional progress reporting (Progress/Label/Every). Jobs changes
+// wall-clock time only, never results.
+type ParallelOptions = runner.Options
+
+// RunParallel executes task(0) … task(n-1) on a bounded worker pool and
+// returns results in task order. Tasks must be pure functions of their
+// index (derive per-task seeds with DeriveSeed); under that contract
+// output is bit-identical for every Jobs value. On failure it returns
+// the error of the lowest-indexed failed task, exactly as a sequential
+// run would.
+func RunParallel[T any](n int, opts ParallelOptions, task func(i int) (T, error)) ([]T, error) {
+	return runner.Map(n, opts, task)
+}
+
+// DeriveSeed returns the seed for task index of a run rooted at root —
+// the substream-derivation scheme (SplitMix64 jump, see internal/rng)
+// every parallel path of this repository uses. It is a pure function of
+// (root, index), which is what keeps parallel runs reproducible.
+func DeriveSeed(root, index uint64) uint64 { return rng.SeedAt(root, index) }
+
+// ReplicatedAllToAll aggregates independent all-to-all replications:
+// per-replication means feed stats.Tally fields, so Mean() and
+// HalfWidth95() give point estimates with confidence intervals.
+type ReplicatedAllToAll = workload.ReplicatedAllToAll
+
+// SimulateAllToAllN runs reps independent replications of cfg, up to
+// jobs concurrently (jobs <= 0 means GOMAXPROCS). Replication i uses
+// DeriveSeed(cfg.Seed, i), so results do not depend on jobs.
+func SimulateAllToAllN(cfg SimAllToAllConfig, reps, jobs int) (ReplicatedAllToAll, error) {
+	return workload.RunAllToAllN(cfg, reps, jobs)
+}
+
+// ReplicatedWorkpile aggregates independent work-pile replications.
+type ReplicatedWorkpile = workload.ReplicatedWorkpile
+
+// SimulateWorkpileN runs reps independent work-pile replications, up to
+// jobs concurrently, seeded like SimulateAllToAllN.
+func SimulateWorkpileN(cfg SimWorkpileConfig, reps, jobs int) (ReplicatedWorkpile, error) {
+	return workload.RunWorkpileN(cfg, reps, jobs)
+}
+
+// SweepParallel runs one all-to-all simulation per config, up to jobs
+// concurrently, and returns results in config order. Each point is an
+// independent simulation rooted at its own config's seed, so the sweep
+// is deterministic for every jobs value.
+func SweepParallel(cfgs []SimAllToAllConfig, jobs int) ([]SimAllToAllResult, error) {
+	return runner.Map(len(cfgs), runner.Options{Jobs: jobs}, func(i int) (SimAllToAllResult, error) {
+		return workload.RunAllToAll(cfgs[i])
+	})
+}

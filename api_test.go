@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro"
@@ -165,5 +166,90 @@ func TestFacadeLogP(t *testing.T) {
 	}
 	if finish <= 0 {
 		t.Errorf("broadcast finish = %v", finish)
+	}
+}
+
+// TestSweepParallelDeterministicAcrossJobs: the facade's parallel sweep
+// must return bit-identical results for any worker count — the
+// determinism guarantee the CLIs inherit.
+func TestSweepParallelDeterministicAcrossJobs(t *testing.T) {
+	var cfgs []repro.SimAllToAllConfig
+	for _, w := range []float64{0, 64, 256, 1024} {
+		cfgs = append(cfgs, repro.SimAllToAllConfig{
+			P:             16,
+			Work:          repro.Deterministic(w),
+			Latency:       repro.Deterministic(40),
+			Service:       repro.Deterministic(200),
+			WarmupCycles:  30,
+			MeasureCycles: 100,
+			Seed:          1,
+		})
+	}
+	seq, err := repro.SweepParallel(cfgs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := repro.SweepParallel(cfgs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("SweepParallel results differ between jobs=1 and jobs=8")
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i].R.Mean() <= seq[i-1].R.Mean() {
+			t.Errorf("R not increasing with W: point %d R %v <= point %d R %v",
+				i, seq[i].R.Mean(), i-1, seq[i-1].R.Mean())
+		}
+	}
+}
+
+// TestSimulateAllToAllNFacade: replications aggregate with confidence
+// intervals and are jobs-independent through the public API.
+func TestSimulateAllToAllNFacade(t *testing.T) {
+	cfg := repro.SimAllToAllConfig{
+		P:             16,
+		Work:          repro.Deterministic(256),
+		Latency:       repro.Deterministic(40),
+		Service:       repro.Deterministic(200),
+		WarmupCycles:  30,
+		MeasureCycles: 100,
+		Seed:          2,
+	}
+	seq, err := repro.SimulateAllToAllN(cfg, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := repro.SimulateAllToAllN(cfg, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("SimulateAllToAllN aggregates differ between jobs=1 and jobs=4")
+	}
+	if seq.R.N() != 4 || math.IsInf(seq.R.HalfWidth95(), 1) {
+		t.Errorf("replication tally wrong: n=%d hw=%v", seq.R.N(), seq.R.HalfWidth95())
+	}
+}
+
+// TestRunParallelAndDeriveSeed: the generic entry point preserves task
+// order, and seed derivation is a pure function consistent across
+// calls.
+func TestRunParallelAndDeriveSeed(t *testing.T) {
+	got, err := repro.RunParallel(20, repro.ParallelOptions{Jobs: 8}, func(i int) (uint64, error) {
+		return repro.DeriveSeed(99, uint64(i)), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for i, s := range got {
+		if s != repro.DeriveSeed(99, uint64(i)) {
+			t.Fatalf("task %d result out of order", i)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate derived seed at index %d", i)
+		}
+		seen[s] = true
 	}
 }

@@ -18,20 +18,21 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"sync"
 
 	"repro/internal/exp"
+	"repro/internal/runner"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "experiment id (see -list) or 'all'")
-		quick = flag.Bool("quick", false, "shorter simulations (~5x)")
-		seed  = flag.Uint64("seed", 1, "random seed for all simulations")
-		csv   = flag.String("csv", "", "directory to write CSV tables into")
-		md    = flag.Bool("md", false, "emit GitHub-flavored markdown instead of text tables/plots")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		jobs  = flag.Int("j", 1, "run up to this many experiments concurrently (outputs stay ordered)")
+		run      = flag.String("run", "all", "experiment id (see -list) or 'all'")
+		quick    = flag.Bool("quick", false, "shorter simulations (~5x)")
+		seed     = flag.Uint64("seed", 1, "random seed for all simulations")
+		csv      = flag.String("csv", "", "directory to write CSV tables into")
+		md       = flag.Bool("md", false, "emit GitHub-flavored markdown instead of text tables/plots")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		jobs     = flag.Int("j", 1, "run up to this many experiments (and sweep points within each) concurrently; outputs stay ordered and identical to -j 1")
+		progress = flag.Bool("progress", false, "report progress (done/total, elapsed, ETA) on stderr")
 	)
 	flag.Parse()
 
@@ -56,8 +57,21 @@ func main() {
 		}
 	}
 
-	cfg := exp.Config{Seed: *seed, Quick: *quick}
-	reports, err := runAll(runners, cfg, *jobs)
+	cfg := exp.Config{Seed: *seed, Quick: *quick, Jobs: *jobs}
+	opts := runner.Options{Jobs: *jobs, Label: "experiments"}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
+	// Each experiment builds its own machines and random streams from
+	// (cfg, name), so experiments fan out safely; runner merges reports
+	// in registry order, keeping output identical to a sequential run.
+	reports, err := runner.Map(len(runners), opts, func(i int) (*exp.Report, error) {
+		rep, err := runners[i].Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", runners[i].Name, err)
+		}
+		return rep, nil
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lopc-experiments:", err)
 		os.Exit(1)
@@ -78,41 +92,6 @@ func main() {
 			}
 		}
 	}
-}
-
-// runAll executes the runners with up to jobs of them in flight,
-// preserving input order in the returned reports. Experiments are
-// independent (each builds its own machines and random streams), so
-// concurrent execution is safe.
-func runAll(runners []exp.Runner, cfg exp.Config, jobs int) ([]*exp.Report, error) {
-	if jobs < 1 {
-		jobs = 1
-	}
-	reports := make([]*exp.Report, len(runners))
-	errs := make([]error, len(runners))
-	sem := make(chan struct{}, jobs)
-	var wg sync.WaitGroup
-	for i, r := range runners {
-		wg.Add(1)
-		go func(i int, r exp.Runner) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rep, err := r.Run(cfg)
-			if err != nil {
-				errs[i] = fmt.Errorf("%s: %w", r.Name, err)
-				return
-			}
-			reports[i] = rep
-		}(i, r)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return reports, nil
 }
 
 // writeCSVs writes each table of the report to dir/<name>_<i>.csv.

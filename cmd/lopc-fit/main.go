@@ -18,6 +18,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
@@ -26,31 +27,43 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the fit CLI with the given arguments and streams,
+// returning the process exit code. It is the whole tool minus os.Exit,
+// so tests can drive the sweep -> CSV -> fit composition end-to-end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lopc-fit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		csvPath = flag.String("csv", "", "CSV file of W,R[,Rq] rows")
-		p       = flag.Int("P", 32, "number of processors of the measured machine")
-		c2      = flag.Float64("C2", 0, "handler-time SCV of the measured machine")
-		demo    = flag.Bool("demo", false, "simulate a hidden machine and fit it")
-		seed    = flag.Uint64("seed", 1, "seed for -demo")
+		csvPath = fs.String("csv", "", "CSV file of W,R[,Rq] rows")
+		p       = fs.Int("P", 32, "number of processors of the measured machine")
+		c2      = fs.Float64("C2", 0, "handler-time SCV of the measured machine")
+		demo    = fs.Bool("demo", false, "simulate a hidden machine and fit it")
+		seed    = fs.Uint64("seed", 1, "seed for -demo")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var err error
 	switch {
 	case *demo:
-		err = runDemo(*p, *seed)
+		err = runDemo(stdout, *p, *seed)
 	case *csvPath != "":
-		err = runCSV(*csvPath, *p, *c2)
+		err = runCSV(stdout, *csvPath, *p, *c2)
 	default:
 		err = fmt.Errorf("need -csv file or -demo (see -help)")
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lopc-fit:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "lopc-fit:", err)
+		return 1
 	}
+	return 0
 }
 
-func runCSV(path string, p int, c2 float64) error {
+func runCSV(w io.Writer, path string, p int, c2 float64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -87,17 +100,17 @@ func runCSV(path string, p int, c2 float64) error {
 	if err != nil {
 		return err
 	}
-	report(res, obs, p, c2)
+	report(w, res, obs, p, c2)
 	return nil
 }
 
-func runDemo(p int, seed uint64) error {
+func runDemo(out io.Writer, p int, seed uint64) error {
 	// "Hidden" machine parameters the demo pretends not to know.
 	const (
 		trueSt = 40.0
 		trueSo = 200.0
 	)
-	fmt.Printf("demo: sweeping a simulated %d-node machine (hidden St=%g, So=%g)\n", p, trueSt, trueSo)
+	fmt.Fprintf(out, "demo: sweeping a simulated %d-node machine (hidden St=%g, So=%g)\n", p, trueSt, trueSo)
 	var obs []fit.Observation
 	for _, w := range []float64{0, 64, 256, 1024, 4096} {
 		sim, err := repro.SimulateAllToAll(repro.SimAllToAllConfig{
@@ -113,22 +126,22 @@ func runDemo(p int, seed uint64) error {
 			return err
 		}
 		obs = append(obs, fit.Observation{W: w, R: sim.R.Mean(), Rq: sim.Rq.Mean()})
-		fmt.Printf("  W=%6.0f  measured R=%8.1f  Rq=%6.1f\n", w, sim.R.Mean(), sim.Rq.Mean())
+		fmt.Fprintf(out, "  W=%6.0f  measured R=%8.1f  Rq=%6.1f\n", w, sim.R.Mean(), sim.Rq.Mean())
 	}
 	res, err := fit.AllToAll(obs, p, 0)
 	if err != nil {
 		return err
 	}
-	report(res, obs, p, 0)
-	fmt.Printf("recovery error: St %+.1f%%, So %+.1f%%\n",
+	report(out, res, obs, p, 0)
+	fmt.Fprintf(out, "recovery error: St %+.1f%%, So %+.1f%%\n",
 		100*(res.St-trueSt)/trueSt, 100*(res.So-trueSo)/trueSo)
 	return nil
 }
 
-func report(res fit.Result, obs []fit.Observation, p int, c2 float64) {
-	fmt.Printf("fitted parameters (P=%d, C2=%g, %d observations):\n", p, c2, len(obs))
-	fmt.Printf("  St = %.2f cycles\n  So = %.2f cycles\n", res.St, res.So)
-	fmt.Printf("  residual RMSE = %.2f cycles (%.2f%% of mean R)\n", res.RMSE, 100*res.RelRMSE)
-	fmt.Printf("calibrated contention-free round trip: 2St+2So = %.1f cycles\n", 2*res.St+2*res.So)
-	fmt.Printf("rule-of-thumb cycle at W: W + %.1f\n", 2*res.St+3*res.So)
+func report(w io.Writer, res fit.Result, obs []fit.Observation, p int, c2 float64) {
+	fmt.Fprintf(w, "fitted parameters (P=%d, C2=%g, %d observations):\n", p, c2, len(obs))
+	fmt.Fprintf(w, "  St = %.2f cycles\n  So = %.2f cycles\n", res.St, res.So)
+	fmt.Fprintf(w, "  residual RMSE = %.2f cycles (%.2f%% of mean R)\n", res.RMSE, 100*res.RelRMSE)
+	fmt.Fprintf(w, "calibrated contention-free round trip: 2St+2So = %.1f cycles\n", 2*res.St+2*res.So)
+	fmt.Fprintf(w, "rule-of-thumb cycle at W: W + %.1f\n", 2*res.St+3*res.So)
 }

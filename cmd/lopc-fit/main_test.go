@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFitGoldenFromSweepCSV exercises the composition the sweep tool's
+// doc comment promises — lopc-sweep's CSV feeds lopc-fit — pinned at
+// both ends: the input CSV is lopc-sweep's golden output (see
+// cmd/lopc-sweep/main_test.go), and the fit report is pinned here. If
+// either golden regenerates, regenerate both.
+func TestFitGoldenFromSweepCSV(t *testing.T) {
+	csv := filepath.Join("..", "lopc-sweep", "testdata", "sweep_golden.csv")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-csv", csv, "-P", "16"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("fit failed (%d): %s", code, stderr.String())
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "fit_golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout.String() != string(want) {
+		t.Errorf("fit report drifted from golden:\n--- got ---\n%s--- want ---\n%s", stdout.String(), want)
+	}
+}
+
+// TestFitNoArgs: with neither -csv nor -demo the tool fails usefully.
+func TestFitNoArgs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code == 0 {
+		t.Error("no arguments accepted")
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("-csv")) {
+		t.Errorf("error does not mention -csv: %s", stderr.String())
+	}
+}

@@ -9,11 +9,18 @@
 // On a real machine the sweep column would come from hardware; here the
 // simulator plays the machine, exactly as it does throughout this
 // reproduction.
+//
+// Sweep points run in parallel under -j (default GOMAXPROCS); each
+// point is an independent simulation, and with -reps each replication
+// derives its seed from (seed, replication index), so the CSV is
+// byte-identical for every -j value. With -reps > 1 two extra columns
+// report 95% confidence half-widths over the replications.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -22,26 +29,48 @@ import (
 )
 
 func main() {
-	var (
-		p      = flag.Int("P", 32, "number of processors")
-		st     = flag.Float64("St", 40, "network latency per trip (cycles)")
-		so     = flag.Float64("So", 200, "handler cost (cycles)")
-		c2     = flag.Float64("C2", 0, "handler-time SCV")
-		ws     = flag.String("W", "0,64,256,1024,4096", "comma-separated work settings to sweep")
-		cycles = flag.Int("cycles", 1500, "measured cycles per thread per point")
-		warmup = flag.Int("warmup", 300, "warmup cycles per thread")
-		seed   = flag.Uint64("seed", 1, "random seed")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	fmt.Println("W,R,Rq")
+// run executes the sweep CLI with the given arguments and streams,
+// returning the process exit code. It is the whole tool minus os.Exit,
+// so tests can drive it end-to-end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lopc-sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		p        = fs.Int("P", 32, "number of processors")
+		st       = fs.Float64("St", 40, "network latency per trip (cycles)")
+		so       = fs.Float64("So", 200, "handler cost (cycles)")
+		c2       = fs.Float64("C2", 0, "handler-time SCV")
+		ws       = fs.String("W", "0,64,256,1024,4096", "comma-separated work settings to sweep")
+		cycles   = fs.Int("cycles", 1500, "measured cycles per thread per point")
+		warmup   = fs.Int("warmup", 300, "warmup cycles per thread")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		jobs     = fs.Int("j", 0, "max concurrent sweep points (0 = GOMAXPROCS); never changes output")
+		reps     = fs.Int("reps", 1, "independent replications per point (means + 95% CI columns)")
+		progress = fs.Bool("progress", false, "report progress (done/total, elapsed, ETA) on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var works []float64
 	for _, field := range strings.Split(*ws, ",") {
 		w, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "lopc-sweep: bad W value %q: %v\n", field, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "lopc-sweep: bad W value %q: %v\n", field, err)
+			return 1
 		}
-		sim, err := repro.SimulateAllToAll(repro.SimAllToAllConfig{
+		works = append(works, w)
+	}
+	if *reps < 1 {
+		fmt.Fprintf(stderr, "lopc-sweep: -reps must be >= 1, got %d\n", *reps)
+		return 1
+	}
+
+	cfgAt := func(w float64) repro.SimAllToAllConfig {
+		return repro.SimAllToAllConfig{
 			P:             *p,
 			Work:          repro.Deterministic(w),
 			Latency:       repro.Deterministic(*st),
@@ -49,11 +78,53 @@ func main() {
 			WarmupCycles:  *warmup,
 			MeasureCycles: *cycles,
 			Seed:          *seed,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "lopc-sweep:", err)
-			os.Exit(1)
 		}
-		fmt.Printf("%g,%.4f,%.4f\n", w, sim.R.Mean(), sim.Rq.Mean())
 	}
+	opts := repro.ParallelOptions{Jobs: *jobs, Label: "sweep"}
+	if *progress {
+		opts.Progress = stderr
+	}
+
+	// One row per point, computed in parallel and emitted in sweep
+	// order. Replications fan out inside each point as well, so -j
+	// bounds point-level concurrency and replication seeds stay a pure
+	// function of (seed, replication index).
+	type row struct {
+		r, rq         float64
+		rCI95, rqCI95 float64
+	}
+	rows, err := repro.RunParallel(len(works), opts, func(i int) (row, error) {
+		if *reps == 1 {
+			sim, err := repro.SimulateAllToAll(cfgAt(works[i]))
+			if err != nil {
+				return row{}, err
+			}
+			return row{r: sim.R.Mean(), rq: sim.Rq.Mean()}, nil
+		}
+		agg, err := repro.SimulateAllToAllN(cfgAt(works[i]), *reps, 1)
+		if err != nil {
+			return row{}, err
+		}
+		return row{
+			r: agg.R.Mean(), rq: agg.Rq.Mean(),
+			rCI95: agg.R.HalfWidth95(), rqCI95: agg.Rq.HalfWidth95(),
+		}, nil
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "lopc-sweep:", err)
+		return 1
+	}
+
+	if *reps == 1 {
+		fmt.Fprintln(stdout, "W,R,Rq")
+		for i, rw := range rows {
+			fmt.Fprintf(stdout, "%g,%.4f,%.4f\n", works[i], rw.r, rw.rq)
+		}
+	} else {
+		fmt.Fprintln(stdout, "W,R,Rq,R_ci95,Rq_ci95")
+		for i, rw := range rows {
+			fmt.Fprintf(stdout, "%g,%.4f,%.4f,%.4f,%.4f\n", works[i], rw.r, rw.rq, rw.rCI95, rw.rqCI95)
+		}
+	}
+	return 0
 }

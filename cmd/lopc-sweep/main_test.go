@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenArgs is the pinned sweep configuration shared with
+// cmd/lopc-fit's golden test, which consumes the CSV this produces.
+var goldenArgs = []string{"-P", "16", "-W", "0,64,256,1024", "-cycles", "200", "-warmup", "50", "-seed", "1"}
+
+func runSweep(t *testing.T, args ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(%v) = %d, stderr: %s", args, code, stderr.String())
+	}
+	return stdout.String()
+}
+
+// TestSweepGolden pins the CSV the documented measure-then-fit
+// composition starts from. If this changes intentionally, regenerate
+// testdata/sweep_golden.csv and cmd/lopc-fit's fit_golden.txt together.
+func TestSweepGolden(t *testing.T) {
+	got := runSweep(t, goldenArgs...)
+	want, err := os.ReadFile(filepath.Join("testdata", "sweep_golden.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("sweep CSV drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestSweepDeterministicAcrossJobs: -j 4 must emit byte-identical CSV
+// to -j 1, with and without replications — the engine's guarantee at
+// the CLI boundary.
+func TestSweepDeterministicAcrossJobs(t *testing.T) {
+	seq := runSweep(t, append([]string{"-j", "1"}, goldenArgs...)...)
+	par := runSweep(t, append([]string{"-j", "4"}, goldenArgs...)...)
+	if seq != par {
+		t.Errorf("-j 4 CSV differs from -j 1:\n--- j1 ---\n%s--- j4 ---\n%s", seq, par)
+	}
+
+	seqR := runSweep(t, append([]string{"-j", "1", "-reps", "3"}, goldenArgs...)...)
+	parR := runSweep(t, append([]string{"-j", "4", "-reps", "3"}, goldenArgs...)...)
+	if seqR != parR {
+		t.Errorf("-reps 3 CSV differs between -j 1 and -j 4:\n--- j1 ---\n%s--- j4 ---\n%s", seqR, parR)
+	}
+	if seqR == seq {
+		t.Error("-reps 3 output identical to -reps 1; replications are not happening")
+	}
+}
+
+// TestSweepRepsHeader: replication mode adds the CI columns while
+// keeping the W,R,Rq prefix lopc-fit parses.
+func TestSweepRepsHeader(t *testing.T) {
+	out := runSweep(t, append([]string{"-reps", "2"}, goldenArgs...)...)
+	if want := "W,R,Rq,R_ci95,Rq_ci95\n"; out[:len(want)] != want {
+		t.Errorf("replication header = %q, want %q", out[:len(want)], want)
+	}
+}
+
+// TestSweepBadInput: flag and value errors exit nonzero without
+// touching stdout.
+func TestSweepBadInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-W", "nope"}, &stdout, &stderr); code == 0 {
+		t.Error("bad -W accepted")
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("bad -W wrote to stdout: %q", stdout.String())
+	}
+	if code := run([]string{"-reps", "0"}, &stdout, &stderr); code == 0 {
+		t.Error("-reps 0 accepted")
+	}
+}

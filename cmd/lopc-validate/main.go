@@ -6,6 +6,11 @@
 //
 //	lopc-validate            # full-length runs (≈ half a minute)
 //	lopc-validate -quick     # shorter simulations
+//	lopc-validate -j 4       # evaluate claims in parallel (same output)
+//
+// Claims are independent (each roots its simulations at its own fixed
+// seed), so -j changes wall-clock time only; the PASS/FAIL lines print
+// in claim order regardless of completion order.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/runner"
 )
 
 // claim is one paper statement with an executable check.
@@ -308,17 +314,39 @@ func claims() []claim {
 }
 
 func main() {
+	var (
+		jobs     = flag.Int("j", 0, "max concurrent claim evaluations (0 = GOMAXPROCS); never changes output")
+		progress = flag.Bool("progress", false, "report progress (done/total, elapsed, ETA) on stderr")
+	)
 	flag.BoolVar(&quick, "quick", false, "shorter simulations")
 	flag.Parse()
 
+	cs := claims()
+	type outcome struct {
+		measured string
+		pass     bool
+		err      error
+	}
+	opts := runner.Options{Jobs: *jobs, Label: "validate"}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
+	// Evaluation errors are part of a claim's outcome (reported as
+	// ERROR lines), not run failures, so the task itself never errors
+	// and every claim always gets its line.
+	outcomes, _ := runner.Map(len(cs), opts, func(i int) (outcome, error) {
+		measured, pass, err := cs[i].eval()
+		return outcome{measured, pass, err}, nil
+	})
+
 	failures := 0
-	for _, c := range claims() {
-		measured, pass, err := c.eval()
-		status := "PASS"
-		if err != nil {
-			status, measured = "ERROR", err.Error()
+	for i, c := range cs {
+		o := outcomes[i]
+		status, measured := "PASS", o.measured
+		if o.err != nil {
+			status, measured = "ERROR", o.err.Error()
 			failures++
-		} else if !pass {
+		} else if !o.pass {
 			status = "FAIL"
 			failures++
 		}

@@ -110,19 +110,29 @@ func runFig51(cfg Config) (*Report, error) {
 		Title:   "Simulation cross-check at So=512 (contention fraction)",
 		Columns: []string{"C2", "model", "sim", "diff"},
 	}
-	for _, c2 := range []float64{0, 0.5, 1, 2} {
+	checkC2s := []float64{0, 0.5, 1, 2}
+	type checkPoint struct {
+		modelFrac, simFrac float64
+	}
+	checks, err := points(cfg, len(checkC2s), func(i int) (checkPoint, error) {
+		c2 := checkC2s[i]
 		model, err := core.AllToAll(core.Params{P: figP, W: 1000, St: figSt, So: 512, C2: c2})
 		if err != nil {
-			return nil, err
+			return checkPoint{}, err
 		}
 		sim, err := simAllToAll(cfg, 1000, 512, c2, false)
 		if err != nil {
-			return nil, err
+			return checkPoint{}, err
 		}
 		cf := 1000 + 2*figSt + 2*512.0
-		simFrac := (sim.R.Mean() - cf) / sim.R.Mean()
-		simTab.AddRow(F(c2), fmt.Sprintf("%.4f", model.ContentionFraction()),
-			fmt.Sprintf("%.4f", simFrac), Pct(model.ContentionFraction()-simFrac))
+		return checkPoint{model.ContentionFraction(), (sim.R.Mean() - cf) / sim.R.Mean()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range checks {
+		simTab.AddRow(F(checkC2s[i]), fmt.Sprintf("%.4f", pt.modelFrac),
+			fmt.Sprintf("%.4f", pt.simFrac), Pct(pt.modelFrac-pt.simFrac))
 	}
 	simTab.Notes = append(simTab.Notes,
 		"paper: difference between C²=0 and C²=1 predictions is about 6% of response time")
@@ -145,18 +155,28 @@ func runFig52(cfg Config) (*Report, error) {
 		Title:  "Fig 5-2: response time vs work",
 		XLabel: "work (cycles)", YLabel: "R", LogX: true,
 	}
-	var simY, modY, loY, hiY []float64
-	for _, w := range ws {
-		p := core.Params{P: figP, W: w, St: figSt, So: 200, C2: 0}
-		model, err := core.AllToAll(p)
+	type fig52Point struct {
+		model core.AllToAllResult
+		simR  float64
+	}
+	pts, err := points(cfg, len(ws), func(i int) (fig52Point, error) {
+		w := ws[i]
+		model, err := core.AllToAll(core.Params{P: figP, W: w, St: figSt, So: 200, C2: 0})
 		if err != nil {
-			return nil, err
+			return fig52Point{}, err
 		}
 		sim, err := simAllToAll(cfg, w, 200, 0, false)
 		if err != nil {
-			return nil, err
+			return fig52Point{}, err
 		}
-		simR := sim.R.Mean()
+		return fig52Point{model, sim.R.Mean()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var simY, modY, loY, hiY []float64
+	for i, pt := range pts {
+		w, model, simR := ws[i], pt.model, pt.simR
 		tab.AddRow(F(w), F(simR), F(model.R), F(model.ContentionFree), F(model.UpperBound),
 			Pct(stats.RelErr(model.R, simR)), Pct(stats.RelErr(model.ContentionFree, simR)))
 		simY = append(simY, simR)
@@ -190,26 +210,37 @@ func runFig53(cfg Config) (*Report, error) {
 		Title:  "Fig 5-3: contention components vs work",
 		XLabel: "work (cycles)", YLabel: "cycles", LogX: true,
 	}
-	var thS, thM, rqS, rqM, ryS, ryM []float64
-	for _, w := range ws {
+	type fig53Point struct {
+		mTh, mRq, mRy float64
+		sTh, sRq, sRy float64
+	}
+	pts, err := points(cfg, len(ws), func(i int) (fig53Point, error) {
+		w := ws[i]
 		p := core.Params{P: figP, W: w, St: figSt, So: 200, C2: 0}
 		model, err := core.AllToAll(p)
 		if err != nil {
-			return nil, err
+			return fig53Point{}, err
 		}
 		mTh, mRq, mRy := model.Components(p)
 		sim, err := simAllToAll(cfg, w, 200, 0, false)
 		if err != nil {
-			return nil, err
+			return fig53Point{}, err
 		}
-		sTh := sim.Rw.Mean() - w
-		sRq := sim.Rq.Mean() - 200
-		sRy := sim.Ry.Mean() - 200
-		tab.AddRow(F(w), F(sTh), F(mTh), F(sRq), F(mRq), F(sRy), F(mRy),
-			F(sTh+sRq+sRy), F(mTh+mRq+mRy))
-		thS, thM = append(thS, sTh), append(thM, mTh)
-		rqS, rqM = append(rqS, sRq), append(rqM, mRq)
-		ryS, ryM = append(ryS, sRy), append(ryM, mRy)
+		return fig53Point{
+			mTh: mTh, mRq: mRq, mRy: mRy,
+			sTh: sim.Rw.Mean() - w, sRq: sim.Rq.Mean() - 200, sRy: sim.Ry.Mean() - 200,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var thS, thM, rqS, rqM, ryS, ryM []float64
+	for i, pt := range pts {
+		tab.AddRow(F(ws[i]), F(pt.sTh), F(pt.mTh), F(pt.sRq), F(pt.mRq), F(pt.sRy), F(pt.mRy),
+			F(pt.sTh+pt.sRq+pt.sRy), F(pt.mTh+pt.mRq+pt.mRy))
+		thS, thM = append(thS, pt.sTh), append(thM, pt.mTh)
+		rqS, rqM = append(rqS, pt.sRq), append(rqM, pt.mRq)
+		ryS, ryM = append(ryS, pt.sRy), append(ryM, pt.mRy)
 	}
 	plot.Add("thread sim", ws, thS, 'o')
 	plot.Add("thread model", ws, thM, '*')
@@ -235,25 +266,36 @@ func runErrors(cfg Config) (*Report, error) {
 	}
 	worstLoPC, worstCF, cfAt1024 := 0.0, 0.0, 0.0
 	ryErrAtZero := 0.0
-	for _, w := range []float64{0, 2, 16, 64, 256, 1024, 2048} {
-		p := core.Params{P: figP, W: w, St: figSt, So: 200, C2: 0}
-		model, err := core.AllToAll(p)
+	errWs := []float64{0, 2, 16, 64, 256, 1024, 2048}
+	type errPoint struct {
+		model core.AllToAllResult
+		simR  float64
+		simRy float64
+	}
+	pts, err := points(cfg, len(errWs), func(i int) (errPoint, error) {
+		model, err := core.AllToAll(core.Params{P: figP, W: errWs[i], St: figSt, So: 200, C2: 0})
 		if err != nil {
-			return nil, err
+			return errPoint{}, err
 		}
-		sim, err := simAllToAll(cfg, w, 200, 0, false)
+		sim, err := simAllToAll(cfg, errWs[i], 200, 0, false)
 		if err != nil {
-			return nil, err
+			return errPoint{}, err
 		}
-		simR := sim.R.Mean()
+		return errPoint{model, sim.R.Mean(), sim.Ry.Mean()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range pts {
+		w, model, simR := errWs[i], pt.model, pt.simR
 		lopcErr := stats.RelErr(model.R, simR)
 		cfErr := stats.RelErr(model.ContentionFree, simR)
-		ryContSim := sim.Ry.Mean() - 200
+		ryContSim := pt.simRy - 200
 		ryContMod := model.Ry - 200
 		ryErr := stats.RelErr(ryContMod, ryContSim)
 		tab.AddRow(F(w), F(simR), F(model.R), Pct(lopcErr),
 			F(model.ContentionFree), Pct(cfErr),
-			F(sim.Ry.Mean()), F(model.Ry), Pct(ryErr))
+			F(pt.simRy), F(model.Ry), Pct(ryErr))
 		if math.Abs(lopcErr) > math.Abs(worstLoPC) {
 			worstLoPC = lopcErr
 		}

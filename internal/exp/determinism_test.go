@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderAll renders a report's text form plus every table's CSV — the
+// complete externally visible output of an experiment.
+func renderAll(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range rep.Tables {
+		if err := tab.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestExperimentsDeterministicAcrossJobs: for every registered
+// experiment, the full rendered report (text and CSV) at Jobs=8 must be
+// byte-identical to Jobs=1. This is the engine's contract — worker
+// count changes wall-clock time, never results — asserted over every
+// parallelized experiment path.
+func TestExperimentsDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment twice")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			seq, err := r.Run(Config{Seed: 1, Quick: true, Jobs: 1})
+			if err != nil {
+				t.Fatalf("jobs=1: %v", err)
+			}
+			par, err := r.Run(Config{Seed: 1, Quick: true, Jobs: 8})
+			if err != nil {
+				t.Fatalf("jobs=8: %v", err)
+			}
+			a, b := renderAll(t, seq), renderAll(t, par)
+			if !bytes.Equal(a, b) {
+				t.Errorf("report bytes differ between -j 1 and -j 8\n--- j1 ---\n%s\n--- j8 ---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestPointsHelperPropagatesErrors: a failing point aborts the
+// experiment with the lowest-indexed error, matching sequential
+// behavior.
+func TestPointsHelperPropagatesErrors(t *testing.T) {
+	_, err := points(Config{Jobs: 8}, 10, func(i int) (int, error) {
+		if i >= 3 {
+			return 0, errTest
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("points swallowed the error")
+	}
+}
+
+var errTest = errorString("test error")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

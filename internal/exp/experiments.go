@@ -3,6 +3,8 @@ package exp
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/runner"
 )
 
 // Config tunes an experiment run.
@@ -12,6 +14,24 @@ type Config struct {
 	// Quick shrinks simulation lengths about fivefold, for benchmarks
 	// and smoke tests; published numbers should use Quick = false.
 	Quick bool
+	// Jobs bounds how many independent sweep points an experiment
+	// simulates concurrently; values <= 0 mean sequential. Every point
+	// is a pure function of (Config, point index), so Jobs changes
+	// wall-clock time only — reports are byte-identical at any value.
+	Jobs int
+}
+
+// points runs compute(0) … compute(n-1) — one independent sweep point
+// each — with the experiment's configured concurrency and returns the
+// results in point order. Experiments compute their points through this
+// helper and then render tables and plots sequentially from the
+// returned slice, which keeps report bytes independent of Jobs.
+func points[T any](cfg Config, n int, compute func(i int) (T, error)) ([]T, error) {
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = 1
+	}
+	return runner.Map(n, runner.Options{Jobs: jobs}, compute)
 }
 
 // cycles returns the per-thread warmup and measurement cycle counts for

@@ -39,27 +39,42 @@ func runTable31(cfg Config) (*Report, error) {
 		Title:   fmt.Sprintf("Matrix-vector multiply, N=%d, tMulAdd=%g, So=%g, St=%g", n, tMulAdd, so, figSt),
 		Columns: []string{"P", "W", "msgs/node", "LoPC R", "LoPC total", "LogP total", "sim total", "LoPC err", "LogP err"},
 	}
-	for _, p := range []int{4, 8, 16, 32} {
+	ps := []int{4, 8, 16, 32}
+	type mvPoint struct {
+		w                   float64
+		msgs                int
+		modelR, lopcTotal   float64
+		logpTotal, simTotal float64
+	}
+	pts, err := points(cfg, len(ps), func(i int) (mvPoint, error) {
+		p := ps[i]
 		w, msgs, err := core.MatVec(n, p, tMulAdd)
 		if err != nil {
-			return nil, err
+			return mvPoint{}, err
 		}
-		mp := core.Params{P: p, W: w, St: figSt, So: so, C2: 0}
-		model, err := core.AllToAll(mp)
+		model, err := core.AllToAll(core.Params{P: p, W: w, St: figSt, So: so, C2: 0})
 		if err != nil {
-			return nil, err
+			return mvPoint{}, err
 		}
 		lg := logp.Params{L: figSt, O: so, P: p}
-		logpTotal := float64(msgs) * lg.CyclesLoPC(w, so)
-
 		sim, err := simMatVec(cfg, p, w, so, msgs)
 		if err != nil {
-			return nil, err
+			return mvPoint{}, err
 		}
-		lopcTotal := float64(msgs) * model.R
-		mv.AddRow(fmt.Sprintf("%d", p), F(w), fmt.Sprintf("%d", msgs),
-			F(model.R), F(lopcTotal), F(logpTotal), F(sim),
-			Pct(stats.RelErr(lopcTotal, sim)), Pct(stats.RelErr(logpTotal, sim)))
+		return mvPoint{
+			w: w, msgs: msgs, modelR: model.R,
+			lopcTotal: float64(msgs) * model.R,
+			logpTotal: float64(msgs) * lg.CyclesLoPC(w, so),
+			simTotal:  sim,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range pts {
+		mv.AddRow(fmt.Sprintf("%d", ps[i]), F(pt.w), fmt.Sprintf("%d", pt.msgs),
+			F(pt.modelR), F(pt.lopcTotal), F(pt.logpTotal), F(pt.simTotal),
+			Pct(stats.RelErr(pt.lopcTotal, pt.simTotal)), Pct(stats.RelErr(pt.logpTotal, pt.simTotal)))
 	}
 	mv.Notes = append(mv.Notes,
 		"sim total = mean measured cycle time × messages per node (uniform-destination equivalent of the put pattern)",

@@ -43,11 +43,21 @@ func runFig62(cfg Config) (*Report, error) {
 	if cfg.Quick {
 		step = 3
 	}
+	var serverCounts []int
 	for ps := 1; ps < figP; ps += step {
+		serverCounts = append(serverCounts, ps)
+	}
+	type fig62Point struct {
+		model          core.ClientServerResult
+		sim            workload.WorkpileResult
+		server, client float64
+	}
+	pts, err := points(cfg, len(serverCounts), func(i int) (fig62Point, error) {
+		ps := serverCounts[i]
 		csp := core.ClientServerParams{P: figP, Ps: ps, W: fig62W, St: figSt, So: fig62So, C2: 0}
 		model, err := core.ClientServer(csp)
 		if err != nil {
-			return nil, err
+			return fig62Point{}, err
 		}
 		sim, err := workload.RunWorkpile(workload.WorkpileConfig{
 			P: figP, Ps: ps,
@@ -58,20 +68,27 @@ func runFig62(cfg Config) (*Report, error) {
 			Seed: cfg.Seed,
 		})
 		if err != nil {
-			return nil, err
+			return fig62Point{}, err
 		}
 		server, client := core.ClientServerBounds(csp)
+		return fig62Point{model, sim, server, client}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range pts {
+		ps, model, sim := serverCounts[i], pt.model, pt.sim
 		tab.AddRow(fmt.Sprintf("%d", ps),
 			fmt.Sprintf("%.5f", sim.X), fmt.Sprintf("%.5f", model.X),
 			Pct(stats.RelErr(model.X, sim.X)),
-			fmt.Sprintf("%.5f", server), fmt.Sprintf("%.5f", client),
+			fmt.Sprintf("%.5f", pt.server), fmt.Sprintf("%.5f", pt.client),
 			fmt.Sprintf("%.3f", sim.Qs), fmt.Sprintf("%.3f", model.Qs),
 			fmt.Sprintf("%.3f", sim.Us))
 		pss = append(pss, float64(ps))
 		simY = append(simY, sim.X)
 		modY = append(modY, model.X)
-		sbY = append(sbY, server)
-		cbY = append(cbY, client)
+		sbY = append(sbY, pt.server)
+		cbY = append(cbY, pt.client)
 		if sim.X > bestSimX {
 			bestSimPs, bestSimX = ps, sim.X
 		}

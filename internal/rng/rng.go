@@ -153,3 +153,23 @@ func NewSource(seed uint64) *Source {
 func (s *Source) Stream() *Stream {
 	return New(splitMix64(&s.state))
 }
+
+// SeedAt derives the seed of the index-th child stream of root without
+// materializing the preceding streams. Because a SplitMix64 state
+// advances by a fixed increment per step, the state after index steps
+// is computable in O(1); SeedAt(root, i) therefore returns exactly the
+// seed that the (i+1)-th call to NewSource(root).Stream() would use.
+//
+// This is the substream-derivation primitive for parallel execution:
+// task i of a run rooted at seed s simulates with SeedAt(s, i), so the
+// result of every task is a pure function of (root seed, task index) —
+// independent of how many workers run, or in what order tasks finish.
+func SeedAt(root uint64, index uint64) uint64 {
+	s := root
+	state := splitMix64(&s) // mirror NewSource's whitening step
+	// Jump the SplitMix64 stream forward: index full steps advance the
+	// state by index times the Weyl increment. splitMix64 pre-increments,
+	// so the next call from this state yields output index.
+	state += index * 0x9e3779b97f4a7c15
+	return splitMix64(&state)
+}

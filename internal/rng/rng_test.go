@@ -233,3 +233,37 @@ func BenchmarkExpFloat64(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestSeedAtMatchesSource: SeedAt(root, i) must seed exactly the stream
+// the (i+1)-th Source.Stream() call returns — the O(1) jump and the
+// sequential derivation are the same substream construction, which is
+// what lets parallel tasks claim "seed of task i" without materializing
+// tasks 0..i-1.
+func TestSeedAtMatchesSource(t *testing.T) {
+	for _, root := range []uint64{0, 1, 42, 0xdeadbeef, ^uint64(0)} {
+		src := NewSource(root)
+		for i := uint64(0); i < 100; i++ {
+			want := src.Stream()
+			got := New(SeedAt(root, i))
+			for d := 0; d < 8; d++ {
+				w, g := want.Uint64(), got.Uint64()
+				if w != g {
+					t.Fatalf("root %d index %d draw %d: SeedAt stream %x != Source stream %x", root, i, d, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestSeedAtIndependence: distinct task indices must give distinct
+// seeds, and the first draws of their streams should not collide.
+func TestSeedAtIndependence(t *testing.T) {
+	seen := map[uint64]uint64{}
+	for i := uint64(0); i < 10_000; i++ {
+		s := SeedAt(7, i)
+		if j, dup := seen[s]; dup {
+			t.Fatalf("SeedAt(7, %d) == SeedAt(7, %d) == %x", i, j, s)
+		}
+		seen[s] = i
+	}
+}

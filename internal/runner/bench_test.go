@@ -1,0 +1,69 @@
+package runner_test
+
+// The benchmark lives in an external test package because it drives the
+// engine with real simulations from internal/workload, which itself
+// imports internal/runner.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// sweepPoint runs one all-to-all sweep point of the 20-point benchmark
+// sweep (work values 0, 100, ..., 1900).
+func sweepPoint(i int) (float64, error) {
+	sim, err := workload.RunAllToAll(workload.AllToAllConfig{
+		P:             16,
+		Work:          dist.NewDeterministic(float64(100 * i)),
+		Latency:       dist.NewDeterministic(40),
+		Service:       dist.NewDeterministic(200),
+		WarmupCycles:  50,
+		MeasureCycles: 200,
+		Seed:          1,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return sim.R.Mean(), nil
+}
+
+// BenchmarkRunnerSpeedup measures a 20-point all-to-all sweep
+// sequentially and at -j 4, reports the wall-clock ratio as the
+// "speedup" metric, and verifies the parallel results are identical to
+// the sequential ones. On a host with >= 4 cores the speedup should
+// exceed 2x; on fewer cores the determinism check still runs but the
+// ratio hovers near 1.
+//
+//	go test ./internal/runner -bench RunnerSpeedup -benchtime 3x
+func BenchmarkRunnerSpeedup(b *testing.B) {
+	const points = 20
+	var seqNS, parNS int64
+	for n := 0; n < b.N; n++ {
+		start := time.Now()
+		seq, err := runner.Map(points, runner.Options{Jobs: 1}, sweepPoint)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seqNS += time.Since(start).Nanoseconds()
+
+		start = time.Now()
+		par, err := runner.Map(points, runner.Options{Jobs: 4}, sweepPoint)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parNS += time.Since(start).Nanoseconds()
+
+		for i := range seq {
+			if seq[i] != par[i] {
+				b.Fatalf("point %d: parallel R %v != sequential R %v", i, par[i], seq[i])
+			}
+		}
+	}
+	if parNS > 0 {
+		b.ReportMetric(float64(seqNS)/float64(parNS), "speedup")
+	}
+}

@@ -1,0 +1,180 @@
+// Package runner is the deterministic parallel execution engine for
+// simulation studies: it fans independent tasks (sweep points,
+// replications, whole experiments) out over a bounded worker pool and
+// returns their results indexed by submission order, so a parallel run
+// is bit-identical to a sequential one.
+//
+// Determinism rests on two rules the rest of the repository follows:
+//
+//  1. Every task is a pure function of its index. Randomized tasks
+//     derive their seed from the root seed and the task index
+//     (rng.SeedAt), never from a shared stream consumed in completion
+//     order.
+//  2. Results are merged by task index, not completion order. Map
+//     writes task i's result to results[i]; callers render output by
+//     walking the slice.
+//
+// Under these rules the worker count (Options.Jobs) changes only
+// wall-clock time, never output — which is what makes "-j 8 equals
+// -j 1 byte-for-byte" a testable invariant rather than a hope.
+package runner
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tunes one parallel run.
+type Options struct {
+	// Jobs is the maximum number of tasks in flight; values <= 0 mean
+	// runtime.GOMAXPROCS(0). Jobs never affects results, only speed.
+	Jobs int
+	// Progress, when non-nil, receives one-line progress reports
+	// (tasks done, elapsed, ETA). Point it at os.Stderr in CLIs so
+	// progress never mixes with result output on stdout.
+	Progress io.Writer
+	// Label prefixes progress lines (e.g. the sweep or experiment
+	// name). Empty means "runner".
+	Label string
+	// Every throttles progress reporting to at most one line per
+	// interval (the final line always prints). Zero means 250ms.
+	Every time.Duration
+}
+
+func (o Options) jobs() int {
+	if o.Jobs <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Jobs
+}
+
+// Map runs task(0) … task(n-1) on a bounded worker pool and returns
+// their results in index order. It is the engine's core primitive;
+// everything else (sweeps, replications, experiment fan-out) is Map
+// with a particular task body.
+//
+// If any task fails, Map stops claiming new tasks, waits for in-flight
+// tasks to finish, and returns the error of the lowest-indexed failed
+// task — the same error a sequential run would have hit first, so error
+// behavior is deterministic too. Results computed before the failure
+// are discarded.
+func Map[T any](n int, opts Options, task func(i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("runner: negative task count %d", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+
+	var (
+		next    atomic.Int64 // next unclaimed task index
+		done    atomic.Int64 // completed tasks (progress only)
+		failed  atomic.Bool  // a task errored: stop claiming
+		wg      sync.WaitGroup
+		prog    = newProgress(opts, n)
+		workers = min(opts.jobs(), n)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || failed.Load() {
+					return
+				}
+				r, err := task(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				results[i] = r
+				prog.report(int(done.Add(1)))
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("task %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// Do is Map for tasks without a result value.
+func Do(n int, opts Options, task func(i int) error) error {
+	_, err := Map(n, opts, func(i int) (struct{}, error) {
+		return struct{}{}, task(i)
+	})
+	return err
+}
+
+// progress throttles and renders progress lines.
+type progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	label string
+	every time.Duration
+	n     int
+	start time.Time
+	last  time.Time
+}
+
+func newProgress(opts Options, n int) *progress {
+	if opts.Progress == nil {
+		return nil
+	}
+	label := opts.Label
+	if label == "" {
+		label = "runner"
+	}
+	every := opts.Every
+	if every <= 0 {
+		every = 250 * time.Millisecond
+	}
+	now := time.Now()
+	return &progress{w: opts.Progress, label: label, every: every, n: n, start: now, last: now}
+}
+
+// report prints a progress line if enough time has passed since the
+// previous one (the final report always prints). done is the number of
+// completed tasks.
+func (p *progress) report(done int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	if done < p.n && now.Sub(p.last) < p.every {
+		return
+	}
+	p.last = now
+	elapsed := now.Sub(p.start)
+	line := fmt.Sprintf("%s: %d/%d done, elapsed %s", p.label, done, p.n, round(elapsed))
+	if done > 0 && done < p.n {
+		eta := time.Duration(float64(elapsed) / float64(done) * float64(p.n-done))
+		line += fmt.Sprintf(", eta %s", round(eta))
+	}
+	fmt.Fprintln(p.w, line)
+}
+
+// round trims durations to a display-friendly precision.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second)
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond)
+	default:
+		return d.Round(time.Millisecond)
+	}
+}

@@ -1,0 +1,186 @@
+package runner
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrdersResultsBySubmission: results land at their task index
+// for every worker count, including worker counts far above the task
+// count.
+func TestMapOrdersResultsBySubmission(t *testing.T) {
+	for _, jobs := range []int{1, 2, 4, 8, 64} {
+		got, err := Map(50, Options{Jobs: jobs}, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("jobs=%d: %d results, want 50", jobs, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Errorf("jobs=%d: result[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapDeterministicAcrossJobs: the whole result slice is identical
+// for -j 1 and -j 8 when tasks are pure functions of their index — the
+// engine's core guarantee.
+func TestMapDeterministicAcrossJobs(t *testing.T) {
+	task := func(i int) (string, error) {
+		return fmt.Sprintf("task-%d:%d", i, i*31), nil
+	}
+	seq, err := Map(97, Options{Jobs: 1}, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(97, Options{Jobs: 8}, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("result %d differs: sequential %q, parallel %q", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestMapEmptyAndNegative: zero tasks succeed with no results; a
+// negative count is an error, not a hang.
+func TestMapEmptyAndNegative(t *testing.T) {
+	got, err := Map(0, Options{}, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Errorf("Map(0) = %v, %v; want nil, nil", got, err)
+	}
+	if _, err := Map(-1, Options{}, func(i int) (int, error) { return 0, nil }); err == nil {
+		t.Error("Map(-1) did not error")
+	}
+}
+
+// TestMapReturnsLowestIndexedError: when several tasks fail, Map
+// reports the one a sequential run would have hit first, for every
+// worker count.
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, jobs := range []int{1, 4, 16} {
+		_, err := Map(40, Options{Jobs: jobs}, func(i int) (int, error) {
+			if i == 7 || i == 23 {
+				return 0, fmt.Errorf("%w at %d", boom, i)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("jobs=%d: no error", jobs)
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("jobs=%d: error %v does not wrap task error", jobs, err)
+		}
+		if !strings.HasPrefix(err.Error(), "task 7:") {
+			t.Errorf("jobs=%d: error %q, want the lowest-indexed failure (task 7)", jobs, err)
+		}
+	}
+}
+
+// TestMapStopsClaimingAfterError: after a failure the pool stops
+// claiming fresh tasks, so a long queue behind an early error does not
+// all execute.
+func TestMapStopsClaimingAfterError(t *testing.T) {
+	const n = 10_000
+	var ran atomic.Int64
+	_, err := Map(n, Options{Jobs: 2}, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("fail fast")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	// Workers already past the failed.Load() check may each run one
+	// more task; anything close to n means cancellation is broken.
+	if got := ran.Load(); got > n/2 {
+		t.Errorf("%d of %d tasks ran after an index-0 failure", got, n)
+	}
+}
+
+// TestMapCancelStress hammers the early-error path: many tiny tasks,
+// many rounds, failures at varying indices, all worker counts. Run
+// under -race this doubles as the engine's race regression test.
+func TestMapCancelStress(t *testing.T) {
+	for round := 0; round < 30; round++ {
+		failAt := round * 7 % 100
+		jobs := 1 + round%8
+		_, err := Map(100, Options{Jobs: jobs}, func(i int) (int, error) {
+			if i >= failAt {
+				return 0, fmt.Errorf("fail %d", i)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("round %d: no error", round)
+		}
+		want := fmt.Sprintf("task %d:", failAt)
+		if !strings.HasPrefix(err.Error(), want) {
+			t.Errorf("round %d (jobs=%d): error %q, want prefix %q", round, jobs, err, want)
+		}
+	}
+}
+
+// TestDo: the no-result wrapper runs every task and propagates errors.
+func TestDo(t *testing.T) {
+	var sum atomic.Int64
+	if err := Do(100, Options{Jobs: 4}, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Load(); got != 4950 {
+		t.Errorf("sum = %d, want 4950", got)
+	}
+	if err := Do(3, Options{}, func(i int) error { return errors.New("x") }); err == nil {
+		t.Error("Do swallowed the task error")
+	}
+}
+
+// TestProgressReporting: the final progress line always prints and
+// carries the done/total count; intermediate lines are throttled.
+func TestProgressReporting(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := Map(20, Options{Jobs: 4, Progress: &buf, Label: "sweep", Every: time.Hour}, func(i int) (int, error) {
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sweep: 20/20 done") {
+		t.Errorf("missing final progress line, got %q", out)
+	}
+	// With a one-hour throttle only the final (unthrottled) line prints.
+	if n := strings.Count(out, "\n"); n != 1 {
+		t.Errorf("throttle ignored: %d lines, want 1:\n%s", n, out)
+	}
+}
+
+// TestProgressETA: a mid-run report includes an ETA once at least one
+// task has finished.
+func TestProgressETA(t *testing.T) {
+	p := newProgress(Options{Progress: &bytes.Buffer{}, Every: time.Second}, 10)
+	p.last = p.last.Add(-time.Minute) // force the throttle window open
+	p.report(5)
+	out := p.w.(*bytes.Buffer).String()
+	if !strings.Contains(out, "eta") {
+		t.Errorf("mid-run progress line has no ETA: %q", out)
+	}
+}

@@ -102,6 +102,18 @@ func (t *Tally) Merge(other *Tally) {
 	}
 }
 
+// HalfWidth95 returns the half-width of the two-sided 95% confidence
+// interval for the mean, treating the observations as independent —
+// appropriate when each observation is itself the mean of an
+// independent replication. It returns +Inf with fewer than two
+// observations (one replication pins no interval).
+func (t *Tally) HalfWidth95() float64 {
+	if t.n < 2 {
+		return math.Inf(1)
+	}
+	return tCritical95(int(t.n-1)) * t.StdDev() / math.Sqrt(float64(t.n))
+}
+
 func (t *Tally) String() string {
 	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
 		t.n, t.Mean(), t.StdDev(), t.min, t.max)

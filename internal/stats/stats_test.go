@@ -315,3 +315,29 @@ func TestSuggestBatchSize(t *testing.T) {
 		t.Errorf("white-noise batch %d unexpectedly large", bWhite)
 	}
 }
+
+func TestTallyHalfWidth95(t *testing.T) {
+	var one Tally
+	one.Add(3)
+	if !math.IsInf(one.HalfWidth95(), 1) {
+		t.Error("one observation should give an infinite half-width")
+	}
+	// Five replication means 10, 12, 11, 9, 13: mean 11, sd ~1.581,
+	// t(4) = 2.776 -> half-width 2.776 * 1.5811 / sqrt(5) = 1.963.
+	var tl Tally
+	for _, x := range []float64{10, 12, 11, 9, 13} {
+		tl.Add(x)
+	}
+	hw := tl.HalfWidth95()
+	if math.Abs(hw-1.963) > 0.01 {
+		t.Errorf("HalfWidth95 = %v, want ~1.963", hw)
+	}
+	// More replications of the same spread must tighten the interval.
+	var big Tally
+	for i := 0; i < 100; i++ {
+		big.Add([]float64{10, 12, 11, 9, 13}[i%5])
+	}
+	if big.HalfWidth95() >= hw {
+		t.Errorf("CI did not tighten: n=100 half-width %v >= n=5 half-width %v", big.HalfWidth95(), hw)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/runner"
 )
 
 func mtCfg(t int, seed uint64) MultithreadConfig {
@@ -53,12 +54,16 @@ func TestMultithreadLatencyHidingCurve(t *testing.T) {
 		t.Skip("simulation-heavy")
 	}
 	bound := 1.0 / (512 + 2*200)
+	ts := []int{1, 2, 4, 8}
+	sims, err := runner.Map(len(ts), runner.Options{}, func(i int) (MultithreadResult, error) {
+		return RunMultithread(mtCfg(ts[i], 2))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	prev := 0.0
-	for _, tc := range []int{1, 2, 4, 8} {
-		sim, err := RunMultithread(mtCfg(tc, 2))
-		if err != nil {
-			t.Fatal(err)
-		}
+	for i, tc := range ts {
+		sim := sims[i]
 		if sim.XNode < prev-1e-6 {
 			t.Errorf("T=%d: XNode %v dropped below T-1's %v", tc, sim.XNode, prev)
 		}
@@ -79,11 +84,15 @@ func TestMultithreadModelAccuracy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	for _, tc := range []int{1, 2, 4, 8} {
-		sim, err := RunMultithread(mtCfg(tc, 3))
-		if err != nil {
-			t.Fatal(err)
-		}
+	ts := []int{1, 2, 4, 8}
+	sims, err := runner.Map(len(ts), runner.Options{}, func(i int) (MultithreadResult, error) {
+		return RunMultithread(mtCfg(ts[i], 3))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tc := range ts {
+		sim := sims[i]
 		model, err := core.Multithreaded(core.Params{P: 32, W: 512, St: 40, So: 200, C2: 0}, tc)
 		if err != nil {
 			t.Fatal(err)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/runner"
 )
 
 func nbConfig(w float64, pp bool, seed uint64) NonBlockingConfig {
@@ -28,11 +29,15 @@ func TestNonBlockingThroughputConservation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	for _, w := range []float64{200, 800, 3200} {
-		sim, err := RunNonBlocking(nbConfig(w, false, 1))
-		if err != nil {
-			t.Fatal(err)
-		}
+	ws := []float64{200, 800, 3200}
+	sims, err := runner.Map(len(ws), runner.Options{}, func(i int) (NonBlockingResult, error) {
+		return RunNonBlocking(nbConfig(ws[i], false, 1))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range ws {
+		sim := sims[i]
 		model, err := core.NonBlocking(core.Params{P: 32, W: w, St: 40, So: 200, C2: 0})
 		if err != nil {
 			t.Fatal(err)

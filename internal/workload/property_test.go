@@ -154,13 +154,16 @@ func TestAllToAllSeedInsensitivityOfMeans(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
+	// Five replications on the parallel engine; RunAllToAllN derives an
+	// independent seed per replication, which is exactly the property
+	// under test.
+	agg, err := RunAllToAllN(stdAllToAll(256, 1), 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var means []float64
-	for seed := uint64(1); seed <= 5; seed++ {
-		sim, err := RunAllToAll(stdAllToAll(256, seed))
-		if err != nil {
-			t.Fatal(err)
-		}
-		means = append(means, sim.R.Mean())
+	for i := range agg.Reps {
+		means = append(means, agg.Reps[i].R.Mean())
 	}
 	lo, hi := means[0], means[0]
 	for _, m := range means {

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/runner"
+	"repro/internal/stats"
+)
+
+// ReplicatedAllToAll aggregates N independent all-to-all replications.
+// The per-replication mean of each response-time component feeds a
+// Tally, so Mean() is the grand mean and HalfWidth95() a confidence
+// interval treating replications as independent — which they are by
+// construction: replication i runs with seed rng.SeedAt(root, i).
+type ReplicatedAllToAll struct {
+	// Reps holds every replication's full result, in replication order.
+	Reps []AllToAllResult
+	// R, Rw, Rq, Ry and Net tally the per-replication means of the
+	// corresponding AllToAllResult components.
+	R, Rw, Rq, Ry, Net stats.Tally
+	// X tallies per-replication system throughput.
+	X stats.Tally
+}
+
+// RunAllToAllN runs reps independent replications of cfg, up to jobs of
+// them concurrently, and aggregates their means. Replication i uses
+// seed rng.SeedAt(cfg.Seed, i) — a pure function of the root seed and
+// the replication index — so results are identical for every jobs
+// value, including 1.
+func RunAllToAllN(cfg AllToAllConfig, reps, jobs int) (ReplicatedAllToAll, error) {
+	var agg ReplicatedAllToAll
+	if reps < 1 {
+		return agg, fmt.Errorf("workload: RunAllToAllN needs reps >= 1, got %d", reps)
+	}
+	results, err := runner.Map(reps, runner.Options{Jobs: jobs}, func(i int) (AllToAllResult, error) {
+		c := cfg
+		c.Seed = rng.SeedAt(cfg.Seed, uint64(i))
+		return RunAllToAll(c)
+	})
+	if err != nil {
+		return agg, err
+	}
+	agg.Reps = results
+	for i := range results {
+		r := &results[i]
+		agg.R.Add(r.R.Mean())
+		agg.Rw.Add(r.Rw.Mean())
+		agg.Rq.Add(r.Rq.Mean())
+		agg.Ry.Add(r.Ry.Mean())
+		agg.Net.Add(r.Net.Mean())
+		agg.X.Add(r.X)
+	}
+	return agg, nil
+}
+
+// ReplicatedWorkpile aggregates N independent work-pile replications,
+// seeded the same way as ReplicatedAllToAll.
+type ReplicatedWorkpile struct {
+	// Reps holds every replication's full result, in replication order.
+	Reps []WorkpileResult
+	// X, Qs and Us tally per-replication throughput, server queue
+	// length, and server utilization.
+	X, Qs, Us stats.Tally
+}
+
+// RunWorkpileN runs reps independent replications of cfg, up to jobs of
+// them concurrently. Replication i uses seed rng.SeedAt(cfg.Seed, i).
+func RunWorkpileN(cfg WorkpileConfig, reps, jobs int) (ReplicatedWorkpile, error) {
+	var agg ReplicatedWorkpile
+	if reps < 1 {
+		return agg, fmt.Errorf("workload: RunWorkpileN needs reps >= 1, got %d", reps)
+	}
+	results, err := runner.Map(reps, runner.Options{Jobs: jobs}, func(i int) (WorkpileResult, error) {
+		c := cfg
+		c.Seed = rng.SeedAt(cfg.Seed, uint64(i))
+		return RunWorkpile(c)
+	})
+	if err != nil {
+		return agg, err
+	}
+	agg.Reps = results
+	for i := range results {
+		r := &results[i]
+		agg.X.Add(r.X)
+		agg.Qs.Add(r.Qs)
+		agg.Us.Add(r.Us)
+	}
+	return agg, nil
+}

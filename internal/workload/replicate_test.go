@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// TestRunAllToAllNDeterministicAcrossJobs: replication aggregates must
+// be identical whether replications run sequentially or eight at a
+// time, down to the last bit of every per-replication result.
+func TestRunAllToAllNDeterministicAcrossJobs(t *testing.T) {
+	cfg := stdAllToAll(256, 11)
+	cfg.WarmupCycles, cfg.MeasureCycles = 30, 100
+	seq, err := RunAllToAllN(cfg, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunAllToAllN(cfg, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("jobs=1 and jobs=8 aggregates differ:\nseq R %v X %v\npar R %v X %v",
+			seq.R, seq.X, par.R, par.X)
+	}
+}
+
+// TestRunAllToAllNAggregation: the aggregate tallies the
+// per-replication means, replications differ (independent seeds), and
+// the confidence interval is finite and brackets the grand mean's
+// spread.
+func TestRunAllToAllNAggregation(t *testing.T) {
+	cfg := stdAllToAll(256, 11)
+	cfg.WarmupCycles, cfg.MeasureCycles = 30, 100
+	agg, err := RunAllToAllN(cfg, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Reps) != 5 || agg.R.N() != 5 {
+		t.Fatalf("want 5 replications, got %d results / %d tallied", len(agg.Reps), agg.R.N())
+	}
+	distinct := false
+	for _, r := range agg.Reps[1:] {
+		if r.R.Mean() != agg.Reps[0].R.Mean() {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Error("all replications produced the same mean R; seeds are not independent")
+	}
+	if hw := agg.R.HalfWidth95(); math.IsInf(hw, 1) || hw <= 0 {
+		t.Errorf("R half-width = %v, want finite and positive", hw)
+	}
+	lo, hi := agg.R.Min(), agg.R.Max()
+	if m := agg.R.Mean(); m < lo || m > hi {
+		t.Errorf("grand mean %v outside replication range [%v, %v]", m, lo, hi)
+	}
+	if agg.X.Mean() <= 0 {
+		t.Errorf("aggregate throughput %v, want positive", agg.X.Mean())
+	}
+}
+
+// TestRunAllToAllNValidation: zero replications is an error, and a bad
+// config surfaces the underlying simulator error.
+func TestRunAllToAllNValidation(t *testing.T) {
+	if _, err := RunAllToAllN(stdAllToAll(0, 1), 0, 1); err == nil {
+		t.Error("reps=0 accepted")
+	}
+	bad := stdAllToAll(0, 1)
+	bad.P = 1
+	if _, err := RunAllToAllN(bad, 3, 2); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// TestRunWorkpileNDeterministicAcrossJobs: same engine contract for the
+// work-pile replication path.
+func TestRunWorkpileNDeterministicAcrossJobs(t *testing.T) {
+	cfg := WorkpileConfig{
+		P: 16, Ps: 4,
+		Chunk:      dist.NewExponential(1500),
+		Latency:    dist.NewDeterministic(40),
+		Service:    dist.NewDeterministic(131),
+		WarmupTime: 20_000, MeasureTime: 80_000,
+		Seed: 3,
+	}
+	seq, err := RunWorkpileN(cfg, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunWorkpileN(cfg, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("jobs=1 and jobs=8 work-pile aggregates differ: seq X %v, par X %v", seq.X, par.X)
+	}
+	if seq.X.N() != 5 || seq.X.Mean() <= 0 {
+		t.Errorf("aggregate X tally wrong: n=%d mean=%v", seq.X.N(), seq.X.Mean())
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/runner"
 )
 
 // stdAllToAll returns the Figure 5-2 configuration at the given work.
@@ -34,11 +35,17 @@ func TestAllToAllModelAccuracy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	for _, w := range []float64{0, 64, 512, 2048} {
-		sim, err := RunAllToAll(stdAllToAll(w, 1))
-		if err != nil {
-			t.Fatal(err)
-		}
+	// The four sweep points are independent simulations; fan them out
+	// on the parallel engine and assert over the ordered results.
+	ws := []float64{0, 64, 512, 2048}
+	sims, err := runner.Map(len(ws), runner.Options{}, func(i int) (AllToAllResult, error) {
+		return RunAllToAll(stdAllToAll(ws[i], 1))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range ws {
+		sim := sims[i]
 		model, err := core.AllToAll(stdParams(w))
 		if err != nil {
 			t.Fatal(err)
