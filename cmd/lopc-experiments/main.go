@@ -106,7 +106,7 @@ func writeCSVs(dir string, rep *exp.Report) error {
 			return err
 		}
 		if err := tab.WriteCSV(f); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			return err
 		}
 		if err := f.Close(); err != nil {

@@ -68,7 +68,7 @@ func runCSV(w io.Writer, path string, p int, c2 float64) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only file: Close cannot lose data
 	rd := csv.NewReader(f)
 	rd.FieldsPerRecord = -1
 	rows, err := rd.ReadAll()

@@ -1,0 +1,91 @@
+// Command lopc-lint runs the repository's static-analysis suite
+// (internal/lint) over the module: determinism, float-safety and
+// AMVA-convergence invariants the compiler cannot check.
+//
+// Usage:
+//
+//	lopc-lint [-config file] [-list] [patterns...]
+//
+// Patterns default to ./... (every package of the enclosing module,
+// skipping testdata). Findings print one per line as
+//
+//	file:line:check: message
+//
+// with file paths relative to the module root. The exit status is 0
+// when the module is clean, 1 when there are findings, and 2 on usage
+// or load errors. Individual findings are suppressed with a justified
+//
+//	//lopc:allow <check> <reason>
+//
+// comment on the flagged line or the line above it; whole path prefixes
+// with a -config allowlist ("check path-prefix" lines).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], ".", os.Stdout, os.Stderr))
+}
+
+func run(args []string, dir string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lopc-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	configPath := fs.String("config", "", "path allowlist `file` (lines: check path-prefix)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+
+	cfg := lint.Config{}
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "lopc-lint:", err)
+			return 2
+		}
+		cfg, err = lint.ParseConfig(string(data))
+		if err != nil {
+			fmt.Fprintln(stderr, "lopc-lint:", err)
+			return 2
+		}
+	}
+
+	l, err := lint.NewLoader(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "lopc-lint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := l.LoadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "lopc-lint:", err)
+		return 2
+	}
+
+	diags := lint.Run(l, pkgs, analyzers, cfg)
+	for _, d := range diags {
+		fmt.Fprintf(stdout, "%s:%d:%s: %s\n", l.RelPath(d.Pos.Filename), d.Pos.Line, d.Check, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "lopc-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenOutput pins the exact file:line:check: message output of the
+// driver on the fixture module, so the diagnostic format and the
+// analyzer behaviour visible to CI cannot drift silently.
+func TestGoldenOutput(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./..."}, filepath.Join("testdata", "fixturemod"), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if stdout.String() != string(want) {
+		t.Errorf("output mismatch\n--- got ---\n%s--- want ---\n%s", stdout.String(), want)
+	}
+}
+
+// TestConfigAllowsEverything checks that a -config allowlist covering
+// the whole fixture module silences every finding and flips the exit
+// status to 0.
+func TestConfigAllowsEverything(t *testing.T) {
+	cfgPath := filepath.Join(t.TempDir(), "allow.conf")
+	cfg := "# fixture module is intentionally broken\n" +
+		"floateq fixture\n" +
+		"paramvalidate fixture\n" +
+		"errdiscard fixture\n" +
+		"nondeterminism fixture\n" +
+		"convergeloop fixture\n"
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-config", cfgPath, "./..."}, filepath.Join("testdata", "fixturemod"), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("expected no output, got:\n%s", stdout.String())
+	}
+}
+
+// TestBadPattern checks that a pattern outside the module is a load
+// error (exit 2), distinct from findings (exit 1).
+func TestBadPattern(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"example.com/other"}, filepath.Join("testdata", "fixturemod"), &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstderr: %s", code, stderr.String())
+	}
+}

@@ -86,7 +86,7 @@ func simAllToAll(p int, w, st, so, c2 float64, warmup, cycles int, seed uint64, 
 			return ferr
 		}
 		if werr := tracer.WriteJSON(f); werr != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			return werr
 		}
 		if cerr := f.Close(); cerr != nil {
@@ -117,6 +117,7 @@ func simAllToAll(p int, w, st, so, c2 float64, warmup, cycles int, seed uint64, 
 
 func simWorkpile(p, ps int, w, wc2, st, so, c2, window float64, seed uint64) error {
 	chunk := repro.Exponential(w)
+	//lopc:allow floateq the flag's default is the exact literal 1 (exponential); any other SCV goes through FromMeanSCV
 	if wc2 != 1 && wc2 >= 0 {
 		chunk = repro.FromMeanSCV(w, wc2)
 	}

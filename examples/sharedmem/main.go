@@ -46,6 +46,7 @@ func main() {
 			}
 
 			simSpeedup := "-"
+			//lopc:allow floateq st ranges over exact sweep literals; 10 is the column validated by simulation
 			if st == 10 { // validate one latency column by simulation
 				run := func(pp bool) float64 {
 					sim, err := repro.SimulateAllToAll(repro.SimAllToAllConfig{

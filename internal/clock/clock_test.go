@@ -1,0 +1,50 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSystemTracksWallClock(t *testing.T) {
+	before := time.Now()
+	got := System.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Errorf("System.Now() = %v, want within [%v, %v]", got, before, after)
+	}
+}
+
+func TestFakeAdvance(t *testing.T) {
+	origin := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	f := NewFake(origin)
+	if got := f.Now(); !got.Equal(origin) {
+		t.Fatalf("Now() = %v, want %v", got, origin)
+	}
+	f.Advance(90 * time.Second)
+	if got, want := f.Now(), origin.Add(90*time.Second); !got.Equal(want) {
+		t.Fatalf("after Advance, Now() = %v, want %v", got, want)
+	}
+	f.Set(origin)
+	if got := f.Now(); !got.Equal(origin) {
+		t.Fatalf("after Set, Now() = %v, want %v", got, origin)
+	}
+}
+
+func TestFakeConcurrentAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				f.Advance(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := f.Now(), time.Unix(8, 0); !got.Equal(want) {
+		t.Errorf("Now() = %v, want %v", got, want)
+	}
+}

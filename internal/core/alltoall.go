@@ -46,6 +46,7 @@ func (r AllToAllResult) Contention() float64 { return r.R - r.ContentionFree }
 // ContentionFraction returns the fraction of total response time spent
 // on contention — the y-axis of Figure 5-1.
 func (r AllToAllResult) ContentionFraction() float64 {
+	//lopc:allow floateq R is exactly zero only for a zero-value result; any solved cycle time is strictly positive
 	if r.R == 0 {
 		return 0
 	}
@@ -177,12 +178,14 @@ func UpperBoundBeta(c2 float64) float64 {
 		}
 		return step.R - beta
 	}
+	// 20 doublings take hi past 2·10⁶; no finite C² pushes β anywhere
+	// near that, so a bracket not found by then is a model bug.
 	lo, hi := 2.0, 2.0
-	for g(hi) > 0 {
+	for i := 0; i < 20 && g(hi) > 0; i++ {
 		hi *= 2
-		if hi > 1e6 {
-			panic(fmt.Sprintf("core: no upper bound found for C²=%v", c2))
-		}
+	}
+	if g(hi) > 0 {
+		panic(fmt.Sprintf("core: no upper bound found for C²=%v", c2))
 	}
 	beta, err := numeric.Bisect(g, lo, hi, 1e-10)
 	if err != nil {

@@ -103,6 +103,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("core: negative C² %v", p.C2)
 	case math.IsNaN(p.W + p.St + p.So + p.C2):
 		return fmt.Errorf("core: NaN parameter in %+v", p)
+	case math.IsInf(p.W+p.St+p.So+p.C2, 0):
+		return fmt.Errorf("core: infinite parameter in %+v", p)
 	}
 	return nil
 }
@@ -137,8 +139,9 @@ func MatVec(n, p int, tMulAdd float64) (w float64, messages int, err error) {
 	if n < p {
 		return 0, 0, fmt.Errorf("core: MatVec needs N >= P (N=%d, P=%d)", n, p)
 	}
-	if tMulAdd <= 0 {
-		return 0, 0, fmt.Errorf("core: non-positive multiply-add cost %v", tMulAdd)
+	// The negated comparison rejects NaN too: NaN > 0 is false.
+	if !(tMulAdd > 0) || math.IsInf(tMulAdd, 0) {
+		return 0, 0, fmt.Errorf("core: invalid multiply-add cost %v", tMulAdd)
 	}
 	rows := n / p // rows per processor under cyclic distribution
 	mOps := rows * n

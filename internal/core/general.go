@@ -218,6 +218,11 @@ func General(p GeneralParams) (GeneralResult, error) {
 			maxDelta = math.Max(maxDelta, math.Abs(newR-r[c]))
 			r[c] = newR
 		}
+		// NaN poisons maxDelta and compares false against tol forever;
+		// fail fast instead of spinning to the iteration cap.
+		if math.IsNaN(maxDelta) || math.IsInf(maxDelta, 0) {
+			return GeneralResult{}, fmt.Errorf("core: AMVA iteration diverged (delta = %v) at iteration %d", maxDelta, iter)
+		}
 		if maxDelta < tol {
 			for k := 0; k < P; k++ {
 				if uq[k] >= maxUtil {

@@ -109,6 +109,7 @@ func (d Uniform) Mean() float64 { return (d.Low + d.High) / 2 }
 // SCV implements Distribution.
 func (d Uniform) SCV() float64 {
 	m := d.Mean()
+	//lopc:allow floateq mean is exactly zero only for the degenerate [0,0] bounds, where SCV is 0 by convention
 	if m == 0 {
 		return 0
 	}
@@ -159,7 +160,7 @@ func expSum(r *rng.Stream, k int) float64 {
 			prod, count = 1.0, 0
 		}
 	}
-	if prod != 1.0 {
+	if count > 0 {
 		sum -= math.Log(prod)
 	}
 	return sum
@@ -314,6 +315,7 @@ func FromMeanSCV(mean, scv float64) Distribution {
 	if scv < 0 {
 		panic(fmt.Sprintf("dist: negative SCV %v", scv))
 	}
+	//lopc:allow floateq zero is an exact sentinel: only literal (0, 0) selects the degenerate distribution
 	if mean == 0 && scv == 0 {
 		return Deterministic{Value: 0}
 	}
@@ -321,8 +323,10 @@ func FromMeanSCV(mean, scv float64) Distribution {
 		panic(fmt.Sprintf("dist: non-positive mean %v with SCV %v", mean, scv))
 	}
 	switch {
+	//lopc:allow floateq the C² knob selects families at exact sentinels; near-zero SCV legitimately picks a high-k Erlang
 	case scv == 0:
 		return NewDeterministic(mean)
+	//lopc:allow floateq exact C²=1 selects Exponential; values near 1 pick the matching Erlang mixture or hyperexponential
 	case scv == 1:
 		return NewExponential(mean)
 	case scv < 1:

@@ -302,9 +302,11 @@ func runErrors(cfg Config) (*Report, error) {
 		if math.Abs(cfErr) > math.Abs(worstCF) {
 			worstCF = cfErr
 		}
+		//lopc:allow floateq w ranges over exact sweep literals; 1024 is the sweep point the paper quotes
 		if w == 1024 {
 			cfAt1024 = cfErr
 		}
+		//lopc:allow floateq w ranges over exact sweep literals; 0 is the zero-work sweep point
 		if w == 0 {
 			ryErrAtZero = ryErr
 		}

@@ -41,7 +41,7 @@ func runNetAssume(cfg Config) (*Report, error) {
 		occs = []float64{0, 50, 200}
 	}
 	var baseR float64
-	for _, occ := range occs {
+	for occI, occ := range occs {
 		sim, err := workload.RunAllToAll(workload.AllToAllConfig{
 			P:             figP,
 			Work:          dist.NewDeterministic(512),
@@ -55,7 +55,7 @@ func runNetAssume(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		if occ == occs[0] {
+		if occI == 0 {
 			baseR = sim.R.Mean()
 		}
 		// Occupancy adds to every trip whether or not links queue, so

@@ -101,6 +101,7 @@ func runCollectives(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		//lopc:allow floateq the reduction sums p exact ones; small integers are exact in float64
 		if rres.Value != float64(p) {
 			return nil, fmt.Errorf("collectives: reduce value %v on %d nodes", rres.Value, p)
 		}

@@ -75,9 +75,11 @@ func (p *Plot) WriteText(w io.Writer) error {
 		_, err := fmt.Fprintf(w, "%s\n  (no data)\n", p.Title)
 		return err
 	}
+	//lopc:allow floateq only exactly-equal bounds give the axis zero width; any spread plots fine
 	if xmax == xmin {
 		xmax = xmin + 1
 	}
+	//lopc:allow floateq only exactly-equal bounds give the axis zero width; any spread plots fine
 	if ymax == ymin {
 		ymax = ymin + 1
 	}

@@ -35,6 +35,7 @@ func (t *Table) AddRow(cells ...string) {
 // F formats a float for a table cell with sensible precision.
 func F(v float64) string {
 	switch {
+	//lopc:allow floateq formatting shortcut for the exact zero; near-zeros print via %.4g below
 	case v == 0:
 		return "0"
 	case v >= 1000 || v <= -1000:

@@ -46,6 +46,9 @@ type Result struct {
 // with handler variability c2. At least three observations spanning
 // different W values are required (two parameters plus a residual check).
 func AllToAll(obs []Observation, p int, c2 float64) (Result, error) {
+	if math.IsNaN(c2) || math.IsInf(c2, 0) || c2 < 0 {
+		return Result{}, fmt.Errorf("fit: invalid handler variability C² = %v", c2)
+	}
 	if len(obs) < 3 {
 		return Result{}, fmt.Errorf("fit: need at least 3 observations, got %d", len(obs))
 	}

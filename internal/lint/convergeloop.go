@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SolverPackages are the package-path suffixes holding fixed-point and
+// optimization loops (the AMVA equation systems of Eqs. 5.1–5.10 and
+// A.1–A.10, and the calibration optimizer).
+var SolverPackages = []string{
+	"internal/numeric",
+	"internal/core",
+	"internal/mva",
+	"internal/fit",
+}
+
+// ConvergeLoop flags convergence loops in the solver packages that can
+// spin or silently stall:
+//
+//   - A loop that iterates until a float condition flips (a fixed-point
+//     or bracketing loop) must carry an iteration cap — an integer
+//     bound in its condition — because approximate MVA systems are not
+//     guaranteed contractive at every parameter point.
+//   - A loop whose convergence test is a math.Abs tolerance must also
+//     guard against NaN/Inf iterates (math.IsNaN / math.IsInf in the
+//     body): NaN compares false against every tolerance, so a diverged
+//     iterate spins until the cap and then reports non-convergence
+//     instead of the real numerical failure.
+type ConvergeLoop struct {
+	// Scope limits the check to certain packages; nil means the
+	// SolverPackages suffixes.
+	Scope func(pkgPath string) bool
+}
+
+func (*ConvergeLoop) Name() string { return "convergeloop" }
+func (*ConvergeLoop) Doc() string {
+	return "convergence loops in solver packages need an iteration cap and a NaN/Inf divergence guard"
+}
+
+func (a *ConvergeLoop) Check(l *Loader, pkg *Package) []Diagnostic {
+	scope := a.Scope
+	if scope == nil {
+		scope = suffixScope(SolverPackages)
+	}
+	if !scope(pkg.Path) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fs, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			condFloat := fs.Cond != nil && containsFloatRelation(pkg, fs.Cond)
+			bodyAbsTol := containsCallTo(pkg, fs.Body, "math", "Abs") && containsFloatRelationNode(pkg, fs.Body)
+			if !condFloat && !bodyAbsTol {
+				return true
+			}
+			pos := l.Fset.Position(fs.Pos())
+			if !hasIterationCap(pkg, fs) {
+				out = append(out, Diagnostic{Pos: pos, Check: a.Name(),
+					Message: "convergence loop has no iteration cap; bound it with an integer counter in the loop condition"})
+			} else if bodyAbsTol && !containsCallTo(pkg, fs.Body, "math", "IsNaN", "IsInf") {
+				out = append(out, Diagnostic{Pos: pos, Check: a.Name(),
+					Message: "convergence loop has no NaN/Inf divergence guard; check iterates with math.IsNaN/math.IsInf (NaN never meets a tolerance)"})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// relational ops that express a tolerance or ordering test.
+func isRelational(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// containsFloatRelation reports whether e contains a <,<=,>,>=
+// comparison between floating-point operands (descending through
+// && and ||).
+func containsFloatRelation(pkg *Package, e ast.Expr) bool {
+	return containsFloatRelationNode(pkg, e)
+}
+
+func containsFloatRelationNode(pkg *Package, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if be, ok := c.(*ast.BinaryExpr); ok && isRelational(be.Op) {
+			if isFloat(pkg.Info.TypeOf(be.X)) || isFloat(pkg.Info.TypeOf(be.Y)) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasIterationCap reports whether the loop condition contains a
+// relational comparison between integer operands — the "i < maxIter"
+// bound every solver loop must carry.
+func hasIterationCap(pkg *Package, fs *ast.ForStmt) bool {
+	if fs.Cond == nil {
+		return false
+	}
+	isInt := func(e ast.Expr) bool {
+		t := pkg.Info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsInteger != 0
+	}
+	found := false
+	ast.Inspect(fs.Cond, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if be, ok := c.(*ast.BinaryExpr); ok && isRelational(be.Op) {
+			if isInt(be.X) && isInt(be.Y) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

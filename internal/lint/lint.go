@@ -1,0 +1,282 @@
+// Package lint is the repository's static-analysis suite: a set of
+// AST- and type-based analyzers enforcing the invariants the LoPC
+// reproduction's correctness rests on but no compiler checks.
+//
+// The suite machine-checks three families of invariants:
+//
+//   - Determinism. The parallel run engine (internal/runner) guarantees
+//     byte-identical output for every worker count only if the packages
+//     it fans out never consult wall clocks, the global math/rand
+//     source, or unordered map iteration (nondeterminism).
+//   - Float safety. The AMVA fixed-point solvers (Eqs. 5.1–5.10,
+//     A.1–A.10) compare iterates with tolerances, never == (floateq),
+//     bound every convergence loop and guard it against NaN
+//     (convergeloop), and reject NaN/Inf/negative parameters at every
+//     exported entry point (paramvalidate).
+//   - Error hygiene. No error return is silently dropped (errdiscard).
+//
+// Analyzers use only the standard library (go/ast, go/parser, go/types,
+// go/importer) so the suite builds offline. Findings can be suppressed
+// per line with a justified
+//
+//	//lopc:allow <check> <reason>
+//
+// comment on the flagged line or the line above it, or per path prefix
+// with a Config allowlist.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Check is the analyzer name (e.g. "floateq").
+	Check string
+	// Message explains the finding and names the fix.
+	Message string
+}
+
+// String renders the finding in the suite's canonical
+// file:line:check: message format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%s: %s", d.Pos.Filename, d.Pos.Line, d.Check, d.Message)
+}
+
+// Analyzer is one check of the suite.
+type Analyzer interface {
+	// Name is the check name used in diagnostics, //lopc:allow comments
+	// and allowlist configs.
+	Name() string
+	// Doc is a one-line description.
+	Doc() string
+	// Check analyzes one package. The Loader gives access to every
+	// loaded package for interprocedural checks.
+	Check(l *Loader, pkg *Package) []Diagnostic
+}
+
+// All returns the full suite in reporting order.
+func All() []Analyzer {
+	return []Analyzer{
+		&Nondeterminism{},
+		&FloatEq{},
+		&ConvergeLoop{},
+		&ParamValidate{},
+		&ErrDiscard{},
+	}
+}
+
+// Run executes the analyzers over the packages, drops findings
+// suppressed by //lopc:allow comments or the config allowlist, verifies
+// the suppression comments themselves (unknown check names and missing
+// reasons are findings), and returns the remainder sorted by position.
+func Run(l *Loader, pkgs []*Package, analyzers []Analyzer, cfg Config) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name()] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows := collectAllows(l.Fset, pkg)
+		for _, d := range checkAllows(allows, known) {
+			if !cfg.allows(d.Check, l.RelPath(d.Pos.Filename), pkg.Path) {
+				out = append(out, d)
+			}
+		}
+		for _, a := range analyzers {
+			for _, d := range a.Check(l, pkg) {
+				if allows.covers(d.Pos.Filename, d.Pos.Line, d.Check) {
+					continue
+				}
+				if cfg.allows(d.Check, l.RelPath(d.Pos.Filename), pkg.Path) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// allowDirective is the comment prefix of a suppression.
+const allowDirective = "lopc:allow"
+
+// allow is one parsed //lopc:allow comment.
+type allow struct {
+	pos    token.Position
+	check  string
+	reason string
+}
+
+// allowSet indexes suppressions by file and line. An allow on line L
+// covers findings on L (trailing comment) and L+1 (comment above).
+type allowSet map[string]map[int][]allow
+
+func (s allowSet) covers(file string, line int, check string) bool {
+	for _, l := range []int{line, line - 1} {
+		for _, a := range s[file][l] {
+			if a.check == check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectAllows parses every //lopc:allow comment in the package.
+func collectAllows(fset *token.FileSet, pkg *Package) allowSet {
+	set := allowSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowDirective))
+				pos := fset.Position(c.Pos())
+				check, reason, _ := strings.Cut(rest, " ")
+				a := allow{pos: pos, check: check, reason: strings.TrimSpace(reason)}
+				if set[pos.Filename] == nil {
+					set[pos.Filename] = map[int][]allow{}
+				}
+				set[pos.Filename][pos.Line] = append(set[pos.Filename][pos.Line], a)
+			}
+		}
+	}
+	return set
+}
+
+// checkAllows validates the suppression comments themselves: every
+// allow must name a known check and give a reason, so suppressions stay
+// auditable.
+func checkAllows(set allowSet, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, lines := range set {
+		for _, as := range lines {
+			for _, a := range as {
+				switch {
+				case a.check == "":
+					out = append(out, Diagnostic{Pos: a.pos, Check: "allow",
+						Message: "lopc:allow comment names no check"})
+				case !known[a.check]:
+					out = append(out, Diagnostic{Pos: a.pos, Check: "allow",
+						Message: fmt.Sprintf("lopc:allow names unknown check %q", a.check)})
+				case a.reason == "":
+					out = append(out, Diagnostic{Pos: a.pos, Check: "allow",
+						Message: fmt.Sprintf("lopc:allow %s has no reason; justify the suppression", a.check)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Config is the per-check path allowlist: findings of a check under any
+// of its path prefixes are dropped. Prefixes are slash-separated and
+// matched against both the file path relative to the module root and
+// the package import path.
+type Config struct {
+	Allow map[string][]string
+}
+
+// ParseConfig reads an allowlist: one "check path-prefix" pair per
+// line, '#' starts a comment, blank lines ignored.
+func ParseConfig(text string) (Config, error) {
+	cfg := Config{Allow: map[string][]string{}}
+	for i, line := range strings.Split(text, "\n") {
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		fields := strings.Fields(line)
+		switch len(fields) {
+		case 0:
+		case 2:
+			cfg.Allow[fields[0]] = append(cfg.Allow[fields[0]], fields[1])
+		default:
+			return Config{}, fmt.Errorf("lint: config line %d: want \"check path-prefix\", got %q", i+1, line)
+		}
+	}
+	return cfg, nil
+}
+
+func (c Config) allows(check, relPath, pkgPath string) bool {
+	for _, prefix := range c.Allow[check] {
+		if underPrefix(relPath, prefix) || underPrefix(pkgPath, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// underPrefix reports whether p equals prefix or lies under it as a
+// path (so "internal/core" does not match "internal/corebis").
+func underPrefix(p, prefix string) bool {
+	p, prefix = path.Clean(p), path.Clean(prefix)
+	return p == prefix || strings.HasPrefix(p, prefix+"/")
+}
+
+// --- shared AST/type helpers used by several analyzers ---
+
+// calleeOf resolves the called function of e's Fun, unwrapping
+// selectors and parenthesized expressions; nil when the callee is not a
+// declared function (e.g. a conversion or a function-typed variable).
+func calleeOf(pkg *Package, call *ast.CallExpr) *funcRef {
+	fun := ast.Unparen(call.Fun)
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return funcRefOf(pkg, f)
+	case *ast.SelectorExpr:
+		return funcRefOf(pkg, f.Sel)
+	}
+	return nil
+}
+
+// isPkgCall reports whether call invokes the package-level function
+// pkgPath.name.
+func isPkgCall(pkg *Package, call *ast.CallExpr, pkgPath, name string) bool {
+	ref := calleeOf(pkg, call)
+	return ref != nil && ref.pkgPath == pkgPath && ref.name == name && ref.recv == nil
+}
+
+// containsCallTo reports whether any call to pkgPath.name appears in
+// the subtree rooted at n.
+func containsCallTo(pkg *Package, n ast.Node, pkgPath string, names ...string) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := c.(*ast.CallExpr); ok {
+			for _, name := range names {
+				if isPkgCall(pkg, call, pkgPath, name) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

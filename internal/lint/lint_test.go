@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSuppression: justified //lopc:allow comments silence findings on
+// their line or the line below; reasonless or unknown allows are
+// themselves findings.
+func TestSuppression(t *testing.T) {
+	l, pkg := loadFixture(t, "suppress")
+	diags := Run(l, []*Package{pkg}, []Analyzer{&FloatEq{}}, Config{})
+
+	var allowDiags, floateqDiags []Diagnostic
+	for _, d := range diags {
+		switch d.Check {
+		case "allow":
+			allowDiags = append(allowDiags, d)
+		case "floateq":
+			floateqDiags = append(floateqDiags, d)
+		default:
+			t.Errorf("unexpected check %q: %s", d.Check, d)
+		}
+	}
+	// Eq, EqAbove and Bare are suppressed; Unknown's allow names a
+	// check that does not exist, so its floateq finding survives.
+	if len(floateqDiags) != 1 {
+		t.Errorf("got %d floateq findings, want 1 (Unknown's): %v", len(floateqDiags), floateqDiags)
+	}
+	// Bare (no reason) and Unknown (bogus check) are reported.
+	if len(allowDiags) != 2 {
+		t.Fatalf("got %d allow findings, want 2: %v", len(allowDiags), allowDiags)
+	}
+	var sawNoReason, sawUnknown bool
+	for _, d := range allowDiags {
+		if strings.Contains(d.Message, "no reason") {
+			sawNoReason = true
+		}
+		if strings.Contains(d.Message, "unknown check") {
+			sawUnknown = true
+		}
+	}
+	if !sawNoReason || !sawUnknown {
+		t.Errorf("allow findings missing no-reason or unknown-check report: %v", allowDiags)
+	}
+}
+
+// TestConfigAllowlist: a per-check path allowlist drops findings under
+// the listed prefix.
+func TestConfigAllowlist(t *testing.T) {
+	l, pkg := loadFixture(t, "floateq")
+	cfg, err := ParseConfig("# comment\nfloateq fix/floateq\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(l, []*Package{pkg}, []Analyzer{&FloatEq{}}, cfg); len(diags) != 0 {
+		t.Errorf("allowlisted package still reported: %v", diags)
+	}
+	// A non-matching prefix must not suppress (and prefix matching is
+	// by path component, not by string prefix).
+	cfg, err = ParseConfig("floateq fix/floateqbis\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(l, []*Package{pkg}, []Analyzer{&FloatEq{}}, cfg); len(diags) == 0 {
+		t.Error("non-matching allowlist prefix suppressed findings")
+	}
+}
+
+func TestParseConfigRejectsMalformed(t *testing.T) {
+	if _, err := ParseConfig("floateq\n"); err == nil {
+		t.Error("one-field config line accepted")
+	}
+	if _, err := ParseConfig("floateq a b\n"); err == nil {
+		t.Error("three-field config line accepted")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Check: "floateq", Message: "m"}
+	d.Pos.Filename = "a/b.go"
+	d.Pos.Line = 7
+	if got, want := d.String(), "a/b.go:7:floateq: m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// DeterministicPackages are the package-path suffixes whose output the
+// parallel run engine (internal/runner) promises is bit-identical for
+// every worker count. Anything consulting a wall clock, the shared
+// math/rand source, or map iteration order inside them silently breaks
+// that promise.
+var DeterministicPackages = []string{
+	"internal/core",
+	"internal/mva",
+	"internal/exp",
+	"internal/workload",
+	"internal/sim",
+	"internal/rng",
+	"internal/stats",
+	"internal/runner",
+}
+
+// suffixScope matches a package path against a list of path suffixes
+// ("internal/core" matches both "repro/internal/core" and a fixture's
+// "fix/internal/core").
+func suffixScope(suffixes []string) func(pkgPath string) bool {
+	return func(pkgPath string) bool {
+		for _, s := range suffixes {
+			if pkgPath == s || underPrefix(pkgPath, s) {
+				return true
+			}
+			if n := len(pkgPath) - len(s); n > 0 && pkgPath[n-1] == '/' && pkgPath[n:] == s {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// wallClockFuncs are the time package functions that read the wall
+// clock (or schedule against it).
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+}
+
+// globalRandFuncs are the math/rand (and math/rand/v2) package-level
+// functions that consume the shared global source. Constructors taking
+// an explicit seed (New, NewSource, NewZipf, NewPCG, NewChaCha8) are
+// deterministic and stay legal.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint": true, "UintN": true,
+	"Uint32N": true, "Uint64N": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// Nondeterminism flags wall-clock reads, global math/rand use, and
+// map-order-dependent writes inside the deterministic packages.
+type Nondeterminism struct {
+	// Scope limits the check to certain packages; nil means the
+	// DeterministicPackages suffixes.
+	Scope func(pkgPath string) bool
+}
+
+func (*Nondeterminism) Name() string { return "nondeterminism" }
+func (*Nondeterminism) Doc() string {
+	return "wall clocks, global math/rand, and map-order-dependent writes are forbidden in deterministic packages"
+}
+
+func (a *Nondeterminism) Check(l *Loader, pkg *Package) []Diagnostic {
+	scope := a.Scope
+	if scope == nil {
+		scope = suffixScope(DeterministicPackages)
+	}
+	if !scope(pkg.Path) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if d, ok := a.checkSelector(l, pkg, n); ok {
+					out = append(out, d)
+				}
+			case *ast.RangeStmt:
+				out = append(out, a.checkMapRange(l, pkg, n)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func (a *Nondeterminism) checkSelector(l *Loader, pkg *Package, sel *ast.SelectorExpr) (Diagnostic, bool) {
+	ref := funcRefOf(pkg, sel.Sel)
+	if ref == nil || ref.recv != nil {
+		return Diagnostic{}, false
+	}
+	switch {
+	case ref.pkgPath == "time" && wallClockFuncs[ref.name]:
+		return Diagnostic{
+			Pos:   l.Fset.Position(sel.Pos()),
+			Check: a.Name(),
+			Message: fmt.Sprintf("time.%s reads the wall clock in a deterministic package; inject a clock.Clock instead",
+				ref.name),
+		}, true
+	case (ref.pkgPath == "math/rand" || ref.pkgPath == "math/rand/v2") && globalRandFuncs[ref.name]:
+		return Diagnostic{
+			Pos:   l.Fset.Position(sel.Pos()),
+			Check: a.Name(),
+			Message: fmt.Sprintf("global math/rand.%s consumes shared nondeterministic state; use a seeded internal/rng stream",
+				ref.name),
+		}, true
+	}
+	return Diagnostic{}, false
+}
+
+// checkMapRange flags writes inside a range-over-map body that target
+// variables declared outside the loop, except writes indexed by the
+// loop key (m2[k] = ... is order-independent; sum += v and
+// out = append(out, v) are not).
+func (a *Nondeterminism) checkMapRange(l *Loader, pkg *Package, rs *ast.RangeStmt) []Diagnostic {
+	if _, ok := pkg.Info.TypeOf(rs.X).Underlying().(*types.Map); !ok {
+		return nil
+	}
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pkg.Info.ObjectOf(id); obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	keyObj := func(e ast.Expr) types.Object {
+		if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+			if used, ok := e.(*ast.Ident); ok && pkg.Info.ObjectOf(used) == pkg.Info.ObjectOf(id) {
+				return pkg.Info.ObjectOf(id)
+			}
+		}
+		return nil
+	}
+	// outer reports whether the written object is declared outside the
+	// range statement (including package level).
+	outer := func(obj types.Object) bool {
+		if obj == nil || loopVars[obj] {
+			return false
+		}
+		return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+	}
+	var out []Diagnostic
+	flag := func(n ast.Node, name string) {
+		out = append(out, Diagnostic{
+			Pos:   l.Fset.Position(n.Pos()),
+			Check: a.Name(),
+			Message: fmt.Sprintf("write to %s inside range over a map depends on iteration order; iterate sorted keys",
+				name),
+		})
+	}
+	checkTarget := func(n ast.Node, lhs ast.Expr) {
+		// Writes through an index keyed by the loop key are
+		// order-independent (each iteration touches its own slot).
+		if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && keyObj(ast.Unparen(ix.Index)) != nil {
+			return
+		}
+		obj, name := rootObject(pkg, lhs)
+		if outer(obj) {
+			flag(n, name)
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkTarget(n, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkTarget(n, n.X)
+		case *ast.SendStmt:
+			obj, name := rootObject(pkg, n.Chan)
+			if outer(obj) {
+				flag(n, name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rootObject resolves the base identifier of an lvalue chain
+// (x, x.f, x[i], *x, ...) to its object and display name.
+func rootObject(pkg *Package, e ast.Expr) (types.Object, string) {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pkg.Info.ObjectOf(v), v.Name
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil, ""
+		}
+	}
+}

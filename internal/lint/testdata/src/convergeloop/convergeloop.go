@@ -1,0 +1,69 @@
+// Package convergeloop exercises the convergeloop analyzer:
+// fixed-point loops need iteration caps and NaN guards.
+package convergeloop
+
+import "math"
+
+// Uncapped iterates until a tolerance with no iteration bound.
+func Uncapped(f func(float64) float64, x float64) float64 {
+	for { // want "no iteration cap"
+		next := f(x)
+		if math.Abs(next-x) < 1e-9 {
+			return next
+		}
+		x = next
+	}
+}
+
+// NoGuard is capped but lets a NaN iterate spin to the cap.
+func NoGuard(f func(float64) float64, x, tol float64) float64 {
+	for i := 0; i < 100; i++ { // want "no NaN/Inf divergence guard"
+		next := f(x)
+		if math.Abs(next-x) < tol {
+			break
+		}
+		x = next
+	}
+	return x
+}
+
+// Guarded is capped and guards against divergence: legal.
+func Guarded(f func(float64) float64, x, tol float64) (float64, bool) {
+	for i := 0; i < 100; i++ {
+		next := f(x)
+		if math.IsNaN(next) || math.IsInf(next, 0) {
+			return 0, false
+		}
+		if math.Abs(next-x) < tol {
+			return next, true
+		}
+		x = next
+	}
+	return x, false
+}
+
+// Widen brackets on a float condition with no iteration bound.
+func Widen(g func(float64) float64, hi float64) float64 {
+	for g(hi) > 0 { // want "no iteration cap"
+		hi *= 2
+	}
+	return hi
+}
+
+// WidenBounded carries an integer bound in the condition: legal (the
+// body only doubles a finite value, so no NaN guard is demanded).
+func WidenBounded(g func(float64) float64, hi float64) float64 {
+	for i := 0; i < 60 && g(hi) > 0; i++ {
+		hi *= 2
+	}
+	return hi
+}
+
+// Sum is a plain counted loop over float data, not a convergence loop.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for i := 0; i < len(xs); i++ {
+		s += xs[i]
+	}
+	return s
+}

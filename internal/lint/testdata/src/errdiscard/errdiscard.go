@@ -1,0 +1,34 @@
+// Package errdiscard exercises the errdiscard analyzer: silently
+// dropped error returns.
+package errdiscard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func work() error { return errors.New("boom") }
+
+func value() (int, error) { return 0, errors.New("boom") }
+
+// Drops silently discards errors three ways.
+func Drops(f *os.File) {
+	work()          // want "discards its error result"
+	value()         // want "discards its error result"
+	defer f.Close() // want "deferred call to"
+	go work()       // want "discards its error result"
+}
+
+// Handles deals with every error path: legal.
+func Handles() string {
+	if err := work(); err != nil {
+		return err.Error()
+	}
+	_ = work() // explicit discard records the decision
+	var b strings.Builder
+	b.WriteString("ok") // never-failing buffer writer, exempt
+	fmt.Println("done") // fmt print family, exempt
+	return b.String()
+}

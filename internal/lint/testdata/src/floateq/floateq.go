@@ -1,0 +1,37 @@
+// Package floateq exercises the floateq analyzer: exact equality
+// between floating-point operands.
+package floateq
+
+// Converged compares floats exactly.
+func Converged(a, b, tol float64) bool {
+	if a == b { // want "floating-point == comparison"
+		return true
+	}
+	return diff(a, b) < tol
+}
+
+// Different compares slice elements exactly.
+func Different(xs []float64) bool {
+	return xs[0] != xs[1] // want "floating-point != comparison"
+}
+
+// Single compares a float32 against a constant.
+func Single(f float32) bool {
+	return f != 0 // want "floating-point != comparison"
+}
+
+// Empty compares integers, which stays legal.
+func Empty(n int) bool { return n == 0 }
+
+// eps-vs-zero is a constant comparison, evaluated at compile time.
+const eps = 1e-9
+
+// Tiny compares two constants, which stays legal.
+func Tiny() bool { return eps == 0 }
+
+func diff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

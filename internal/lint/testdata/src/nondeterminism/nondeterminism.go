@@ -1,0 +1,68 @@
+// Package nondeterminism exercises the nondeterminism analyzer: wall
+// clocks, global math/rand, and map-order-dependent writes.
+package nondeterminism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Elapsed reads the wall clock twice.
+func Elapsed() time.Duration {
+	start := time.Now()      // want "time.Now reads the wall clock"
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// Jitter consumes the shared global source.
+func Jitter() float64 {
+	return rand.Float64() // want "global math/rand.Float64"
+}
+
+// Seeded uses an explicitly seeded local source, which is
+// deterministic and legal.
+func Seeded() float64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Float64()
+}
+
+// SumValues accumulates float values in map iteration order.
+func SumValues(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want "write to sum inside range over a map"
+	}
+	return sum
+}
+
+// Keys appends in map iteration order (sorting afterwards does not
+// unflag the append itself; iterate sorted keys instead).
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "write to keys inside range over a map"
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Scale writes through the loop key, which is order-independent and
+// legal.
+func Scale(m map[string]float64, by float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v * by
+	}
+	return out
+}
+
+// Locals only writes loop-local state, which is legal.
+func Locals(m map[string]float64) bool {
+	for _, v := range m {
+		big := v > 1
+		if big {
+			return true
+		}
+	}
+	return false
+}

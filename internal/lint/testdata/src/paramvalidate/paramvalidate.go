@@ -1,0 +1,86 @@
+// Package paramvalidate exercises the paramvalidate analyzer:
+// error-returning exported entry points must check float parameters
+// before using them.
+package paramvalidate
+
+import (
+	"errors"
+	"math"
+)
+
+var errBad = errors.New("bad parameter")
+
+// SolveUnchecked multiplies before any check.
+func SolveUnchecked(w float64) (float64, error) {
+	r := w * 2 // want "uses float parameter"
+	return r, nil
+}
+
+// SolveChecked guards with IsNaN and a negativity test: legal.
+func SolveChecked(w float64) (float64, error) {
+	if math.IsNaN(w) || w < 0 {
+		return 0, errBad
+	}
+	return w * 2, nil
+}
+
+// SolveForwarded delegates verbatim to a checking function: legal.
+func SolveForwarded(w float64) (float64, error) {
+	return SolveChecked(w)
+}
+
+// SolveForwardedBad delegates to a function that never checks.
+func SolveForwardedBad(w float64) (float64, error) {
+	return solveRaw(w) // want "uses float parameter"
+}
+
+func solveRaw(w float64) (float64, error) { return 1 / w, nil }
+
+// Params is a struct parameter with float fields.
+type Params struct {
+	W float64
+	N int
+}
+
+// Validate rejects bad parameterizations.
+func (p Params) Validate() error {
+	if math.IsNaN(p.W) || p.W < 0 {
+		return errBad
+	}
+	return nil
+}
+
+// SolveStruct validates first: legal.
+func SolveStruct(p Params) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return p.W * 2, nil
+}
+
+// SolveStructBad reads a field before validating.
+func SolveStructBad(p Params) (float64, error) {
+	r := p.W + 1 // want "uses float parameter"
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return r, nil
+}
+
+// SolveClosure captures the parameter in a closure before any check.
+func SolveClosure(w float64) (float64, error) {
+	f := func() float64 { return w * 2 } // want "uses float parameter"
+	return f(), nil
+}
+
+// ClosedForm cannot return an error; closed forms follow the math
+// package convention (NaN in, NaN out) and are exempt.
+func ClosedForm(w float64) float64 { return w * w }
+
+// Ints has no float parameters and is exempt.
+func Ints(n int) (int, error) {
+	if n < 0 {
+		return 0, errBad
+	}
+	return n + 1, nil
+}

@@ -1,0 +1,25 @@
+// Package suppress exercises //lopc:allow handling.
+package suppress
+
+// Eq is suppressed with a justified allow on the flagged line.
+func Eq(a, b float64) bool {
+	return a == b //lopc:allow floateq exact bit-level comparison exercised by the suppression test
+}
+
+// EqAbove is suppressed by an allow on the line above.
+func EqAbove(a, b float64) bool {
+	//lopc:allow floateq exercised by the suppression test
+	return a == b
+}
+
+// Bare carries an allow with no reason: the suppression works but is
+// itself reported, keeping allows auditable.
+func Bare(a, b float64) bool {
+	return a != b //lopc:allow floateq
+}
+
+// Unknown names a check that does not exist.
+func Unknown(a, b float64) bool {
+	_ = a == b //lopc:allow bogus not a real check
+	return false
+}

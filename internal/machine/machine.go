@@ -684,6 +684,7 @@ func (m *Machine) advanceThread(n *node, t *thread) {
 		action := t.program.Next(m, n.id)
 		switch action.kind {
 		case actionCompute:
+			//lopc:allow floateq exactly-zero compute is a no-op action; any positive duration schedules an event
 			if action.duration == 0 {
 				continue
 			}

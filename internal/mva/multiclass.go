@@ -242,6 +242,11 @@ func multiApproximate(p MultiParams, est func(qTot, qSelf float64, nc int) float
 				q[c][k] = nq
 			}
 		}
+		// NaN compares false against tol forever; fail fast rather than
+		// spin to the iteration cap.
+		if math.IsNaN(delta) || math.IsInf(delta, 0) {
+			return MultiResult{}, fmt.Errorf("mva: multiclass approximation diverged (delta = %v)", delta)
+		}
 		if delta < tol {
 			qTot := make([]float64, K)
 			for k := 0; k < K; k++ {

@@ -180,6 +180,11 @@ func approximate(centers []Center, n int, est func(q float64, n int) float64) (R
 			delta = math.Max(delta, math.Abs(nq-q[j]))
 			q[j] = nq
 		}
+		// NaN compares false against tol forever; fail fast rather than
+		// spin to the iteration cap.
+		if math.IsNaN(delta) || math.IsInf(delta, 0) {
+			return Result{}, fmt.Errorf("mva: approximation diverged (delta = %v) for n=%d", delta, n)
+		}
 		if delta < tol {
 			return finish(centers, n, r), nil
 		}

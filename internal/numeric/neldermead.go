@@ -67,6 +67,7 @@ func NelderMead(f func([]float64) float64, x0 []float64, opts NelderMeadOpts) ([
 		rho         = 0.5 // contraction
 		sigmaShrink = 0.5 // shrink
 	)
+	//lopc:allow convergeloop eval clamps NaN objectives to +Inf, so divergence stalls at the MaxIter cap instead of spinning
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
 		best, worst := simplex[0], simplex[n]

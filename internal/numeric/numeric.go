@@ -16,6 +16,22 @@ import (
 // iteration budget without meeting its tolerance.
 var ErrNoConvergence = errors.New("numeric: iteration did not converge")
 
+// Close reports whether a and b agree to within tol relative to their
+// magnitude: |a−b| ≤ tol·(1+max(|a|,|b|)). The 1+ term makes tol act as
+// an absolute tolerance near zero and a relative one for large values,
+// so a single tolerance works across the model's quantity scales
+// (probabilities near 0, cycle counts in the millions). This is the
+// comparison the floateq check (internal/lint) points code at instead
+// of == on floats.
+func Close(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// Zero reports whether x is within tol of zero: |x| ≤ tol.
+func Zero(x, tol float64) bool {
+	return math.Abs(x) <= tol
+}
+
 // FixedPointOpts controls FixedPoint.
 type FixedPointOpts struct {
 	// Tol is the absolute convergence tolerance on |x' - x|.
@@ -64,9 +80,11 @@ func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
 		lo, hi = hi, lo
 	}
 	flo, fhi := f(lo), f(hi)
+	//lopc:allow floateq exact zero means the endpoint IS the root; any nonzero value keeps bisecting
 	if flo == 0 {
 		return lo, nil
 	}
+	//lopc:allow floateq exact zero means the endpoint IS the root; any nonzero value keeps bisecting
 	if fhi == 0 {
 		return hi, nil
 	}
@@ -76,6 +94,7 @@ func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
 	for i := 0; i < 200 && hi-lo > tol; i++ {
 		mid := lo + (hi-lo)/2
 		fm := f(mid)
+		//lopc:allow floateq exact zero is a lucky exact root; the sign test below handles every other value
 		if fm == 0 {
 			return mid, nil
 		}
@@ -100,6 +119,7 @@ func Newton(f func(float64) float64, x0, tol float64, maxIter int) (float64, err
 		}
 		h := 1e-6 * (1 + math.Abs(x))
 		d := (f(x+h) - f(x-h)) / (2 * h)
+		//lopc:allow floateq only an exactly-zero derivative makes the Newton step divide by zero
 		if d == 0 || math.IsNaN(d) {
 			return 0, fmt.Errorf("numeric: Newton derivative vanished at x=%v", x)
 		}
@@ -141,6 +161,7 @@ func PolyDeriv(c []float64) []float64 {
 func PolyRealRootsIn(c []float64, lo, hi float64) []float64 {
 	// Trim trailing zero coefficients.
 	deg := len(c) - 1
+	//lopc:allow floateq trailing coefficients are dropped only when exactly zero; near-zero ones still shape the polynomial
 	for deg > 0 && c[deg] == 0 {
 		deg--
 	}
@@ -162,12 +183,15 @@ func PolyRealRootsIn(c []float64, lo, hi float64) []float64 {
 	var roots []float64
 	f := func(x float64) float64 { return Poly(c, x) }
 	const tol = 1e-12
+	//lopc:allow convergeloop sweep over finitely many critical-point intervals, not a fixed-point iteration
 	for i := 0; i+1 < len(pts); i++ {
 		a, b := pts[i], pts[i+1]
 		fa, fb := f(a), f(b)
 		switch {
+		//lopc:allow floateq an interval endpoint is taken as a root only when exactly zero; sign changes catch the rest
 		case fa == 0:
 			roots = appendRoot(roots, a)
+		//lopc:allow floateq an interval endpoint is taken as a root only when exactly zero; sign changes catch the rest
 		case fb == 0 && i+2 == len(pts):
 			roots = appendRoot(roots, b)
 		case fa*fb < 0:

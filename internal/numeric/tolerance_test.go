@@ -1,0 +1,45 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClose(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 1e-12, true},
+		{1, 1 + 1e-13, 1e-12, true},
+		{1, 1 + 1e-6, 1e-12, false},
+		// Near zero tol acts absolutely.
+		{0, 5e-13, 1e-12, true},
+		{0, 5e-9, 1e-12, false},
+		// At large magnitude tol acts relatively: 2e6·1e-12 ≈ 2e-6 slack.
+		{2e6, 2e6 + 1, 1e-12, false},
+		{2e6, 2e6 + 1e-6, 1e-12, true},
+		{-3, -3, 1e-12, true},
+		{1, -1, 0.1, false},
+	}
+	for _, c := range cases {
+		if got := Close(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("Close(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+	if Close(math.NaN(), math.NaN(), 1) {
+		t.Error("Close(NaN, NaN) = true; NaN must never compare close")
+	}
+	if Close(math.Inf(1), math.Inf(1), 1) {
+		t.Error("Close(+Inf, +Inf) = true; Inf−Inf is NaN, not close")
+	}
+}
+
+func TestZero(t *testing.T) {
+	if !Zero(0, 1e-12) || !Zero(5e-13, 1e-12) || !Zero(-5e-13, 1e-12) {
+		t.Error("Zero rejects values inside the tolerance")
+	}
+	if Zero(1e-6, 1e-12) || Zero(math.NaN(), 1e-12) || Zero(math.Inf(1), 1e-12) {
+		t.Error("Zero accepts values outside the tolerance")
+	}
+}

@@ -26,6 +26,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // Options tunes one parallel run.
@@ -43,6 +45,11 @@ type Options struct {
 	// Every throttles progress reporting to at most one line per
 	// interval (the final line always prints). Zero means 250ms.
 	Every time.Duration
+	// Clock supplies the time used for throttling and ETA estimates;
+	// nil means clock.System. Tests inject a clock.Fake to pin
+	// progress output. The clock only shapes progress lines, never
+	// results.
+	Clock clock.Clock
 }
 
 func (o Options) jobs() int {
@@ -124,6 +131,7 @@ type progress struct {
 	label string
 	every time.Duration
 	n     int
+	clk   clock.Clock
 	start time.Time
 	last  time.Time
 }
@@ -140,8 +148,12 @@ func newProgress(opts Options, n int) *progress {
 	if every <= 0 {
 		every = 250 * time.Millisecond
 	}
-	now := time.Now()
-	return &progress{w: opts.Progress, label: label, every: every, n: n, start: now, last: now}
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.System
+	}
+	now := clk.Now()
+	return &progress{w: opts.Progress, label: label, every: every, n: n, clk: clk, start: now, last: now}
 }
 
 // report prints a progress line if enough time has passed since the
@@ -153,7 +165,7 @@ func (p *progress) report(done int) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	now := time.Now()
+	now := p.clk.Now()
 	if done < p.n && now.Sub(p.last) < p.every {
 		return
 	}

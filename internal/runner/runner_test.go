@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // TestMapOrdersResultsBySubmission: results land at their task index
@@ -170,6 +172,28 @@ func TestProgressReporting(t *testing.T) {
 	// With a one-hour throttle only the final (unthrottled) line prints.
 	if n := strings.Count(out, "\n"); n != 1 {
 		t.Errorf("throttle ignored: %d lines, want 1:\n%s", n, out)
+	}
+}
+
+// TestProgressFakeClock: with an injected clock.Fake every progress
+// line — throttling decisions, elapsed, ETA — is exactly reproducible.
+func TestProgressFakeClock(t *testing.T) {
+	var buf bytes.Buffer
+	fake := clock.NewFake(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	p := newProgress(Options{Progress: &buf, Label: "fit", Every: time.Second, Clock: fake}, 4)
+
+	p.report(1) // same instant as start: throttled
+	fake.Advance(2 * time.Second)
+	p.report(2) // window open: prints with elapsed and ETA
+	fake.Advance(500 * time.Millisecond)
+	p.report(3) // 500ms since last line: throttled
+	fake.Advance(1500 * time.Millisecond)
+	p.report(4) // final line always prints, no ETA
+
+	want := "fit: 2/4 done, elapsed 2s, eta 2s\n" +
+		"fit: 4/4 done, elapsed 4s\n"
+	if got := buf.String(); got != want {
+		t.Errorf("progress output:\n got %q\nwant %q", got, want)
 	}
 }
 

@@ -79,6 +79,7 @@ func (cq *CalendarQueue) Enqueue(e *Event) {
 	pos := len(b)
 	for pos > 0 {
 		prev := b[pos-1]
+		//lopc:allow floateq deterministic tie-break: exactly-simultaneous events order by seq, others by time
 		if prev.time < e.time || (prev.time == e.time && prev.seq < e.seq) {
 			break
 		}
@@ -122,6 +123,7 @@ func (cq *CalendarQueue) find() int {
 			continue
 		}
 		if best == nil || b[0].time < best.time ||
+			//lopc:allow floateq deterministic tie-break: exactly-simultaneous events order by seq, others by time
 			(b[0].time == best.time && b[0].seq < best.seq) {
 			best = b[0]
 			bestIdx = i

@@ -42,6 +42,7 @@ type eventQueue []*Event
 func (q eventQueue) Len() int { return len(q) }
 
 func (q eventQueue) Less(i, j int) bool {
+	//lopc:allow floateq deterministic tie-break: exactly-simultaneous events order by seq, others by time
 	if q[i].time != q[j].time {
 		return q[i].time < q[j].time
 	}

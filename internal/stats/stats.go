@@ -64,6 +64,7 @@ func (t *Tally) StdDev() float64 { return math.Sqrt(t.Variance()) }
 // SCV returns the squared coefficient of variation Var/Mean², or 0 when
 // the mean is 0.
 func (t *Tally) SCV() float64 {
+	//lopc:allow floateq an exactly-zero mean (empty or all-zero tally) makes SCV undefined; 0 by convention
 	if t.mean == 0 {
 		return 0
 	}
@@ -339,6 +340,7 @@ func Median(xs []float64) float64 {
 // RelErr returns the signed relative error (got-want)/want, or 0 when
 // want is 0. Experiment reports use it for model-vs-simulation columns.
 func RelErr(got, want float64) float64 {
+	//lopc:allow floateq relative error is undefined only at an exactly-zero reference; 0 by convention
 	if want == 0 {
 		return 0
 	}
@@ -367,6 +369,7 @@ func AutoCorr(xs []float64, lag int) float64 {
 			num += d * (xs[i+lag] - mean)
 		}
 	}
+	//lopc:allow floateq the denominator is exactly zero only for a constant series, where autocorrelation is undefined
 	if den == 0 {
 		return 0
 	}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/dist"
 	"repro/internal/machine"
@@ -58,6 +59,11 @@ func (c AllToAllConfig) validate() error {
 		return fmt.Errorf("workload: MeasureCycles = %d", c.MeasureCycles)
 	case c.WarmupCycles < 0:
 		return fmt.Errorf("workload: WarmupCycles = %d", c.WarmupCycles)
+	// The negated comparisons reject NaN too: NaN >= 0 is false.
+	case !(c.LinkOccupancy >= 0) || math.IsInf(c.LinkOccupancy, 0):
+		return fmt.Errorf("workload: invalid LinkOccupancy %v", c.LinkOccupancy)
+	case !(c.RetryDelay >= 0) || math.IsInf(c.RetryDelay, 0):
+		return fmt.Errorf("workload: invalid RetryDelay %v", c.RetryDelay)
 	}
 	return nil
 }

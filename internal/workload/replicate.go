@@ -30,6 +30,11 @@ type ReplicatedAllToAll struct {
 // value, including 1.
 func RunAllToAllN(cfg AllToAllConfig, reps, jobs int) (ReplicatedAllToAll, error) {
 	var agg ReplicatedAllToAll
+	// Validate once up front: a bad config should fail before any
+	// replication goroutine starts, not reps times inside the pool.
+	if err := cfg.validate(); err != nil {
+		return agg, err
+	}
 	if reps < 1 {
 		return agg, fmt.Errorf("workload: RunAllToAllN needs reps >= 1, got %d", reps)
 	}
@@ -68,6 +73,10 @@ type ReplicatedWorkpile struct {
 // them concurrently. Replication i uses seed rng.SeedAt(cfg.Seed, i).
 func RunWorkpileN(cfg WorkpileConfig, reps, jobs int) (ReplicatedWorkpile, error) {
 	var agg ReplicatedWorkpile
+	// Validate once up front, as in RunAllToAllN.
+	if err := cfg.validate(); err != nil {
+		return agg, err
+	}
 	if reps < 1 {
 		return agg, fmt.Errorf("workload: RunWorkpileN needs reps >= 1, got %d", reps)
 	}

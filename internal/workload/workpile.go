@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/dist"
 	"repro/internal/machine"
@@ -47,7 +48,8 @@ func (c WorkpileConfig) validate() error {
 		return fmt.Errorf("workload: nil distribution in config")
 	case c.PerClientChunk != nil && len(c.PerClientChunk) != c.P-c.Ps:
 		return fmt.Errorf("workload: PerClientChunk has %d entries for %d clients", len(c.PerClientChunk), c.P-c.Ps)
-	case c.WarmupTime < 0 || c.MeasureTime <= 0:
+	// The negated comparisons reject NaN too: NaN >= 0 is false.
+	case !(c.WarmupTime >= 0) || !(c.MeasureTime > 0) || math.IsInf(c.WarmupTime, 0) || math.IsInf(c.MeasureTime, 0):
 		return fmt.Errorf("workload: invalid window warmup=%v measure=%v", c.WarmupTime, c.MeasureTime)
 	}
 	return nil

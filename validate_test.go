@@ -1,0 +1,140 @@
+package repro_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestModelRejectsNonFiniteParams: every model entry point must refuse
+// NaN, infinite, and negative float parameters with an error instead of
+// iterating on them (a NaN never meets a convergence tolerance, so an
+// unvalidated solver would spin to its iteration cap and return
+// garbage). This is the behaviour the paramvalidate lint check pins
+// statically; these tests pin it dynamically.
+func TestModelRejectsNonFiniteParams(t *testing.T) {
+	good := repro.Params{P: 32, W: 1000, St: 40, So: 200, C2: 0}
+	if _, err := repro.AllToAll(good); err != nil {
+		t.Fatalf("baseline params rejected: %v", err)
+	}
+	bad := []struct {
+		name   string
+		mutate func(*repro.Params)
+	}{
+		{"NaN W", func(p *repro.Params) { p.W = math.NaN() }},
+		{"NaN St", func(p *repro.Params) { p.St = math.NaN() }},
+		{"NaN So", func(p *repro.Params) { p.So = math.NaN() }},
+		{"NaN C2", func(p *repro.Params) { p.C2 = math.NaN() }},
+		{"+Inf W", func(p *repro.Params) { p.W = math.Inf(1) }},
+		{"+Inf So", func(p *repro.Params) { p.So = math.Inf(1) }},
+		{"negative W", func(p *repro.Params) { p.W = -1 }},
+		{"negative St", func(p *repro.Params) { p.St = -1 }},
+		{"zero So", func(p *repro.Params) { p.So = 0 }},
+		{"negative C2", func(p *repro.Params) { p.C2 = -0.5 }},
+	}
+	for _, tc := range bad {
+		p := good
+		tc.mutate(&p)
+		if _, err := repro.AllToAll(p); err == nil {
+			t.Errorf("AllToAll accepted %s: %+v", tc.name, p)
+		}
+		if _, err := repro.TotalRuntime(p, 10); err == nil {
+			t.Errorf("TotalRuntime accepted %s: %+v", tc.name, p)
+		}
+	}
+}
+
+func TestMatVecRejectsBadCost(t *testing.T) {
+	for _, cost := range []float64{math.NaN(), math.Inf(1), 0, -4} {
+		if _, _, err := repro.MatVec(64, 8, cost); err == nil {
+			t.Errorf("MatVec accepted tMulAdd = %v", cost)
+		}
+	}
+	if _, _, err := repro.MatVec(64, 8, 4); err != nil {
+		t.Errorf("MatVec rejected a valid cost: %v", err)
+	}
+}
+
+func TestFitRejectsBadC2(t *testing.T) {
+	obs := []repro.FitObservation{{W: 0, R: 1200}, {W: 512, R: 1750}, {W: 2048, R: 3300}}
+	for _, c2 := range []float64{math.NaN(), math.Inf(1), -1} {
+		if _, err := repro.FitAllToAll(obs, 32, c2); err == nil {
+			t.Errorf("FitAllToAll accepted C² = %v", c2)
+		}
+	}
+}
+
+// TestSimulateNRejectsBadConfig: the replicated simulation entry points
+// must reject a bad config before starting any replication worker.
+func TestSimulateNRejectsBadConfig(t *testing.T) {
+	atGood := repro.SimAllToAllConfig{
+		P:             4,
+		Work:          repro.Deterministic(100),
+		Latency:       repro.Deterministic(10),
+		Service:       repro.Deterministic(20),
+		MeasureCycles: 5,
+		Seed:          1,
+	}
+	if _, err := repro.SimulateAllToAllN(atGood, 2, 2); err != nil {
+		t.Fatalf("baseline all-to-all config rejected: %v", err)
+	}
+	atBad := []struct {
+		name   string
+		mutate func(*repro.SimAllToAllConfig)
+	}{
+		{"NaN LinkOccupancy", func(c *repro.SimAllToAllConfig) { c.LinkOccupancy = math.NaN() }},
+		{"+Inf LinkOccupancy", func(c *repro.SimAllToAllConfig) { c.LinkOccupancy = math.Inf(1) }},
+		{"negative LinkOccupancy", func(c *repro.SimAllToAllConfig) { c.LinkOccupancy = -1 }},
+		{"NaN RetryDelay", func(c *repro.SimAllToAllConfig) { c.RetryDelay = math.NaN() }},
+		{"negative RetryDelay", func(c *repro.SimAllToAllConfig) { c.RetryDelay = -5 }},
+		{"nil Work", func(c *repro.SimAllToAllConfig) { c.Work = nil }},
+	}
+	for _, tc := range atBad {
+		c := atGood
+		tc.mutate(&c)
+		_, err := repro.SimulateAllToAllN(c, 2, 2)
+		if err == nil {
+			t.Errorf("SimulateAllToAllN accepted %s", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "workload:") {
+			t.Errorf("SimulateAllToAllN(%s) failed late (%v), want config validation", tc.name, err)
+		}
+	}
+
+	wpGood := repro.SimWorkpileConfig{
+		P: 4, Ps: 1,
+		Chunk:       repro.Exponential(100),
+		Latency:     repro.Deterministic(10),
+		Service:     repro.Deterministic(20),
+		MeasureTime: 2000,
+		Seed:        1,
+	}
+	if _, err := repro.SimulateWorkpileN(wpGood, 2, 2); err != nil {
+		t.Fatalf("baseline work-pile config rejected: %v", err)
+	}
+	wpBad := []struct {
+		name   string
+		mutate func(*repro.SimWorkpileConfig)
+	}{
+		{"NaN MeasureTime", func(c *repro.SimWorkpileConfig) { c.MeasureTime = math.NaN() }},
+		{"+Inf MeasureTime", func(c *repro.SimWorkpileConfig) { c.MeasureTime = math.Inf(1) }},
+		{"zero MeasureTime", func(c *repro.SimWorkpileConfig) { c.MeasureTime = 0 }},
+		{"NaN WarmupTime", func(c *repro.SimWorkpileConfig) { c.WarmupTime = math.NaN() }},
+		{"negative WarmupTime", func(c *repro.SimWorkpileConfig) { c.WarmupTime = -1 }},
+	}
+	for _, tc := range wpBad {
+		c := wpGood
+		tc.mutate(&c)
+		_, err := repro.SimulateWorkpileN(c, 2, 2)
+		if err == nil {
+			t.Errorf("SimulateWorkpileN accepted %s", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "workload:") {
+			t.Errorf("SimulateWorkpileN(%s) failed late (%v), want config validation", tc.name, err)
+		}
+	}
+}
