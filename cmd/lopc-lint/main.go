@@ -4,14 +4,17 @@
 //
 // Usage:
 //
-//	lopc-lint [-config file] [-list] [patterns...]
+//	lopc-lint [-config file] [-format text|json|github] [-list] [patterns...]
 //
 // Patterns default to ./... (every package of the enclosing module,
-// skipping testdata). Findings print one per line as
+// skipping testdata). With the default text format findings print one
+// per line as
 //
 //	file:line:check: message
 //
-// with file paths relative to the module root. The exit status is 0
+// with file paths relative to the module root; -format json emits a
+// JSON array of findings, and -format github emits ::error workflow
+// annotations for GitHub Actions. The exit status is 0
 // when the module is clean, 1 when there are findings, and 2 on usage
 // or load errors. Individual findings are suppressed with a justified
 //
@@ -22,10 +25,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/lint"
 )
@@ -38,8 +43,13 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lopc-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	configPath := fs.String("config", "", "path allowlist `file` (lines: check path-prefix)")
+	format := fs.String("format", "text", "output `format`: text, json, or github")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "json" && *format != "github" {
+		fmt.Fprintf(stderr, "lopc-lint: unknown format %q (want text, json, or github)\n", *format)
 		return 2
 	}
 	analyzers := lint.All()
@@ -80,12 +90,83 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	}
 
 	diags := lint.Run(l, pkgs, analyzers, cfg)
-	for _, d := range diags {
-		fmt.Fprintf(stdout, "%s:%d:%s: %s\n", l.RelPath(d.Pos.Filename), d.Pos.Line, d.Check, d.Message)
+	if err := emit(stdout, *format, l, diags); err != nil {
+		fmt.Fprintln(stderr, "lopc-lint:", err)
+		return 2
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "lopc-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		return 1
 	}
 	return 0
+}
+
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// emit renders the findings in the selected format. Findings arrive
+// sorted by file/line/check/message from lint.Run, so every format is
+// byte-deterministic.
+func emit(w io.Writer, format string, l *lint.Loader, diags []lint.Diagnostic) error {
+	switch format {
+	case "json":
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{
+				File:    l.RelPath(d.Pos.Filename),
+				Line:    d.Pos.Line,
+				Column:  d.Pos.Column,
+				Check:   d.Check,
+				Message: d.Message,
+			})
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", data)
+		return err
+	case "github":
+		for _, d := range diags {
+			_, err := fmt.Fprintf(w, "::error file=%s,line=%d::%s: %s\n",
+				actionsEscapeProp(l.RelPath(d.Pos.Filename)), d.Pos.Line,
+				d.Check, actionsEscapeData(d.Message))
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	default: // text
+		for _, d := range diags {
+			_, err := fmt.Fprintf(w, "%s:%d:%s: %s\n", l.RelPath(d.Pos.Filename), d.Pos.Line, d.Check, d.Message)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// actionsEscapeData escapes a workflow-command message per the GitHub
+// Actions toolkit rules.
+func actionsEscapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// actionsEscapeProp escapes a workflow-command property value, which
+// additionally reserves ':' and ','.
+func actionsEscapeProp(s string) string {
+	s = actionsEscapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
 }

@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -25,6 +28,85 @@ func TestGoldenOutput(t *testing.T) {
 	}
 }
 
+// TestGoldenJSON pins the -format json rendering of the same findings:
+// a sorted array of {file, line, column, check, message} objects.
+func TestGoldenJSON(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-format", "json", "./..."}, filepath.Join("testdata", "fixturemod"), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if stdout.String() != string(want) {
+		t.Errorf("output mismatch\n--- got ---\n%s--- want ---\n%s", stdout.String(), want)
+	}
+	var parsed []finding
+	if err := json.Unmarshal(stdout.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(parsed) == 0 {
+		t.Fatal("JSON output decoded to zero findings")
+	}
+}
+
+// TestGoldenGitHub pins the -format github rendering: one ::error
+// workflow command per finding so Actions annotates the diff.
+func TestGoldenGitHub(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_github.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-format", "github", "./..."}, filepath.Join("testdata", "fixturemod"), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if stdout.String() != string(want) {
+		t.Errorf("output mismatch\n--- got ---\n%s--- want ---\n%s", stdout.String(), want)
+	}
+}
+
+// TestBadFormat: an unknown -format is a usage error (exit 2), before
+// any packages load.
+func TestBadFormat(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-format", "xml", "./..."}, filepath.Join("testdata", "fixturemod"), &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "unknown format") {
+		t.Errorf("stderr %q does not name the bad format", stderr.String())
+	}
+}
+
+// TestOutputDeterministic runs the driver repeatedly — including under
+// a different GOMAXPROCS — and requires byte-identical output: finding
+// order may never depend on map iteration or scheduling.
+func TestOutputDeterministic(t *testing.T) {
+	runOnce := func() string {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"./..."}, filepath.Join("testdata", "fixturemod"), &stdout, &stderr)
+		if code != 1 {
+			t.Fatalf("exit code = %d, want 1\nstderr: %s", code, stderr.String())
+		}
+		return stdout.String()
+	}
+	first := runOnce()
+	second := runOnce()
+	if first != second {
+		t.Errorf("two identical runs differ\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	serial := runOnce()
+	if first != serial {
+		t.Errorf("output differs under GOMAXPROCS=1\n--- parallel ---\n%s--- serial ---\n%s", first, serial)
+	}
+}
+
 // TestConfigAllowsEverything checks that a -config allowlist covering
 // the whole fixture module silences every finding and flips the exit
 // status to 0.
@@ -35,7 +117,12 @@ func TestConfigAllowsEverything(t *testing.T) {
 		"paramvalidate fixture\n" +
 		"errdiscard fixture\n" +
 		"nondeterminism fixture\n" +
-		"convergeloop fixture\n"
+		"convergeloop fixture\n" +
+		"goroutineleak fixture\n" +
+		"waitgroup fixture\n" +
+		"loopcapture fixture\n" +
+		"lockbalance fixture\n" +
+		"sendclosed fixture\n"
 	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
 		t.Fatal(err)
 	}

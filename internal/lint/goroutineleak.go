@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineLeak flags goroutines nothing can join or cancel. A
+// goroutine body (only closure literals are analyzable — a named
+// function's body may signal in ways this intraprocedural pass cannot
+// see) counts as joined when it touches any of the mechanisms Go
+// offers for that purpose:
+//
+//   - a sync.WaitGroup declared outside the body (Done in the
+//     goroutine, Wait in the spawner),
+//   - a channel declared outside the body or received as a parameter
+//     (send, close, or receive all make the goroutine observable),
+//   - a context.Context (cancellation).
+//
+// A body touching none of these is fire-and-forget: the spawner cannot
+// tell when — or whether — it finished, and under the parallel runner
+// such goroutines outlive the simulation they were measuring.
+//
+// A second rule completes the WaitGroup case: when the goroutine Dones
+// a WaitGroup local to the spawner, the matching Wait must be reached
+// on every path from the go statement to the spawner's exit — an early
+// return that skips Wait abandons the goroutine just as surely as
+// having no WaitGroup at all.
+type GoroutineLeak struct{}
+
+func (*GoroutineLeak) Name() string { return "goroutineleak" }
+func (*GoroutineLeak) Doc() string {
+	return "every goroutine needs a join or cancellation mechanism (WaitGroup, channel, or context) reaching all exit paths"
+}
+
+func (a *GoroutineLeak) Check(l *Loader, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		funcNodes(f, func(fn ast.Node, body *ast.BlockStmt) {
+			out = append(out, a.checkSpawner(l, pkg, fn, body)...)
+		})
+	}
+	return out
+}
+
+// checkSpawner inspects the go statements directly inside one function
+// body (not those of nested literals, which get their own visit).
+func (a *GoroutineLeak) checkSpawner(l *Loader, pkg *Package, fn ast.Node, body *ast.BlockStmt) []Diagnostic {
+	var gos []*ast.GoStmt
+	walkShallow(body, func(c ast.Node) bool {
+		if gs, ok := c.(*ast.GoStmt); ok {
+			gos = append(gos, gs)
+		}
+		return true
+	})
+	if len(gos) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	var g *CFG // spawner CFG, built lazily for the Wait-path rule
+	for _, gs := range gos {
+		lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		dones, signals := a.bodySignals(pkg, lit)
+		if !signals {
+			out = append(out, Diagnostic{
+				Pos:   l.Fset.Position(gs.Pos()),
+				Check: a.Name(),
+				Message: "goroutine has no join or cancellation mechanism (no WaitGroup, channel, or context); " +
+					"the spawner cannot wait for it and it may leak",
+			})
+			continue
+		}
+		// Wait-path rule: Done on a spawner-local WaitGroup demands a
+		// Wait on every path past the launch.
+		for _, done := range dones {
+			key, root := done.recvKey, done.recvObj
+			if root == nil || root.Pos() < body.Pos() || root.Pos() > body.End() {
+				continue // parameter or package-level: the caller may Wait
+			}
+			if !a.bodyWaits(pkg, body, key) {
+				continue // waited elsewhere, or a different bug (waitgroup check's domain)
+			}
+			if g == nil {
+				g = NewCFG(body)
+			}
+			blk, idx := findBlockNode(g, gs)
+			if blk == nil {
+				continue
+			}
+			if pathMissing(g, blk, idx, func(c ast.Node) bool {
+				call, ok := c.(*ast.CallExpr)
+				if !ok {
+					return false
+				}
+				sc := wgCallOf(pkg, call)
+				return sc != nil && sc.method == "Wait" && sc.recvKey == key
+			}) {
+				out = append(out, Diagnostic{
+					Pos:   l.Fset.Position(gs.Pos()),
+					Check: a.Name(),
+					Message: fmt.Sprintf("%s.Wait is not reached on every path after this goroutine starts; an early return abandons it",
+						displayName(key)),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// bodySignals scans a goroutine body for join/cancellation mechanisms:
+// it returns the WaitGroup Done calls of the body and whether any
+// signal (WaitGroup, outside channel, context) is present at all.
+func (a *GoroutineLeak) bodySignals(pkg *Package, lit *ast.FuncLit) (dones []*syncCall, signals bool) {
+	seenDone := map[string]bool{}
+	addDone := func(sc *syncCall) {
+		if sc != nil && sc.method == "Done" && !seenDone[sc.recvKey] {
+			seenDone[sc.recvKey] = true
+			dones = append(dones, sc)
+		}
+	}
+	walkShallow(lit.Body, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.CallExpr:
+			addDone(wgCallOf(pkg, c))
+		case *ast.DeferStmt:
+			// The defer-closure idiom: defer func() { wg.Done() }().
+			if inner, ok := ast.Unparen(c.Call.Fun).(*ast.FuncLit); ok {
+				walkShallow(inner.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						addDone(wgCallOf(pkg, call))
+					}
+					return true
+				})
+			}
+		case *ast.Ident:
+			obj := pkg.Info.ObjectOf(c)
+			if obj == nil || !obj.Pos().IsValid() {
+				return true
+			}
+			if obj.Pos() >= lit.Body.Pos() && obj.Pos() <= lit.Body.End() {
+				return true // body-local: joins nothing outside
+			}
+			if isJoinType(obj.Type()) {
+				signals = true
+			}
+		}
+		return true
+	})
+	return dones, signals || len(dones) > 0
+}
+
+// bodyWaits reports whether the spawner body calls key.Wait().
+func (a *GoroutineLeak) bodyWaits(pkg *Package, body *ast.BlockStmt, key string) bool {
+	found := false
+	walkShallow(body, func(c ast.Node) bool {
+		if call, ok := c.(*ast.CallExpr); ok {
+			if sc := wgCallOf(pkg, call); sc != nil && sc.method == "Wait" && sc.recvKey == key {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isJoinType reports whether a value of type t can join or cancel a
+// goroutine: a channel, a sync.WaitGroup (or pointer to one), or a
+// context.Context.
+func isJoinType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if named, ok := derefType(t).(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup" {
+			return true
+		}
+	}
+	return isContextType(t)
+}
+
+// findBlockNode locates the block and node index of n in g.
+func findBlockNode(g *CFG, n ast.Node) (*Block, int) {
+	for _, blk := range g.Blocks {
+		for i, node := range blk.Nodes {
+			if node == n {
+				return blk, i
+			}
+		}
+	}
+	return nil, 0
+}

@@ -56,6 +56,11 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"convergeloop", &ConvergeLoop{Scope: everywhere}},
 		{"paramvalidate", &ParamValidate{ReportScope: everywhere}},
 		{"errdiscard", &ErrDiscard{}},
+		{"lockbalance", &LockBalance{}},
+		{"sendclosed", &SendClosed{}},
+		{"waitgroup", &WaitGroup{}},
+		{"goroutineleak", &GoroutineLeak{}},
+		{"loopcapture", &LoopCapture{}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -62,7 +62,9 @@ type Analyzer interface {
 	Check(l *Loader, pkg *Package) []Diagnostic
 }
 
-// All returns the full suite in reporting order.
+// All returns the full suite in reporting order: the numerical and
+// hygiene checks first, then the CFG/dataflow-based concurrency
+// checks guarding the parallel runner.
 func All() []Analyzer {
 	return []Analyzer{
 		&Nondeterminism{},
@@ -70,6 +72,11 @@ func All() []Analyzer {
 		&ConvergeLoop{},
 		&ParamValidate{},
 		&ErrDiscard{},
+		&GoroutineLeak{},
+		&WaitGroup{},
+		&LoopCapture{},
+		&LockBalance{},
+		&SendClosed{},
 	}
 }
 

@@ -1,0 +1,302 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LoopCapture flags the two ways a closure created in a loop body goes
+// wrong when iterations run (or finish) concurrently:
+//
+//  1. The loop variable is declared OUTSIDE the loop (`for i = 0;` or
+//     `for _, v = range xs` with = instead of :=), so Go 1.22's
+//     per-iteration semantics do not apply: every closure shares one
+//     variable and observes whatever value it holds when the closure
+//     finally runs. Flagged for any closure that escapes the
+//     iteration — go statements, defers, and literals handed to a
+//     runner or stored — but not for closures invoked immediately.
+//  2. Goroutines launched across iterations write the same memory
+//     without synchronization: a captured scalar (`total += v`), a
+//     fixed slice slot (`out[0] = v`), or a field of a shared struct.
+//     Writes to `out[i]` stay clean when i is a per-iteration loop
+//     variable or a closure-local index (the atomic unique-claim
+//     idiom): those target disjoint elements. Bodies that take a lock
+//     are skipped entirely — deciding whether the right lock is held
+//     is lockbalance's job, not this check's.
+type LoopCapture struct{}
+
+func (*LoopCapture) Name() string { return "loopcapture" }
+func (*LoopCapture) Doc() string {
+	return "no stale shared loop variables in escaping closures, no unsynchronized cross-iteration writes from goroutines"
+}
+
+func (a *LoopCapture) Check(l *Loader, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	seen := map[string]bool{} // dedupes reports from nested-loop visits
+	report := func(d Diagnostic) {
+		k := fmt.Sprintf("%s:%d:%d:%s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, d)
+		}
+	}
+	for _, f := range pkg.Files {
+		litKinds := classifyLits(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				a.checkLoop(l, pkg, n, n.Body, forVars(pkg, n), litKinds, report)
+			case *ast.RangeStmt:
+				a.checkLoop(l, pkg, n, n.Body, rangeVars(pkg, n), litKinds, report)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// litKind classifies how a function literal is used.
+type litKind int
+
+const (
+	litEscaping litKind = iota // stored, passed, or returned: runs later
+	litGo                      // go func(){...}()
+	litDefer                   // defer func(){...}()
+	litIIFE                    // func(){...}() invoked in place
+)
+
+// classifyLits maps every function literal in the file to its use.
+func classifyLits(f *ast.File) map[*ast.FuncLit]litKind {
+	kinds := map[*ast.FuncLit]litKind{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if _, ok := kinds[n]; !ok {
+				kinds[n] = litEscaping
+			}
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				kinds[lit] = litGo
+			}
+		case *ast.DeferStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				kinds[lit] = litDefer
+			}
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				if _, claimed := kinds[lit]; !claimed {
+					kinds[lit] = litIIFE
+				}
+			}
+		}
+		return true
+	})
+	return kinds
+}
+
+// loopVars describes the loop's iteration variables: sharedVars are
+// declared outside the loop (= form, one variable for all iterations);
+// perIterVars are declared in the header (:= form, fresh per iteration
+// since Go 1.22).
+type loopVars struct {
+	shared, perIter map[types.Object]bool
+}
+
+func forVars(pkg *Package, fs *ast.ForStmt) loopVars {
+	v := loopVars{shared: map[types.Object]bool{}, perIter: map[types.Object]bool{}}
+	as, ok := fs.Init.(*ast.AssignStmt)
+	if !ok {
+		return v
+	}
+	for _, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pkg.Info.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		if as.Tok == token.DEFINE {
+			v.perIter[obj] = true
+		} else {
+			v.shared[obj] = true
+		}
+	}
+	return v
+}
+
+func rangeVars(pkg *Package, rs *ast.RangeStmt) loopVars {
+	v := loopVars{shared: map[types.Object]bool{}, perIter: map[types.Object]bool{}}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if e == nil {
+			continue
+		}
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pkg.Info.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		if rs.Tok == token.DEFINE {
+			v.perIter[obj] = true
+		} else {
+			v.shared[obj] = true
+		}
+	}
+	return v
+}
+
+func (a *LoopCapture) checkLoop(l *Loader, pkg *Package, loop ast.Node, body *ast.BlockStmt, vars loopVars, kinds map[*ast.FuncLit]litKind, report func(Diagnostic)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		kind := kinds[lit]
+		if kind != litIIFE && len(vars.shared) > 0 {
+			a.checkSharedVarCapture(l, pkg, lit, vars, report)
+		}
+		if kind == litGo && !bodyTakesLock(pkg, lit.Body) {
+			a.checkSharedWrites(l, pkg, loop, lit, vars, report)
+		}
+		return true // nested literals are checked in their own right
+	})
+}
+
+// checkSharedVarCapture flags uses of an outside-declared loop variable
+// inside an escaping closure (rule 1). One report per variable per
+// closure, at the first use.
+func (a *LoopCapture) checkSharedVarCapture(l *Loader, pkg *Package, lit *ast.FuncLit, vars loopVars, report func(Diagnostic)) {
+	flagged := map[types.Object]bool{}
+	walkShallow(lit.Body, func(c ast.Node) bool {
+		id, ok := c.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pkg.Info.ObjectOf(id)
+		if obj == nil || !vars.shared[obj] || flagged[obj] {
+			return true
+		}
+		flagged[obj] = true
+		report(Diagnostic{
+			Pos:   l.Fset.Position(id.Pos()),
+			Check: a.Name(),
+			Message: fmt.Sprintf("loop variable %s is declared outside the loop and shared across iterations; "+
+				"the closure observes later values — declare it in the loop header or pass it as an argument", id.Name),
+		})
+		return true
+	})
+}
+
+// bodyTakesLock reports whether the closure body calls Lock/RLock on
+// anything — the conservative signal that its shared writes are
+// deliberate and guarded.
+func bodyTakesLock(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	walkShallow(body, func(c ast.Node) bool {
+		if call, ok := c.(*ast.CallExpr); ok {
+			if sc := syncCallOf(pkg, call); sc != nil && (sc.method == "Lock" || sc.method == "RLock") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkSharedWrites flags writes inside a go-closure to memory shared
+// across iterations (rule 2).
+func (a *LoopCapture) checkSharedWrites(l *Loader, pkg *Package, loop ast.Node, lit *ast.FuncLit, vars loopVars, report func(Diagnostic)) {
+	flag := func(e ast.Expr) {
+		report(Diagnostic{
+			Pos:   l.Fset.Position(e.Pos()),
+			Check: a.Name(),
+			Message: fmt.Sprintf("goroutines from different iterations write %s concurrently without synchronization (data race); "+
+				"use per-index slots, a channel, or a mutex", types.ExprString(e)),
+		})
+	}
+	walkShallow(lit.Body, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range c.Lhs {
+				if a.isSharedWrite(pkg, loop, lit, lhs, vars) {
+					flag(lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			if a.isSharedWrite(pkg, loop, lit, c.X, vars) {
+				flag(c.X)
+			}
+		}
+		return true
+	})
+}
+
+// isSharedWrite decides whether assigning to lhs from a goroutine
+// races with the same write in other iterations.
+func (a *LoopCapture) isSharedWrite(pkg *Package, loop ast.Node, lit *ast.FuncLit, lhs ast.Expr, vars loopVars) bool {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := pkg.Info.ObjectOf(e)
+		if obj == nil || vars.shared[obj] {
+			return false // rule 1's finding; don't double-report
+		}
+		return declaredBefore(obj, loop) && declaredOutside(obj, lit)
+	case *ast.IndexExpr:
+		base, ok := ast.Unparen(e.X).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		baseObj := pkg.Info.ObjectOf(base)
+		if baseObj == nil || !declaredBefore(baseObj, loop) || !declaredOutside(baseObj, lit) {
+			return false
+		}
+		switch idx := ast.Unparen(e.Index).(type) {
+		case *ast.BasicLit:
+			return true // every iteration hits the same slot
+		case *ast.Ident:
+			iobj := pkg.Info.ObjectOf(idx)
+			if iobj == nil {
+				return false
+			}
+			if vars.perIter[iobj] || vars.shared[iobj] {
+				// Per-iteration index: disjoint slots. Shared loop
+				// variable: rule 1 already reports the capture itself.
+				return false
+			}
+			if !declaredOutside(iobj, lit) {
+				return false // closure-local index: the unique-claim idiom
+			}
+			return declaredBefore(iobj, loop)
+		default:
+			return false // derived indexes: assume iteration-local
+		}
+	case *ast.SelectorExpr:
+		root := e.X
+		for {
+			if sel, ok := ast.Unparen(root).(*ast.SelectorExpr); ok {
+				root = sel.X
+				continue
+			}
+			break
+		}
+		id, ok := ast.Unparen(root).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := pkg.Info.ObjectOf(id)
+		return obj != nil && declaredBefore(obj, loop) && declaredOutside(obj, lit)
+	}
+	return false
+}
+
+// declaredBefore reports whether obj is declared before the loop
+// starts — i.e. one variable shared by every iteration.
+func declaredBefore(obj types.Object, loop ast.Node) bool {
+	return obj.Pos().IsValid() && obj.Pos() < loop.Pos()
+}

@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// SendClosed tracks, per function and per channel, whether a close has
+// happened on some path reaching each send or close: a send on a
+// closed channel and a second close both panic at runtime, and both
+// hide easily behind branches ("close on the error path, then the
+// success path sends the final result"). The dataflow runs over the
+// function's CFG with a small abstraction per channel — open, closed,
+// and close-scheduled-by-defer — joined to "maybe closed" across
+// paths. A deferred close is tracked as its own bit so the canonical
+// producer idiom (defer close(ch); loop of sends) stays clean while an
+// explicit close racing a deferred one is still caught. A fresh
+// make(chan) or any reassignment resets the channel to open.
+//
+// A separate structural rule flags a channel closed both by a
+// goroutine and by code outside it (or by two goroutines): whichever
+// close runs second panics, and no intraprocedural path analysis can
+// order them.
+type SendClosed struct{}
+
+func (*SendClosed) Name() string { return "sendclosed" }
+func (*SendClosed) Doc() string {
+	return "no send on, or second close of, a channel that some path (or another goroutine) may have closed"
+}
+
+// Channel states (bit positions in a stateFact mask).
+const (
+	scOpen        = 0 // open, no close seen
+	scClosed      = 1 // closed on this path
+	scDeferClosed = 2 // a deferred close will fire at return
+)
+
+func (a *SendClosed) Check(l *Loader, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		funcNodes(f, func(fn ast.Node, body *ast.BlockStmt) {
+			out = append(out, a.checkFunc(l, pkg, body)...)
+		})
+		out = append(out, a.checkMultiCloser(l, pkg, f)...)
+	}
+	return out
+}
+
+func hasChanOps(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	walkShallow(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if isBuiltinCall(pkg, n, "close") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (a *SendClosed) checkFunc(l *Loader, pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	if !hasChanOps(pkg, body) {
+		return nil
+	}
+	g := NewCFG(body)
+	facts := Forward(g, stateFact{}, func(n ast.Node, in Fact) Fact {
+		return a.transfer(pkg, n, in.(stateFact), nil)
+	})
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:     l.Fset.Position(pos),
+			Check:   a.Name(),
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, blk := range g.Blocks {
+		in, ok := facts[blk]
+		if !ok {
+			continue
+		}
+		fact := in.(stateFact)
+		for _, n := range blk.Nodes {
+			fact = a.transfer(pkg, n, fact, report)
+		}
+	}
+	return out
+}
+
+// closeTargets extracts the channel keys a deferred call will close:
+// either `defer close(ch)` directly or the `defer func() { close(ch) }()`
+// closure idiom.
+func closeTargets(pkg *Package, ds *ast.DeferStmt) []string {
+	var keys []string
+	if isBuiltinCall(pkg, ds.Call, "close") && len(ds.Call.Args) == 1 {
+		if key, _, ok := chanOf(pkg, ds.Call.Args[0]); ok {
+			keys = append(keys, key)
+		}
+		return keys
+	}
+	if lit, ok := ast.Unparen(ds.Call.Fun).(*ast.FuncLit); ok {
+		walkShallow(lit.Body, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok && isBuiltinCall(pkg, call, "close") && len(call.Args) == 1 {
+				if key, _, ok := chanOf(pkg, call.Args[0]); ok {
+					keys = append(keys, key)
+				}
+			}
+			return true
+		})
+	}
+	return keys
+}
+
+func (a *SendClosed) transfer(pkg *Package, n ast.Node, fact stateFact, report func(token.Pos, string, ...any)) stateFact {
+	diag := func(pos token.Pos, format string, args ...any) {
+		if report != nil {
+			report(pos, format, args...)
+		}
+	}
+	if ds, ok := n.(*ast.DeferStmt); ok {
+		for _, key := range closeTargets(pkg, ds) {
+			name := displayName(key)
+			if fact.has(key, scClosed) {
+				diag(ds.Pos(), "deferred close of %s fires after a close on some path (double close panics at return)", name)
+			}
+			if fact.has(key, scDeferClosed) {
+				diag(ds.Pos(), "second deferred close of %s (double close panics at return)", name)
+			}
+			fact = fact.with(key, fact[key]|1<<scDeferClosed)
+		}
+		return fact
+	}
+	walkBlockNode(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.DeferStmt:
+			return true // handled when the defer node itself is visited
+		case *ast.SendStmt:
+			key, _, ok := chanOf(pkg, c.Chan)
+			if !ok {
+				return true
+			}
+			// The defer bit is irrelevant to sends: the deferred close
+			// fires after every send in the body.
+			closed := fact[key] &^ (1 << scDeferClosed)
+			if closed&(1<<scClosed) != 0 {
+				name := displayName(key)
+				if closed == 1<<scClosed {
+					diag(c.Arrow, "send on %s after close on this path (send on closed channel panics)", name)
+				} else {
+					diag(c.Arrow, "send on %s, which another path may have closed (send on closed channel panics)", name)
+				}
+			}
+		case *ast.CallExpr:
+			if !isBuiltinCall(pkg, c, "close") || len(c.Args) != 1 {
+				return true
+			}
+			key, _, ok := chanOf(pkg, c.Args[0])
+			if !ok {
+				return true
+			}
+			name := displayName(key)
+			closed := fact[key] &^ (1 << scDeferClosed)
+			if closed&(1<<scClosed) != 0 {
+				if closed == 1<<scClosed {
+					diag(c.Pos(), "second close of %s on this path (close of closed channel panics)", name)
+				} else {
+					diag(c.Pos(), "close of %s, which another path may already have closed (double close panics)", name)
+				}
+			} else if fact.has(key, scDeferClosed) {
+				diag(c.Pos(), "close of %s, which a defer will close again at return (double close panics)", name)
+			}
+			fact = fact.with(key, fact[key]&(1<<scDeferClosed)|1<<scClosed)
+		case *ast.AssignStmt:
+			// Any assignment to a tracked channel (fresh make, nil,
+			// function result) resets it to open/unknown.
+			for _, lhs := range c.Lhs {
+				if key, _, ok := chanOf(pkg, lhs); ok {
+					fact = fact.with(key, 1<<scOpen)
+				}
+			}
+		}
+		return true
+	})
+	return fact
+}
+
+// checkMultiCloser flags channels closed both inside and outside a
+// goroutine (or in two different goroutines) launched within one
+// top-level function: the closes race, whichever runs second panics,
+// and per-body dataflow cannot see across the `go` boundary.
+func (a *SendClosed) checkMultiCloser(l *Loader, pkg *Package, f *ast.File) []Diagnostic {
+	type site struct {
+		pos  token.Pos
+		fn   ast.Node
+		inGo bool
+	}
+	var out []Diagnostic
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		sites := map[string][]site{}
+		var order []string
+		// Attribute every close site to its innermost function body,
+		// remembering whether that body runs as a goroutine.
+		var walk func(fn ast.Node, body *ast.BlockStmt, inGo bool)
+		walk = func(fn ast.Node, body *ast.BlockStmt, inGo bool) {
+			ast.Inspect(body, func(c ast.Node) bool {
+				switch c := c.(type) {
+				case *ast.GoStmt:
+					if lit, ok := ast.Unparen(c.Call.Fun).(*ast.FuncLit); ok {
+						walk(lit, lit.Body, true)
+						return false
+					}
+				case *ast.FuncLit:
+					walk(c, c.Body, inGo)
+					return false
+				case *ast.CallExpr:
+					if isBuiltinCall(pkg, c, "close") && len(c.Args) == 1 {
+						if key, _, ok := chanOf(pkg, c.Args[0]); ok {
+							if len(sites[key]) == 0 {
+								order = append(order, key)
+							}
+							sites[key] = append(sites[key], site{c.Pos(), fn, inGo})
+						}
+					}
+				}
+				return true
+			})
+		}
+		walk(fd, fd.Body, false)
+		for _, key := range order {
+			ss := sites[key]
+			first := ss[0]
+			for _, s := range ss[1:] {
+				if s.fn == first.fn || (!s.inGo && !first.inGo) {
+					continue
+				}
+				firstPos := l.Fset.Position(first.pos)
+				out = append(out, Diagnostic{
+					Pos:   l.Fset.Position(s.pos),
+					Check: a.Name(),
+					Message: fmt.Sprintf("%s is also closed on line %d in a concurrently running function; whichever close runs second panics",
+						displayName(key), firstPos.Line),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+// Package goroutineleak is the fixture for the goroutineleak analyzer:
+// fire-and-forget goroutines with no join mechanism, and WaitGroup
+// joins that are skipped on some path.
+package goroutineleak
+
+import (
+	"context"
+	"sync"
+)
+
+func compute() int { return 1 }
+
+// FireAndForget launches a goroutine nothing can wait for.
+func FireAndForget() {
+	go func() { // want "no join or cancellation"
+		_ = compute()
+	}()
+}
+
+// BackgroundLoop leaks a forever-goroutine with no stop signal.
+func BackgroundLoop() {
+	go func() { // want "no join or cancellation"
+		for {
+			_ = compute()
+		}
+	}()
+}
+
+// WaitSkippedOnError joins the workers only on the success path; the
+// early return abandons them mid-flight.
+func WaitSkippedOnError(jobs []int, strict bool) bool {
+	var wg sync.WaitGroup
+	for range jobs {
+		wg.Add(1)
+		go func() { // want "not reached on every path"
+			defer wg.Done()
+		}()
+	}
+	if strict {
+		return false
+	}
+	wg.Wait()
+	return true
+}
+
+// --- negative cases: all of these are clean ---
+
+// Producer signals completion by closing the channel it returns.
+func Producer(vals []int) <-chan int {
+	ch := make(chan int)
+	go func() {
+		defer close(ch)
+		for _, v := range vals {
+			ch <- v
+		}
+	}()
+	return ch
+}
+
+// Canonical waits on every path.
+func Canonical(jobs []int) {
+	var wg sync.WaitGroup
+	for range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// ContextWorker is cancellable through its context.
+func ContextWorker(ctx context.Context, ticks chan<- int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case ticks <- 1:
+			}
+		}
+	}()
+}
+
+// ParamChannel receives its channel as a goroutine argument.
+func ParamChannel(out chan<- int) {
+	go func(c chan<- int) {
+		c <- compute()
+	}(out)
+}
+
+// DoneChannel joins through a dedicated channel.
+func DoneChannel() int {
+	done := make(chan struct{})
+	n := 0
+	go func() {
+		defer close(done)
+		n = compute()
+	}()
+	<-done
+	return n
+}
+
+// ParamWaitGroup signals a caller-owned group; the caller Waits.
+func ParamWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = compute()
+	}()
+}
+
+// Suppressed documents a deliberate process-lifetime daemon.
+func Suppressed() {
+	//lopc:allow goroutineleak metrics flusher runs for the process lifetime by design
+	go func() {
+		for {
+			_ = compute()
+		}
+	}()
+}

@@ -1,0 +1,194 @@
+// Package loopcapture is the fixture for the loopcapture analyzer:
+// pre-1.22-style shared loop variables captured by escaping closures,
+// and unsynchronized cross-iteration writes from goroutines.
+package loopcapture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// SharedLoopVar reuses an index declared outside the loop; every
+// goroutine reads it after the loop may have moved on.
+func SharedLoopVar(tasks []func()) {
+	var wg sync.WaitGroup
+	var i int
+	for i = 0; i < len(tasks); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tasks[i]() // want "declared outside the loop"
+		}()
+	}
+	wg.Wait()
+}
+
+// SharedRangeVar ranges with = into a pre-declared variable.
+func SharedRangeVar(vals []int) {
+	var wg sync.WaitGroup
+	var v int
+	for _, v = range vals {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = v // want "declared outside the loop"
+		}()
+	}
+	wg.Wait()
+}
+
+// CollectClosures stores closures that all see the final index.
+func CollectClosures(n int) []func() int {
+	var fns []func() int
+	var i int
+	for i = 0; i < n; i++ {
+		fns = append(fns, func() int { return i }) // want "declared outside the loop"
+	}
+	return fns
+}
+
+// RaceOnTotal accumulates into a captured scalar without a lock.
+func RaceOnTotal(vals []int) int {
+	var wg sync.WaitGroup
+	total := 0
+	for _, v := range vals {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total += v // want "without synchronization"
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// RaceOnFixedSlot makes every iteration write slice index zero.
+func RaceOnFixedSlot(vals []int) int {
+	var wg sync.WaitGroup
+	out := make([]int, 1)
+	for _, v := range vals {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[0] = v // want "without synchronization"
+		}()
+	}
+	wg.Wait()
+	return out[0]
+}
+
+// RaceOnField writes a shared struct field from every iteration.
+type stats struct{ max int }
+
+func RaceOnField(vals []int, s *stats) {
+	var wg sync.WaitGroup
+	for _, v := range vals {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v > s.max {
+				s.max = v // want "without synchronization"
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// --- negative cases: all of these are clean ---
+
+// PerIteration relies on Go 1.22 per-iteration loop variables and
+// per-index result slots.
+func PerIteration(vals []int) []int {
+	var wg sync.WaitGroup
+	out := make([]int, len(vals))
+	for i, v := range vals {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = v * 2
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// UniqueClaim indexes through an atomically claimed closure-local
+// index, so writes target disjoint slots.
+func UniqueClaim(vals []int, workers int) []int {
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	out := make([]int, len(vals))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(vals) {
+					return
+				}
+				out[i] = vals[i]
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// MutexGuarded writes the shared accumulator under a lock.
+func MutexGuarded(vals []int) int {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for _, v := range vals {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total += v
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// ArgumentPassing hands the per-iteration value in as a parameter.
+func ArgumentPassing(tasks []func(int)) {
+	var wg sync.WaitGroup
+	for i := range tasks {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			tasks[k](k)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// IIFE runs in place within the iteration; sharing is harmless.
+func IIFE(vals []int) int {
+	total := 0
+	var v int
+	for _, v = range vals {
+		func() { total += v }()
+	}
+	return total
+}
+
+// Suppressed documents a justified single-writer: the slice is clamped
+// to one element, so only one goroutine ever runs.
+func Suppressed(vals []int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for _, v := range vals[:1] {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			//lopc:allow loopcapture single iteration: the slice is clamped to length one
+			total += v
+		}()
+	}
+	wg.Wait()
+	return total
+}

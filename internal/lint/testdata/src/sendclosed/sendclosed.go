@@ -1,0 +1,112 @@
+// Package sendclosed is the fixture for the sendclosed analyzer:
+// double close, send after close (definite and maybe), deferred-close
+// conflicts, and closes racing across a goroutine boundary.
+package sendclosed
+
+// DoubleClose closes the same channel twice on one path.
+func DoubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want "close of closed channel"
+}
+
+// MaybeClosed closes unconditionally after a conditional close.
+func MaybeClosed(failed bool) {
+	ch := make(chan int)
+	if failed {
+		close(ch)
+	}
+	close(ch) // want "may already have closed"
+}
+
+// SendAfterClose sends on a channel already closed on this path.
+func SendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "send on closed channel"
+}
+
+// SendMaybeClosed sends after a close on one branch only.
+func SendMaybeClosed(done bool) {
+	ch := make(chan int, 1)
+	if done {
+		close(ch)
+	}
+	ch <- 1 // want "another path may have closed"
+}
+
+// CloseInLoop closes once per iteration; the second iteration panics.
+func CloseInLoop(n int) {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		close(ch) // want "may already have closed"
+	}
+}
+
+// DeferAndExplicitClose schedules a deferred close and then closes
+// explicitly too; the defer fires on the already-closed channel.
+func DeferAndExplicitClose() {
+	ch := make(chan int)
+	defer close(ch)
+	close(ch) // want "defer will close again"
+}
+
+// SpawnerAndGoroutineClose closes in the goroutine and in the spawner;
+// the two closes race.
+func SpawnerAndGoroutineClose() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+		close(ch)
+	}()
+	close(ch) // want "concurrently running function"
+}
+
+// --- negative cases: all of these are clean ---
+
+// ProducerIdiom is the canonical defer-close producer.
+func ProducerIdiom(vals []int) <-chan int {
+	ch := make(chan int)
+	go func() {
+		defer close(ch)
+		for _, v := range vals {
+			ch <- v
+		}
+	}()
+	return ch
+}
+
+// CloseOnce sends and then closes, in order.
+func CloseOnce() <-chan int {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+	return ch
+}
+
+// Reset closes, replaces the channel, and closes the fresh one.
+func Reset() {
+	ch := make(chan int)
+	close(ch)
+	ch = make(chan int)
+	close(ch)
+}
+
+// BranchExclusive closes on exactly one of two exclusive paths.
+func BranchExclusive(failed bool) {
+	ch := make(chan int)
+	if failed {
+		close(ch)
+		return
+	}
+	close(ch)
+}
+
+// Suppressed documents a justified second close: the caller guarantees
+// single execution via sync.Once in the real code this stands for.
+func Suppressed() {
+	ch := make(chan int)
+	close(ch)
+	//lopc:allow sendclosed the second close is guarded by a sync.Once in the caller
+	close(ch)
+}

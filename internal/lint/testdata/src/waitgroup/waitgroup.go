@@ -1,0 +1,127 @@
+// Package waitgroup is the fixture for the waitgroup analyzer:
+// Add inside the spawned goroutine, Done missing on a goroutine path,
+// and Done driving the counter negative.
+package waitgroup
+
+import "sync"
+
+// AddInGoroutine performs the Add after the goroutine is already
+// running; Wait can return before any Add executes.
+func AddInGoroutine(jobs []int) {
+	var wg sync.WaitGroup
+	for range jobs {
+		go func() {
+			wg.Add(1) // want "races with Wait"
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// MissingDoneOnError skips the Done on the early-return path, so Wait
+// deadlocks whenever a job fails.
+func MissingDoneOnError(jobs []int) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(v int) {
+			if v < 0 {
+				return
+			}
+			wg.Done() // want "not reached on every path"
+		}(j)
+	}
+	wg.Wait()
+}
+
+// DoubleDone signals completion twice for a single Add.
+func DoubleDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Done()
+	wg.Done() // want "negative"
+}
+
+// ConditionalDoubleDone may have already consumed the count on the
+// error branch.
+func ConditionalDoubleDone(failed bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if failed {
+		wg.Done()
+	}
+	wg.Done() // want "may already be zero"
+}
+
+// --- negative cases: all of these are clean ---
+
+// Canonical is the textbook pattern: Add in the spawner, deferred Done
+// in the goroutine.
+func Canonical(jobs []int) {
+	var wg sync.WaitGroup
+	for range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// DoneOnAllPaths signals on both branches explicitly.
+func DoneOnAllPaths(jobs []int) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(v int) {
+			if v < 0 {
+				wg.Done()
+				return
+			}
+			wg.Done()
+		}(j)
+	}
+	wg.Wait()
+}
+
+// DeferClosureDone releases through the defer-closure idiom.
+func DeferClosureDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer func() { wg.Done() }()
+	}()
+	wg.Wait()
+}
+
+// NonConstAdd sizes the group from a runtime value; the counter is
+// untrackable and must not be misjudged.
+func NonConstAdd(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// HelperDone signals a caller-owned group; without a local Add the
+// counter rule must stay silent.
+func HelperDone(wg *sync.WaitGroup) {
+	wg.Done()
+}
+
+// Suppressed documents a justified conditional Done: the other leg is
+// signalled by a completion callback the analysis cannot see.
+func Suppressed(ready bool, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		if ready {
+			//lopc:allow waitgroup the not-ready leg is signalled by the shutdown callback
+			wg.Done()
+		}
+	}()
+	wg.Wait()
+}

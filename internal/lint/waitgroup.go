@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// WaitGroup checks the three ways a sync.WaitGroup protocol breaks in
+// practice:
+//
+//  1. Add called inside the spawned goroutine. Wait can run before the
+//     goroutine is scheduled, observe a zero counter, and return while
+//     work is still in flight — the race the WaitGroup was meant to
+//     prevent. Add must happen in the spawner, before the go statement.
+//  2. Done not reached on every path out of a goroutine body that
+//     calls it somewhere: an early return (or panic-free error path)
+//     that skips Done leaves the counter permanently positive and Wait
+//     deadlocks. Checked with a path query over the closure's CFG;
+//     a deferred Done covers every path past its registration point.
+//  3. Done on a path where the counter may already be zero (tracked
+//     per WaitGroup with a saturating counter fed by constant Add
+//     arguments): a negative counter panics at runtime. Only
+//     WaitGroups Added in the same body are tracked, so helpers that
+//     Done a caller's group are not misjudged.
+type WaitGroup struct{}
+
+func (*WaitGroup) Name() string { return "waitgroup" }
+func (*WaitGroup) Doc() string {
+	return "WaitGroup protocol: Add before the go statement, Done on every goroutine path, counter never negative"
+}
+
+// wgUnknown marks a counter made untrackable by a non-constant Add.
+const wgUnknown = 7
+
+func (a *WaitGroup) Check(l *Loader, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		out = append(out, a.checkGoroutines(l, pkg, f)...)
+		funcNodes(f, func(fn ast.Node, body *ast.BlockStmt) {
+			out = append(out, a.checkCounter(l, pkg, body)...)
+		})
+	}
+	return out
+}
+
+// wgCallOf recognizes n as a WaitGroup method call.
+func wgCallOf(pkg *Package, n ast.Node) *syncCall {
+	if sc := syncCallOf(pkg, n); sc != nil && sc.typ == "WaitGroup" && sc.recvKey != "" {
+		return sc
+	}
+	return nil
+}
+
+// checkGoroutines applies rules 1 and 2 to every go-spawned closure.
+func (a *WaitGroup) checkGoroutines(l *Loader, pkg *Package, f *ast.File) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(f, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		// Rule 1: Add on a captured WaitGroup inside the goroutine.
+		doneKeys := map[string]token.Pos{}
+		var doneOrder []string
+		walkShallow(lit.Body, func(c ast.Node) bool {
+			call, ok := c.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sc := wgCallOf(pkg, call)
+			if sc == nil {
+				return true
+			}
+			switch sc.method {
+			case "Add":
+				if declaredOutside(sc.recvObj, lit) {
+					out = append(out, Diagnostic{
+						Pos:   l.Fset.Position(call.Pos()),
+						Check: a.Name(),
+						Message: fmt.Sprintf("Add of %s inside the spawned goroutine races with Wait; call Add before the go statement",
+							displayName(sc.recvKey)),
+					})
+				}
+			case "Done":
+				if _, seen := doneKeys[sc.recvKey]; !seen {
+					doneKeys[sc.recvKey] = call.Pos()
+					doneOrder = append(doneOrder, sc.recvKey)
+				}
+			}
+			return true
+		})
+		// Rule 2: every path out of the goroutine must reach a Done
+		// (direct, deferred, or via the defer-closure idiom) for each
+		// WaitGroup the body signals.
+		if len(doneOrder) > 0 {
+			g := NewCFG(lit.Body)
+			for _, key := range doneOrder {
+				if pathMissing(g, g.Entry, -1, func(c ast.Node) bool {
+					return a.callsDone(pkg, c, key)
+				}) {
+					out = append(out, Diagnostic{
+						Pos:   l.Fset.Position(doneKeys[key]),
+						Check: a.Name(),
+						Message: fmt.Sprintf("Done of %s is not reached on every path out of the goroutine; Wait may deadlock — defer the Done",
+							displayName(key)),
+					})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// callsDone reports whether node c calls key.Done(), looking through
+// the defer-closure idiom.
+func (a *WaitGroup) callsDone(pkg *Package, c ast.Node, key string) bool {
+	if ds, ok := c.(*ast.DeferStmt); ok {
+		if lit, ok := ast.Unparen(ds.Call.Fun).(*ast.FuncLit); ok {
+			found := false
+			walkShallow(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if sc := wgCallOf(pkg, call); sc != nil && sc.method == "Done" && sc.recvKey == key {
+						found = true
+					}
+				}
+				return !found
+			})
+			return found
+		}
+	}
+	call, ok := c.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sc := wgCallOf(pkg, call)
+	return sc != nil && sc.method == "Done" && sc.recvKey == key
+}
+
+// checkCounter applies rule 3: a per-body dataflow over saturating
+// counters 0..3 per WaitGroup, poisoned to untrackable by non-constant
+// Add arguments.
+func (a *WaitGroup) checkCounter(l *Loader, pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	// Only WaitGroups Added in this body are candidates.
+	hasAdd := map[string]bool{}
+	walkShallow(body, func(c ast.Node) bool {
+		if call, ok := c.(*ast.CallExpr); ok {
+			if sc := wgCallOf(pkg, call); sc != nil && sc.method == "Add" {
+				hasAdd[sc.recvKey] = true
+			}
+		}
+		return true
+	})
+	if len(hasAdd) == 0 {
+		return nil
+	}
+	g := NewCFG(body)
+	facts := Forward(g, stateFact{}, func(n ast.Node, in Fact) Fact {
+		return a.counterTransfer(pkg, n, in.(stateFact), hasAdd, nil)
+	})
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:     l.Fset.Position(pos),
+			Check:   a.Name(),
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, blk := range g.Blocks {
+		in, ok := facts[blk]
+		if !ok {
+			continue
+		}
+		fact := in.(stateFact)
+		for _, n := range blk.Nodes {
+			fact = a.counterTransfer(pkg, n, fact, hasAdd, report)
+		}
+	}
+	return out
+}
+
+func (a *WaitGroup) counterTransfer(pkg *Package, n ast.Node, fact stateFact, hasAdd map[string]bool, report func(token.Pos, string, ...any)) stateFact {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		// A deferred Done fires at return, after every statement the
+		// counter model sees; it cannot drive the counter negative
+		// mid-body, so it is not folded in.
+		return fact
+	}
+	walkBlockNode(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.DeferStmt); ok {
+			return true // its call is handled when the defer node is visited
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sc := wgCallOf(pkg, call)
+		if sc == nil || !hasAdd[sc.recvKey] {
+			return true
+		}
+		key := sc.recvKey
+		switch sc.method {
+		case "Add":
+			k, known := wgAddConst(pkg, call)
+			if !known || k < 0 || k > 3 {
+				fact = fact.with(key, 1<<wgUnknown)
+				return true
+			}
+			fact = fact.mapEach(key, 1<<0, func(v uint8) uint8 {
+				if v == wgUnknown {
+					return wgUnknown
+				}
+				if int64(v)+k > 3 {
+					return 3
+				}
+				return v + uint8(k)
+			})
+		case "Done":
+			if fact.has(key, wgUnknown) {
+				return true
+			}
+			if report != nil && fact.has(key, 0) {
+				name := displayName(key)
+				if fact[key] == 1<<0 {
+					report(call.Pos(), "Done of %s drives its counter negative on this path (negative WaitGroup counter panics)", name)
+				} else {
+					report(call.Pos(), "Done of %s on a path where its counter may already be zero (negative WaitGroup counter panics)", name)
+				}
+			}
+			fact = fact.mapEach(key, 1<<0, func(v uint8) uint8 {
+				if v > 0 && v != wgUnknown {
+					return v - 1
+				}
+				return v
+			})
+		}
+		return true
+	})
+	return fact
+}
+
+// wgAddConst extracts a constant Add argument.
+func wgAddConst(pkg *Package, call *ast.CallExpr) (int64, bool) {
+	if len(call.Args) != 1 {
+		return 0, false
+	}
+	tv, ok := pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

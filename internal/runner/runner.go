@@ -64,11 +64,12 @@ func (o Options) jobs() int {
 // everything else (sweeps, replications, experiment fan-out) is Map
 // with a particular task body.
 //
-// If any task fails, Map stops claiming new tasks, waits for in-flight
-// tasks to finish, and returns the error of the lowest-indexed failed
-// task — the same error a sequential run would have hit first, so error
-// behavior is deterministic too. Results computed before the failure
-// are discarded.
+// If any task fails, Map stops claiming tasks beyond the lowest failed
+// index (tasks below it still run — one of them could fail earlier
+// still), waits for in-flight tasks to finish, and returns the error of
+// the lowest-indexed failed task: the same error a sequential run would
+// have hit first, so error behavior is deterministic too. Results
+// computed before the failure are discarded.
 func Map[T any](n int, opts Options, task func(i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("runner: negative task count %d", n)
@@ -82,24 +83,35 @@ func Map[T any](n int, opts Options, task func(i int) (T, error)) ([]T, error) {
 	var (
 		next    atomic.Int64 // next unclaimed task index
 		done    atomic.Int64 // completed tasks (progress only)
-		failed  atomic.Bool  // a task errored: stop claiming
+		minFail atomic.Int64 // lowest failed task index; n = none yet
 		wg      sync.WaitGroup
 		prog    = newProgress(opts, n)
 		workers = min(opts.jobs(), n)
 	)
+	minFail.Store(int64(n))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1) - 1)
-				if i >= n || failed.Load() {
+				// Claimed tasks below the lowest known failure must
+				// still run: one of them could fail at an even lower
+				// index, and the contract is to return the error a
+				// sequential run would have hit first. Only indexes a
+				// sequential run would never reach are skipped.
+				if i >= n || int64(i) >= minFail.Load() {
 					return
 				}
 				r, err := task(i)
 				if err != nil {
 					errs[i] = err
-					failed.Store(true)
+					for {
+						cur := minFail.Load()
+						if int64(i) >= cur || minFail.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
 					return
 				}
 				results[i] = r
@@ -134,6 +146,7 @@ type progress struct {
 	clk   clock.Clock
 	start time.Time
 	last  time.Time
+	best  int // highest done count reported so far
 }
 
 func newProgress(opts Options, n int) *progress {
@@ -165,6 +178,13 @@ func (p *progress) report(done int) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// Workers increment the done counter before calling report, but the
+	// calls themselves can arrive out of order; a stale count must never
+	// print after a higher one (in particular not after the final line).
+	if done <= p.best {
+		return
+	}
+	p.best = done
 	now := p.clk.Now()
 	if done < p.n && now.Sub(p.last) < p.every {
 		return

@@ -108,8 +108,8 @@ func TestMapStopsClaimingAfterError(t *testing.T) {
 	if err == nil {
 		t.Fatal("no error")
 	}
-	// Workers already past the failed.Load() check may each run one
-	// more task; anything close to n means cancellation is broken.
+	// Workers already past the claim check may each run one more task;
+	// anything close to n means cancellation is broken.
 	if got := ran.Load(); got > n/2 {
 		t.Errorf("%d of %d tasks ran after an index-0 failure", got, n)
 	}
@@ -134,6 +134,36 @@ func TestMapCancelStress(t *testing.T) {
 		want := fmt.Sprintf("task %d:", failAt)
 		if !strings.HasPrefix(err.Error(), want) {
 			t.Errorf("round %d (jobs=%d): error %q, want prefix %q", round, jobs, err, want)
+		}
+	}
+}
+
+// TestMapErrorIdentityUnderRacingFailures: when a slow low-indexed
+// failure races many instant high-indexed ones, the reported error must
+// still be the lowest index. This guards the claim rule that tasks
+// below the lowest known failure keep running: a worker that claimed a
+// low index just as a high index failed used to abandon it, making the
+// returned error depend on the schedule.
+func TestMapErrorIdentityUnderRacingFailures(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		jobs := 2 + round%7
+		_, err := Map(64, Options{Jobs: jobs}, func(i int) (int, error) {
+			switch {
+			case i == 5:
+				// The lowest failure reports last.
+				time.Sleep(time.Duration(round%5) * 10 * time.Microsecond)
+				return 0, fmt.Errorf("fail %d", i)
+			case i >= 8:
+				return 0, fmt.Errorf("fail %d", i)
+			default:
+				return i, nil
+			}
+		})
+		if err == nil {
+			t.Fatalf("round %d: no error", round)
+		}
+		if !strings.HasPrefix(err.Error(), "task 5:") {
+			t.Fatalf("round %d (jobs=%d): error %q, want the lowest-indexed failure (task 5)", round, jobs, err)
 		}
 	}
 }
@@ -192,6 +222,30 @@ func TestProgressFakeClock(t *testing.T) {
 
 	want := "fit: 2/4 done, elapsed 2s, eta 2s\n" +
 		"fit: 4/4 done, elapsed 4s\n"
+	if got := buf.String(); got != want {
+		t.Errorf("progress output:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestProgressMonotonic: report calls can arrive out of order (the
+// done counter is incremented before the call, and goroutines race to
+// the lock), but a stale lower count must never print after a higher
+// one — previously a late report(1) after report(2) produced a
+// backwards-running progress line.
+func TestProgressMonotonic(t *testing.T) {
+	var buf bytes.Buffer
+	fake := clock.NewFake(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	p := newProgress(Options{Progress: &buf, Label: "run", Every: time.Second, Clock: fake}, 3)
+
+	fake.Advance(2 * time.Second)
+	p.report(2)
+	fake.Advance(2 * time.Second)
+	p.report(1) // a slower worker's count arriving late: suppressed
+	fake.Advance(2 * time.Second)
+	p.report(3)
+
+	want := "run: 2/3 done, elapsed 2s, eta 1s\n" +
+		"run: 3/3 done, elapsed 6s\n"
 	if got := buf.String(); got != want {
 		t.Errorf("progress output:\n got %q\nwant %q", got, want)
 	}
