@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/am"
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -279,6 +281,14 @@ func RunParallel[T any](n int, opts ParallelOptions, task func(i int) (T, error)
 	return runner.Map(n, opts, task)
 }
 
+// RunParallelCtx is RunParallel with cancellation: once ctx is done,
+// workers stop claiming new tasks, in-flight tasks finish, and the
+// context's error is returned (task errors, when present, still win
+// with the deterministic lowest-index identity).
+func RunParallelCtx[T any](ctx context.Context, n int, opts ParallelOptions, task func(i int) (T, error)) ([]T, error) {
+	return runner.MapCtx(ctx, n, opts, task)
+}
+
 // DeriveSeed returns the seed for task index of a run rooted at root —
 // the substream-derivation scheme (SplitMix64 jump, see internal/rng)
 // every parallel path of this repository uses. It is a pure function of
@@ -311,7 +321,15 @@ func SimulateWorkpileN(cfg SimWorkpileConfig, reps, jobs int) (ReplicatedWorkpil
 // independent simulation rooted at its own config's seed, so the sweep
 // is deterministic for every jobs value.
 func SweepParallel(cfgs []SimAllToAllConfig, jobs int) ([]SimAllToAllResult, error) {
-	return runner.Map(len(cfgs), runner.Options{Jobs: jobs}, func(i int) (SimAllToAllResult, error) {
+	return SweepParallelCtx(context.Background(), cfgs, jobs)
+}
+
+// SweepParallelCtx is SweepParallel with cancellation: a done ctx stops
+// the sweep from claiming further points (points already simulating run
+// to completion) and surfaces the context's error. Server deadlines use
+// this to stop abandoned sweep work.
+func SweepParallelCtx(ctx context.Context, cfgs []SimAllToAllConfig, jobs int) ([]SimAllToAllResult, error) {
+	return runner.MapCtx(ctx, len(cfgs), runner.Options{Jobs: jobs}, func(i int) (SimAllToAllResult, error) {
 		return workload.RunAllToAll(cfgs[i])
 	})
 }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/runner"
+	"repro/internal/version"
 )
 
 func main() {
@@ -33,8 +34,13 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		jobs     = flag.Int("j", 1, "run up to this many experiments (and sweep points within each) concurrently; outputs stay ordered and identical to -j 1")
 		progress = flag.Bool("progress", false, "report progress (done/total, elapsed, ETA) on stderr")
+		ver      = version.AddFlag(flag.CommandLine)
 	)
 	flag.Parse()
+	if *ver {
+		fmt.Println(version.String("lopc-experiments"))
+		return
+	}
 
 	if *list {
 		for _, r := range exp.All() {

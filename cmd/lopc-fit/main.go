@@ -24,6 +24,7 @@ import (
 
 	"repro"
 	"repro/internal/fit"
+	"repro/internal/version"
 )
 
 func main() {
@@ -42,9 +43,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		c2      = fs.Float64("C2", 0, "handler-time SCV of the measured machine")
 		demo    = fs.Bool("demo", false, "simulate a hidden machine and fit it")
 		seed    = fs.Uint64("seed", 1, "seed for -demo")
+		ver     = version.AddFlag(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *ver {
+		fmt.Fprintln(stdout, version.String("lopc-fit"))
+		return 0
 	}
 
 	var err error

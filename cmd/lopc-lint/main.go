@@ -33,6 +33,7 @@ import (
 	"strings"
 
 	"repro/internal/lint"
+	"repro/internal/version"
 )
 
 func main() {
@@ -45,8 +46,13 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	configPath := fs.String("config", "", "path allowlist `file` (lines: check path-prefix)")
 	format := fs.String("format", "text", "output `format`: text, json, or github")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	ver := version.AddFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *ver {
+		fmt.Fprintln(stdout, version.String("lopc-lint"))
+		return 0
 	}
 	if *format != "text" && *format != "json" && *format != "github" {
 		fmt.Fprintf(stderr, "lopc-lint: unknown format %q (want text, json, or github)\n", *format)

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errb, nil); code != 0 {
+		t.Fatalf("run(-version) = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.HasPrefix(out.String(), "lopc-serve") {
+		t.Errorf("version output %q does not name the binary", out.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb, nil); code != 2 {
+		t.Fatalf("run(bad flag) = %d, want 2", code)
+	}
+}
+
+// TestServeLifecycle drives the real daemon in-process: start on an
+// ephemeral port, answer one solve, then deliver a real SIGTERM and
+// require a clean (exit 0) drain.
+func TestServeLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sends SIGTERM to the test process; skipped in -short")
+	}
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	var errb bytes.Buffer
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2"},
+			io.Discard, &errb, func(addr string) { ready <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case code := <-done:
+		t.Fatalf("server exited early with %d: %s", code, errb.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not come up")
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/alltoall", "application/json",
+		strings.NewReader(`{"p":32,"w":1000,"st":40,"so":200,"c2":0}`))
+	if err != nil {
+		t.Fatalf("solve request: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if err := resp.Body.Close(); err != nil {
+		t.Errorf("close body: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte(`"r":`)) {
+		t.Errorf("solve response missing cycle time: %s", body)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("sending SIGTERM: %v", err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("drain exit = %d, want 0; stderr: %s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+	if !strings.Contains(errb.String(), "clean shutdown") {
+		t.Errorf("stderr missing clean-shutdown line: %s", errb.String())
+	}
+}

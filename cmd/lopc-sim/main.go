@@ -16,6 +16,7 @@ import (
 
 	"repro"
 	"repro/internal/trace"
+	"repro/internal/version"
 )
 
 func main() {
@@ -36,8 +37,13 @@ func main() {
 		hops   = flag.Int("hops", 2, "request hops (multihop)")
 		nthr   = flag.Int("T", 2, "threads per node (multithreaded)")
 		traceF = flag.String("trace", "", "write a Chrome trace (chrome://tracing JSON) of the run to this file (alltoall only)")
+		ver    = version.AddFlag(flag.CommandLine)
 	)
 	flag.Parse()
+	if *ver {
+		fmt.Println(version.String("lopc-sim"))
+		return
+	}
 
 	var err error
 	switch *wl {

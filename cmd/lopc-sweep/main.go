@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/version"
 )
 
 func main() {
@@ -50,9 +51,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jobs     = fs.Int("j", 0, "max concurrent sweep points (0 = GOMAXPROCS); never changes output")
 		reps     = fs.Int("reps", 1, "independent replications per point (means + 95% CI columns)")
 		progress = fs.Bool("progress", false, "report progress (done/total, elapsed, ETA) on stderr")
+		ver      = version.AddFlag(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *ver {
+		fmt.Fprintln(stdout, version.String("lopc-sweep"))
+		return 0
 	}
 
 	var works []float64

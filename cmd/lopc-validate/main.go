@@ -21,6 +21,7 @@ import (
 
 	"repro"
 	"repro/internal/runner"
+	"repro/internal/version"
 )
 
 // claim is one paper statement with an executable check.
@@ -317,9 +318,14 @@ func main() {
 	var (
 		jobs     = flag.Int("j", 0, "max concurrent claim evaluations (0 = GOMAXPROCS); never changes output")
 		progress = flag.Bool("progress", false, "report progress (done/total, elapsed, ETA) on stderr")
+		ver      = version.AddFlag(flag.CommandLine)
 	)
 	flag.BoolVar(&quick, "quick", false, "shorter simulations")
 	flag.Parse()
+	if *ver {
+		fmt.Println(version.String("lopc-validate"))
+		return
+	}
 
 	cs := claims()
 	type outcome struct {

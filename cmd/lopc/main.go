@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/version"
 )
 
 func main() {
@@ -34,8 +35,13 @@ func main() {
 		pp      = flag.Bool("pp", false, "protocol-processor (shared-memory) variant")
 		hops    = flag.Int("hops", 2, "request hops for multihop")
 		threads = flag.Int("T", 2, "threads per node for multithreaded")
+		ver     = version.AddFlag(flag.CommandLine)
 	)
 	flag.Parse()
+	if *ver {
+		fmt.Println(version.String("lopc"))
+		return
+	}
 
 	var err error
 	switch *pattern {

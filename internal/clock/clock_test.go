@@ -31,6 +31,63 @@ func TestFakeAdvance(t *testing.T) {
 	}
 }
 
+func TestFakeAfter(t *testing.T) {
+	origin := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	f := NewFake(origin)
+	ch := f.After(time.Minute)
+	select {
+	case got := <-ch:
+		t.Fatalf("After fired at %v before Advance", got)
+	default:
+	}
+	f.Advance(30 * time.Second)
+	select {
+	case got := <-ch:
+		t.Fatalf("After fired at %v before its deadline", got)
+	default:
+	}
+	f.Advance(30 * time.Second)
+	select {
+	case got := <-ch:
+		if want := origin.Add(time.Minute); !got.Equal(want) {
+			t.Errorf("After delivered %v, want %v", got, want)
+		}
+	default:
+		t.Fatal("After did not fire once the deadline passed")
+	}
+}
+
+func TestFakeAfterImmediate(t *testing.T) {
+	f := NewFake(time.Unix(100, 0))
+	select {
+	case got := <-f.After(0):
+		if want := time.Unix(100, 0); !got.Equal(want) {
+			t.Errorf("After(0) delivered %v, want %v", got, want)
+		}
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestFakeAfterSet(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	ch := f.After(time.Hour)
+	f.Set(time.Unix(7200, 0))
+	select {
+	case <-ch:
+	default:
+		t.Fatal("After did not fire when Set jumped past the deadline")
+	}
+}
+
+func TestSystemAfter(t *testing.T) {
+	select {
+	case <-System.After(0):
+	case <-time.After(5 * time.Second):
+		t.Fatal("System.After(0) did not fire")
+	}
+}
+
 func TestFakeConcurrentAdvance(t *testing.T) {
 	f := NewFake(time.Unix(0, 0))
 	var wg sync.WaitGroup

@@ -20,6 +20,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -71,6 +72,19 @@ func (o Options) jobs() int {
 // have hit first, so error behavior is deterministic too. Results
 // computed before the failure are discarded.
 func Map[T any](n int, opts Options, task func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), n, opts, task)
+}
+
+// MapCtx is Map with cancellation: once ctx is done, workers stop
+// claiming new tasks, in-flight tasks are allowed to finish, and MapCtx
+// returns ctx's error (results computed so far are discarded). Long
+// tasks that want to stop mid-flight should watch ctx themselves.
+//
+// Error priority is deterministic where it can be: if any task failed,
+// the lowest-indexed task error wins exactly as in Map, and the context
+// error is reported only when cancellation — not a task failure — is
+// what cut the run short.
+func MapCtx[T any](ctx context.Context, n int, opts Options, task func(i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("runner: negative task count %d", n)
 	}
@@ -94,6 +108,9 @@ func Map[T any](n int, opts Options, task func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1) - 1)
 				// Claimed tasks below the lowest known failure must
 				// still run: one of them could fail at an even lower
@@ -125,12 +142,20 @@ func Map[T any](n int, opts Options, task func(i int) (T, error)) ([]T, error) {
 			return nil, fmt.Errorf("task %d: %w", i, err)
 		}
 	}
+	if err := ctx.Err(); err != nil && int(done.Load()) < n {
+		return nil, fmt.Errorf("runner: run canceled after %d/%d tasks: %w", done.Load(), n, err)
+	}
 	return results, nil
 }
 
 // Do is Map for tasks without a result value.
 func Do(n int, opts Options, task func(i int) error) error {
-	_, err := Map(n, opts, func(i int) (struct{}, error) {
+	return DoCtx(context.Background(), n, opts, task)
+}
+
+// DoCtx is MapCtx for tasks without a result value.
+func DoCtx(ctx context.Context, n int, opts Options, task func(i int) error) error {
+	_, err := MapCtx(ctx, n, opts, func(i int) (struct{}, error) {
 		return struct{}{}, task(i)
 	})
 	return err

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -260,5 +261,92 @@ func TestProgressETA(t *testing.T) {
 	out := p.w.(*bytes.Buffer).String()
 	if !strings.Contains(out, "eta") {
 		t.Errorf("mid-run progress line has no ETA: %q", out)
+	}
+}
+
+// TestMapCtxCanceledBeforeStart: a context canceled up front runs no
+// tasks and reports the cancellation.
+func TestMapCtxCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := MapCtx(ctx, 100, Options{Jobs: 4}, func(i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d tasks ran after pre-canceled context", ran.Load())
+	}
+}
+
+// TestMapCtxStopsClaimingOnCancel: cancellation mid-run stops workers
+// from claiming further tasks; in-flight tasks finish.
+func TestMapCtxStopsClaimingOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	_, err := MapCtx(ctx, 1000, Options{Jobs: 2}, func(i int) (int, error) {
+		ran.Add(1)
+		if i < 2 {
+			cancel()
+			<-ctx.Done() // hold the worker until cancellation is visible
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Both workers saw the first two indexes block until cancel, so at
+	// most a couple of extra claims can slip in before the check.
+	if n := ran.Load(); n > 6 {
+		t.Errorf("%d tasks ran after cancel, want a small handful", n)
+	}
+}
+
+// TestMapCtxCompletedRunIgnoresLateCancel: a run whose tasks all
+// completed returns its results even if the context is canceled at the
+// very end.
+func TestMapCtxCompletedRunIgnoresLateCancel(t *testing.T) {
+	ctx := context.Background()
+	got, err := MapCtx(ctx, 10, Options{Jobs: 3}, func(i int) (int, error) { return i, nil })
+	if err != nil || len(got) != 10 {
+		t.Fatalf("MapCtx = (%v, %v), want 10 results", got, err)
+	}
+}
+
+// TestMapCtxTaskErrorBeatsCancel: when a task fails and the context is
+// canceled, the deterministic lowest-index task error wins.
+func TestMapCtxTaskErrorBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	_, err := MapCtx(ctx, 8, Options{Jobs: 1}, func(i int) (int, error) {
+		if i == 3 {
+			cancel()
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the task error", err)
+	}
+	if !strings.Contains(err.Error(), "task 3") {
+		t.Errorf("err = %v, want task-3 identity", err)
+	}
+}
+
+// TestDoCtxDeadline: DoCtx respects a context deadline.
+func TestDoCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := DoCtx(ctx, 1_000_000, Options{Jobs: 2}, func(i int) error {
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
 }

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func benchServer(b *testing.B, cacheSize int) http.Handler {
+	b.Helper()
+	return New(Config{Workers: 8, QueueDepth: 256, CacheSize: cacheSize}).Handler()
+}
+
+func benchPost(h http.Handler, path, body string) int {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code
+}
+
+// benchFitBody is a small request whose solve — the (St, So)
+// calibration search, thousands of AMVA solves — is genuinely
+// expensive (~ms), so the cold/cached ratio measures the cache, not
+// HTTP plumbing.
+const benchFitBody = `{"p":16,"c2":0,"observations":[{"w":0,"r":900},{"w":256,"r":1150},{"w":512,"r":1400},{"w":1024,"r":1900},{"w":2048,"r":2950}]}`
+
+// BenchmarkServeSolveCold measures the full request path with
+// memoization disabled: decode, admission, calibration solve, encode.
+// Each iteration re-runs the whole solve.
+func BenchmarkServeSolveCold(b *testing.B) {
+	h := benchServer(b, -1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := benchPost(h, "/v1/fit", benchFitBody); code != http.StatusOK {
+			b.Fatalf("status %d", code)
+		}
+	}
+}
+
+// BenchmarkServeSolveCached is the same request on a hot cache key:
+// decode, key, LRU hit, write. The ratio to ServeSolveCold is the
+// cache's speedup on a hot parameter point (acceptance floor: 10x).
+func BenchmarkServeSolveCached(b *testing.B) {
+	h := benchServer(b, 1024)
+	if code := benchPost(h, "/v1/fit", benchFitBody); code != http.StatusOK {
+		b.Fatal("warm-up solve failed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := benchPost(h, "/v1/fit", benchFitBody); code != http.StatusOK {
+			b.Fatalf("status %d", code)
+		}
+	}
+}
+
+// BenchmarkServeAllToAllCold / Cached are the same pair on the cheap
+// scalar solver, where HTTP and JSON plumbing dominate — the lower
+// bound on what caching can buy.
+func BenchmarkServeAllToAllCold(b *testing.B) {
+	h := benchServer(b, -1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"p":32,"w":%d,"st":40,"so":200}`, 100+i)
+		if code := benchPost(h, "/v1/alltoall", body); code != http.StatusOK {
+			b.Fatalf("status %d", code)
+		}
+	}
+}
+
+func BenchmarkServeAllToAllCached(b *testing.B) {
+	h := benchServer(b, 1024)
+	if code := benchPost(h, "/v1/alltoall", validAllToAll); code != http.StatusOK {
+		b.Fatal("warm-up solve failed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := benchPost(h, "/v1/alltoall", validAllToAll); code != http.StatusOK {
+			b.Fatalf("status %d", code)
+		}
+	}
+}
+
+// BenchmarkServeParallelClients measures aggregate throughput with
+// GOMAXPROCS client goroutines hammering a mixed working set (16 hot
+// points, cache on) — the serving-path contention benchmark.
+func BenchmarkServeParallelClients(b *testing.B) {
+	h := benchServer(b, 1024)
+	bodies := make([]string, 16)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(`{"p":32,"w":%d,"st":40,"so":200}`, 500+i)
+		if code := benchPost(h, "/v1/alltoall", bodies[i]); code != http.StatusOK {
+			b.Fatal("warm-up solve failed")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			body := bodies[i%len(bodies)]
+			i++
+			if code := benchPost(h, "/v1/alltoall", body); code != http.StatusOK {
+				b.Fatalf("status %d", code)
+			}
+		}
+	})
+}
+
+// BenchmarkServeSweep measures one 64-point sweep request end to end
+// (fresh points each iteration, fanned out through internal/runner).
+func BenchmarkServeSweep(b *testing.B) {
+	h := benchServer(b, -1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points := make([]string, 64)
+		for j := range points {
+			points[j] = fmt.Sprintf(`{"p":32,"w":%d,"st":40,"so":200}`, 1000+64*i+j)
+		}
+		body := `{"points":[` + strings.Join(points, ",") + `],"jobs":8}`
+		if code := benchPost(h, "/v1/sweep", body); code != http.StatusOK {
+			b.Fatalf("status %d", code)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// FuzzRequestDecoding throws arbitrary bytes at the request-decoding
+// path of every POST endpoint: the server must never panic, must answer
+// only statuses from the documented taxonomy, and must wrap every
+// non-2xx answer in the JSON error envelope.
+func FuzzRequestDecoding(f *testing.F) {
+	f.Add("/v1/alltoall", validAllToAll)
+	f.Add("/v1/alltoall", `{"p":32,`)
+	f.Add("/v1/alltoall", `{"p":32,"w":1000,"so":200,"bogus":1}`)
+	f.Add("/v1/alltoall", validAllToAll+`{"again":true}`)
+	f.Add("/v1/alltoall", `{"p":32,"w":1e999,"so":200}`)
+	f.Add("/v1/alltoall", `{"p":-1,"w":-2,"st":-3,"so":-4,"c2":-5,"n":-6}`)
+	f.Add("/v1/alltoall", `{"p":32,"w":1000,"so":200,"priority":"zz"}`)
+	f.Add("/v1/workpile", `{"p":32,"ps":8,"w":1500,"st":40,"so":131}`)
+	f.Add("/v1/bounds", `{"p":32,"ps":0,"w":1500,"so":131}`)
+	f.Add("/v1/general", `{"p":2,"w":[1,1],"v":[[0,1],[1,0]],"so":[5]}`)
+	f.Add("/v1/fit", `{"p":16,"observations":[{"w":0,"r":900},{"w":512,"r":1400},{"w":2048,"r":2950}]}`)
+	f.Add("/v1/sweep", `{"points":[`+validAllToAll+`],"jobs":2}`)
+	f.Add("/v1/sweep", `{"points":[],"jobs":-9}`)
+	f.Add("/metrics", "")
+	f.Add("/nowhere", "{}")
+
+	s := New(Config{Workers: 2, QueueDepth: 4, MaxSweepPoints: 16})
+	h := s.Handler()
+	allowed := map[int]bool{
+		http.StatusOK: true, http.StatusNotFound: true,
+		// ServeMux 301-redirects non-canonical paths (e.g. "/..").
+		http.StatusMovedPermanently: true, http.StatusPermanentRedirect: true,
+		http.StatusBadRequest: true, http.StatusMethodNotAllowed: true,
+		http.StatusRequestEntityTooLarge: true,
+		http.StatusUnprocessableEntity:   true,
+		http.StatusTooManyRequests:       true,
+		http.StatusServiceUnavailable:    true,
+	}
+	f.Fuzz(func(t *testing.T, path, body string) {
+		if !strings.HasPrefix(path, "/") {
+			path = "/" + path
+		}
+		for _, r := range path {
+			if r <= ' ' || r == 0x7f {
+				t.Skip("control characters in the target make NewRequest itself panic")
+			}
+		}
+		if _, err := url.ParseRequestURI(path); err != nil {
+			t.Skip("not a parseable request target") // NewRequest would panic on it
+		}
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // must not panic
+		if !allowed[rec.Code] {
+			t.Fatalf("POST %q %q answered undocumented status %d: %s",
+				path, body, rec.Code, rec.Body.Bytes())
+		}
+		if rec.Code >= 400 && rec.Code != http.StatusNotFound && rec.Code != http.StatusMethodNotAllowed &&
+			strings.HasPrefix(rec.Header().Get("Content-Type"), "application/json") {
+			if !strings.Contains(rec.Body.String(), `"error"`) {
+				t.Fatalf("status %d without error envelope: %s", rec.Code, rec.Body.Bytes())
+			}
+		}
+	})
+}

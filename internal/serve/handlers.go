@@ -1,0 +1,544 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/fit"
+	"repro/internal/runner"
+)
+
+// Error taxonomy: malformed or invalid requests answer 400, admission
+// rejections answer 429/503 with Retry-After (see admission.go), and
+// structurally valid parameters on which the model itself has no
+// feasible solution (a saturated node, a divergent fixed point) answer
+// 422 — the client's parameters are the problem, not the request shape
+// and not the server.
+
+// errorResponse is the JSON error envelope of every non-2xx API answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// decodeRequest parses one JSON request body strictly: POST only,
+// unknown fields rejected, trailing garbage rejected. It writes the
+// error response itself and reports whether the handler should go on.
+func decodeRequest(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		_ = writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST with a JSON body"})
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		_ = writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decoding request: " + err.Error()})
+		return false
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); !errors.Is(err, io.EOF) {
+		_ = writeJSON(w, http.StatusBadRequest, errorResponse{Error: "trailing data after JSON request"})
+		return false
+	}
+	return true
+}
+
+// badRequest answers 400 with the validation error.
+func badRequest(w http.ResponseWriter, err error) {
+	_ = writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+}
+
+// writeSolveError classifies a failed solve: admission rejections keep
+// their status and Retry-After hint, everything else is a model
+// infeasibility (422).
+func writeSolveError(w http.ResponseWriter, err error) {
+	var shed *shedError
+	if errors.As(err, &shed) {
+		w.Header().Set("Retry-After", strconv.Itoa(shed.retryAfter))
+		_ = writeJSON(w, shed.status, errorResponse{Error: shed.reason})
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		w.Header().Set("Retry-After", "1")
+		_ = writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	}
+	_ = writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+}
+
+// recordOutcome bumps the cache counters and names the outcome for the
+// X-Lopc-Cache response header.
+func (s *Server) recordOutcome(o outcome) string {
+	switch o {
+	case outcomeHit:
+		s.met.cacheHits.Add(1)
+		return "hit"
+	case outcomeCollapsed:
+		s.met.cacheCollapsed.Add(1)
+		return "collapsed"
+	default:
+		s.met.cacheMisses.Add(1)
+		return "miss"
+	}
+}
+
+// writeCached writes one cached (or just-solved) response body. The
+// stored bytes carry no cache markers — hit and cold responses are
+// byte-identical — so the outcome travels in a header instead.
+func (s *Server) writeCached(w http.ResponseWriter, data []byte, o outcome) {
+	w.Header().Set("X-Lopc-Cache", s.recordOutcome(o))
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(data); err != nil {
+		return
+	}
+	_, _ = w.Write([]byte("\n"))
+}
+
+// marshalResponse renders a response payload into its canonical cached
+// form (compact JSON, no trailing newline).
+func marshalResponse(v any) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("encoding response: %w", err)
+	}
+	return data, nil
+}
+
+// --- /v1/alltoall ---
+
+type alltoallRequest struct {
+	P                 int     `json:"p"`
+	W                 float64 `json:"w"`
+	St                float64 `json:"st"`
+	So                float64 `json:"so"`
+	C2                float64 `json:"c2"`
+	ProtocolProcessor bool    `json:"protocol_processor"`
+	Priority          string  `json:"priority"` // "", "bkt", or "shadow"
+	N                 int     `json:"n"`        // requests per thread; > 0 adds total_runtime
+}
+
+type alltoallResponse struct {
+	R                  float64  `json:"r"`
+	Rw                 float64  `json:"rw"`
+	Rq                 float64  `json:"rq"`
+	Ry                 float64  `json:"ry"`
+	Qq                 float64  `json:"qq"`
+	Qy                 float64  `json:"qy"`
+	Uq                 float64  `json:"uq"`
+	Uy                 float64  `json:"uy"`
+	X                  float64  `json:"x"`
+	ContentionFree     float64  `json:"contention_free"`
+	UpperBound         float64  `json:"upper_bound"`
+	Contention         float64  `json:"contention"`
+	ContentionFraction float64  `json:"contention_fraction"`
+	RuleOfThumb        float64  `json:"rule_of_thumb"`
+	TotalRuntime       *float64 `json:"total_runtime,omitempty"`
+}
+
+// params converts the wire request into model parameters; the priority
+// string is validated here, everything numeric by core's own Validate.
+func (q alltoallRequest) params() (core.Params, error) {
+	p := core.Params{
+		P: q.P, W: q.W, St: q.St, So: q.So, C2: q.C2,
+		ProtocolProcessor: q.ProtocolProcessor,
+	}
+	switch q.Priority {
+	case "", "bkt":
+		p.Priority = core.BKT
+	case "shadow", "shadow-server":
+		p.Priority = core.ShadowServer
+	default:
+		return core.Params{}, fmt.Errorf("unknown priority %q (want \"bkt\" or \"shadow\")", q.Priority)
+	}
+	if q.N < 0 {
+		return core.Params{}, fmt.Errorf("negative request count n = %d", q.N)
+	}
+	return p, p.Validate()
+}
+
+// solveAllToAll computes the full single-solve payload.
+func solveAllToAll(p core.Params, n int) (alltoallResponse, error) {
+	res, err := core.AllToAll(p)
+	if err != nil {
+		return alltoallResponse{}, err
+	}
+	out := alltoallResponse{
+		R: res.R, Rw: res.Rw, Rq: res.Rq, Ry: res.Ry,
+		Qq: res.Qq, Qy: res.Qy, Uq: res.Uq, Uy: res.Uy,
+		X:                  res.X,
+		ContentionFree:     res.ContentionFree,
+		UpperBound:         res.UpperBound,
+		Contention:         res.Contention(),
+		ContentionFraction: res.ContentionFraction(),
+		RuleOfThumb:        p.RuleOfThumb(),
+	}
+	if n > 0 {
+		total, err := core.TotalRuntime(p, n)
+		if err != nil {
+			return alltoallResponse{}, err
+		}
+		out.TotalRuntime = &total
+	}
+	return out, nil
+}
+
+// cachedAllToAll solves one all-to-all point through the cache. The
+// solve closure runs only on a miss; admit wraps it with (or without)
+// admission control depending on the caller.
+func (s *Server) cachedAllToAll(p core.Params, n int, admit func(func() ([]byte, error)) ([]byte, error)) ([]byte, outcome, error) {
+	return s.cache.get(keyAllToAll(p, n), func() ([]byte, error) {
+		return admit(func() ([]byte, error) {
+			out, err := solveAllToAll(p, n)
+			if err != nil {
+				return nil, err
+			}
+			return marshalResponse(out)
+		})
+	})
+}
+
+// admitted wraps a solve closure with admission control: it claims a
+// solver slot (respecting the request deadline) for the duration of
+// the solve.
+func (s *Server) admitted(ctx context.Context) func(func() ([]byte, error)) ([]byte, error) {
+	return func(solve func() ([]byte, error)) ([]byte, error) {
+		release, err := s.adm.acquire(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		return solve()
+	}
+}
+
+// unadmitted runs the solve directly — for sweep points, whose request
+// already holds a slot for the whole fan-out.
+func unadmitted(solve func() ([]byte, error)) ([]byte, error) { return solve() }
+
+func (s *Server) handleAllToAll(w http.ResponseWriter, r *http.Request) {
+	var req alltoallRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	p, err := req.params()
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	data, o, err := s.cachedAllToAll(p, req.N, s.admitted(r.Context()))
+	if err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	s.writeCached(w, data, o)
+}
+
+// --- /v1/workpile ---
+
+type workpileRequest struct {
+	P  int     `json:"p"`
+	Ps int     `json:"ps"` // 0: solve at the optimal allocation
+	W  float64 `json:"w"`
+	St float64 `json:"st"`
+	So float64 `json:"so"`
+	C2 float64 `json:"c2"`
+}
+
+type workpileResponse struct {
+	Ps             int     `json:"ps"` // the split actually solved
+	X              float64 `json:"x"`
+	R              float64 `json:"r"`
+	Rs             float64 `json:"rs"`
+	Qs             float64 `json:"qs"`
+	Us             float64 `json:"us"`
+	OptimalServers float64 `json:"optimal_servers"`
+	PeakThroughput float64 `json:"peak_throughput"`
+}
+
+func (q workpileRequest) params() (core.ClientServerParams, error) {
+	p := core.ClientServerParams{P: q.P, Ps: q.Ps, W: q.W, St: q.St, So: q.So, C2: q.C2}
+	if q.Ps == 0 {
+		// Validate the rest of the tuple at a placeholder split; the
+		// real split is solved from Eq. 6.8 during the solve.
+		probe := p
+		probe.Ps = 1
+		return p, probe.Validate()
+	}
+	return p, p.Validate()
+}
+
+func solveWorkpile(p core.ClientServerParams) (workpileResponse, error) {
+	if p.Ps == 0 {
+		opt, err := core.OptimalServersInt(p)
+		if err != nil {
+			return workpileResponse{}, err
+		}
+		p.Ps = opt
+	}
+	res, err := core.ClientServer(p)
+	if err != nil {
+		return workpileResponse{}, err
+	}
+	return workpileResponse{
+		Ps: p.Ps, X: res.X, R: res.R, Rs: res.Rs, Qs: res.Qs, Us: res.Us,
+		OptimalServers: core.OptimalServers(p),
+		PeakThroughput: core.PeakThroughput(p),
+	}, nil
+}
+
+func (s *Server) handleWorkpile(w http.ResponseWriter, r *http.Request) {
+	var req workpileRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	p, err := req.params()
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	data, o, err := s.cache.get(keyWorkpile(p), func() ([]byte, error) {
+		return s.admitted(r.Context())(func() ([]byte, error) {
+			out, err := solveWorkpile(p)
+			if err != nil {
+				return nil, err
+			}
+			return marshalResponse(out)
+		})
+	})
+	if err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	s.writeCached(w, data, o)
+}
+
+// --- /v1/bounds ---
+
+type boundsResponse struct {
+	ServerBound       float64 `json:"server_bound"`
+	ClientBound       float64 `json:"client_bound"`
+	OptimalServers    float64 `json:"optimal_servers"`
+	OptimalServersInt int     `json:"optimal_servers_int"`
+	PeakThroughput    float64 `json:"peak_throughput"`
+	UpperBoundBeta    float64 `json:"upper_bound_beta"`
+}
+
+func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
+	var req workpileRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	p, err := req.params()
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	if p.Ps == 0 {
+		p.Ps = 1 // bounds need a concrete split; 1 is the conventional floor
+	}
+	data, o, err := s.cache.get(keyBounds(p), func() ([]byte, error) {
+		// Bounds are closed forms — no fixed point, no admission needed.
+		server, client := core.ClientServerBounds(p)
+		opt, err := core.OptimalServersInt(p)
+		if err != nil {
+			return nil, err
+		}
+		return marshalResponse(boundsResponse{
+			ServerBound:       server,
+			ClientBound:       client,
+			OptimalServers:    core.OptimalServers(p),
+			OptimalServersInt: opt,
+			PeakThroughput:    core.PeakThroughput(p),
+			UpperBoundBeta:    core.UpperBoundBeta(p.C2),
+		})
+	})
+	if err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	s.writeCached(w, data, o)
+}
+
+// --- /v1/general ---
+
+type generalRequest struct {
+	P                 int         `json:"p"`
+	W                 []float64   `json:"w"`
+	V                 [][]float64 `json:"v"`
+	St                float64     `json:"st"`
+	So                []float64   `json:"so"`
+	C2                float64     `json:"c2"`
+	ProtocolProcessor bool        `json:"protocol_processor"`
+}
+
+type generalResponse struct {
+	R      []float64 `json:"r"`
+	X      []float64 `json:"x"`
+	Rw     []float64 `json:"rw"`
+	Rq     []float64 `json:"rq"`
+	Ry     []float64 `json:"ry"`
+	Qq     []float64 `json:"qq"`
+	Qy     []float64 `json:"qy"`
+	Uq     []float64 `json:"uq"`
+	Uy     []float64 `json:"uy"`
+	TotalX float64   `json:"total_x"`
+}
+
+func (s *Server) handleGeneral(w http.ResponseWriter, r *http.Request) {
+	var req generalRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	p := core.GeneralParams{
+		P: req.P, W: req.W, V: req.V, St: req.St, So: req.So, C2: req.C2,
+		ProtocolProcessor: req.ProtocolProcessor,
+	}
+	if err := p.Validate(); err != nil {
+		badRequest(w, err)
+		return
+	}
+	data, o, err := s.cache.get(keyGeneral(p), func() ([]byte, error) {
+		return s.admitted(r.Context())(func() ([]byte, error) {
+			res, err := core.General(p)
+			if err != nil {
+				return nil, err
+			}
+			return marshalResponse(generalResponse{
+				R: res.R, X: res.X, Rw: res.Rw, Rq: res.Rq, Ry: res.Ry,
+				Qq: res.Qq, Qy: res.Qy, Uq: res.Uq, Uy: res.Uy,
+				TotalX: res.TotalX,
+			})
+		})
+	})
+	if err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	s.writeCached(w, data, o)
+}
+
+// --- /v1/fit ---
+
+type fitRequest struct {
+	P            int              `json:"p"`
+	C2           float64          `json:"c2"`
+	Observations []fitObservation `json:"observations"`
+}
+
+type fitObservation struct {
+	W  float64 `json:"w"`
+	R  float64 `json:"r"`
+	Rq float64 `json:"rq"`
+}
+
+type fitResponse struct {
+	St      float64 `json:"st"`
+	So      float64 `json:"so"`
+	RMSE    float64 `json:"rmse"`
+	RelRMSE float64 `json:"rel_rmse"`
+}
+
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	var req fitRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	obs := make([]fit.Observation, len(req.Observations))
+	for i, o := range req.Observations {
+		obs[i] = fit.Observation{W: o.W, R: o.R, Rq: o.Rq}
+	}
+	data, o, err := s.cache.get(keyFit(obs, req.P, req.C2), func() ([]byte, error) {
+		return s.admitted(r.Context())(func() ([]byte, error) {
+			res, err := fit.AllToAll(obs, req.P, req.C2)
+			if err != nil {
+				return nil, err
+			}
+			return marshalResponse(fitResponse{St: res.St, So: res.So, RMSE: res.RMSE, RelRMSE: res.RelRMSE})
+		})
+	})
+	if err != nil {
+		// fit's own argument errors (too few observations, bad values)
+		// are client mistakes, not model infeasibility.
+		var shed *shedError
+		if errors.As(err, &shed) {
+			writeSolveError(w, err)
+			return
+		}
+		badRequest(w, err)
+		return
+	}
+	s.writeCached(w, data, o)
+}
+
+// --- /v1/sweep ---
+
+type sweepRequest struct {
+	Points []alltoallRequest `json:"points"`
+	Jobs   int               `json:"jobs"` // fan-out width; clamped to the server cap
+}
+
+type sweepResponse struct {
+	Points  int               `json:"points"`
+	Jobs    int               `json:"jobs"`
+	Results []json.RawMessage `json:"results"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	if len(req.Points) == 0 {
+		badRequest(w, errors.New("sweep needs at least one point"))
+		return
+	}
+	if len(req.Points) > s.cfg.MaxSweepPoints {
+		badRequest(w, fmt.Errorf("sweep of %d points exceeds the %d-point cap", len(req.Points), s.cfg.MaxSweepPoints))
+		return
+	}
+	params := make([]core.Params, len(req.Points))
+	ns := make([]int, len(req.Points))
+	for i, q := range req.Points {
+		p, err := q.params()
+		if err != nil {
+			badRequest(w, fmt.Errorf("point %d: %w", i, err))
+			return
+		}
+		params[i] = p
+		ns[i] = q.N
+	}
+	jobs := req.Jobs
+	if jobs <= 0 || jobs > s.cfg.MaxSweepJobs {
+		jobs = s.cfg.MaxSweepJobs
+	}
+
+	// One admission slot covers the whole sweep; the fan-out width is
+	// bounded separately by MaxSweepJobs, so a sweep can never occupy
+	// more of the machine than one worker slot plus its own job cap.
+	release, err := s.adm.acquire(r.Context())
+	if err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	defer release()
+
+	results, err := runner.MapCtx(r.Context(), len(params), runner.Options{Jobs: jobs}, func(i int) (json.RawMessage, error) {
+		data, o, err := s.cachedAllToAll(params[i], ns[i], unadmitted)
+		if err != nil {
+			return nil, err
+		}
+		s.recordOutcome(o)
+		return json.RawMessage(data), nil
+	})
+	if err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	_ = writeJSON(w, http.StatusOK, sweepResponse{Points: len(results), Jobs: jobs, Results: results})
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fit"
+)
+
+// Cache keys are the canonical rendering of a solve's parameter tuple:
+// the endpoint name followed by every parameter in a fixed order, each
+// float quantized to 9 significant decimal digits first. Quantization
+// folds floats that differ only in sub-model-resolution noise (a client
+// computing W = 1000.0000000001 from its own arithmetic) onto one key,
+// while 9 digits is far finer than the model's own fixed-point
+// tolerance, so no two solves that quantize together ever produce
+// observably different results.
+
+// quantize rounds v to 9 significant decimal digits. Zero, NaN and Inf
+// pass through unchanged (NaN/Inf never reach keying: parameters are
+// validated first).
+func quantize(v float64) float64 {
+	//lopc:allow floateq zero is an exact sentinel: only literal 0 has no magnitude to take the log of
+	if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return v
+	}
+	exp := math.Floor(math.Log10(math.Abs(v)))
+	scale := math.Pow(10, 8-exp)
+	q := math.Round(v*scale) / scale
+	//lopc:allow floateq exactly-zero or infinite q means the scaling over/underflowed at the float64 edges; keep v
+	if q == 0 || math.IsInf(q, 0) {
+		return v
+	}
+	return q
+}
+
+// keyWriter accumulates one canonical key.
+type keyWriter struct{ b strings.Builder }
+
+func (k *keyWriter) str(s string)  { k.b.WriteByte('|'); k.b.WriteString(s) }
+func (k *keyWriter) num(v float64) { k.str(strconv.FormatFloat(quantize(v), 'g', -1, 64)) }
+func (k *keyWriter) int(v int)     { k.str(strconv.Itoa(v)) }
+func (k *keyWriter) bool(v bool)   { k.str(strconv.FormatBool(v)) }
+func (k *keyWriter) nums(vs []float64) {
+	k.b.WriteByte('|')
+	k.b.WriteByte('[')
+	for i, v := range vs {
+		if i > 0 {
+			k.b.WriteByte(',')
+		}
+		k.b.WriteString(strconv.FormatFloat(quantize(v), 'g', -1, 64))
+	}
+	k.b.WriteByte(']')
+}
+
+func newKey(endpoint string) *keyWriter {
+	k := &keyWriter{}
+	k.b.WriteString(endpoint)
+	return k
+}
+
+func (k *keyWriter) String() string { return k.b.String() }
+
+func keyAllToAll(p core.Params, n int) string {
+	k := newKey("alltoall")
+	k.int(p.P)
+	k.num(p.W)
+	k.num(p.St)
+	k.num(p.So)
+	k.num(p.C2)
+	k.bool(p.ProtocolProcessor)
+	k.int(int(p.Priority))
+	k.int(n)
+	return k.String()
+}
+
+func keyWorkpile(p core.ClientServerParams) string {
+	k := newKey("workpile")
+	k.int(p.P)
+	k.int(p.Ps)
+	k.num(p.W)
+	k.num(p.St)
+	k.num(p.So)
+	k.num(p.C2)
+	return k.String()
+}
+
+func keyBounds(p core.ClientServerParams) string {
+	return "bounds" + keyWorkpile(p)
+}
+
+func keyGeneral(p core.GeneralParams) string {
+	k := newKey("general")
+	k.int(p.P)
+	k.nums(p.W)
+	for _, row := range p.V {
+		k.nums(row)
+	}
+	k.num(p.St)
+	k.nums(p.So)
+	k.num(p.C2)
+	k.bool(p.ProtocolProcessor)
+	return k.String()
+}
+
+func keyFit(obs []fit.Observation, p int, c2 float64) string {
+	k := newKey("fit")
+	k.int(p)
+	k.num(c2)
+	for _, o := range obs {
+		k.num(o.W)
+		k.num(o.R)
+		k.num(o.Rq)
+	}
+	return k.String()
+}

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"encoding/json"
+	"math/bits"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// histogram is a fixed-bucket latency histogram: bucket i counts
+// observations in (2^(i-1), 2^i] microseconds, with bucket 0 holding
+// everything at or under 1µs and the last bucket open-ended. Power-of-
+// two buckets keep observation lock-free (one atomic add) while still
+// resolving the microsecond-to-minute range a solve endpoint spans.
+type histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumUS   atomic.Int64
+	maxUS   atomic.Int64
+}
+
+// histBuckets covers 1µs .. 2^26µs (~67s) plus an overflow bucket.
+const histBuckets = 28
+
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	i := bits.Len64(uint64(us)) // 0 or 1 → bucket 0/1, doubling from there
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	for {
+		cur := h.maxUS.Load()
+		if us <= cur || h.maxUS.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+}
+
+// histBucketJSON is one rendered histogram bucket: the inclusive upper
+// bound in microseconds (-1 for the open-ended overflow bucket) and the
+// count of observations at or under it but above the previous bound.
+type histBucketJSON struct {
+	LeUS  int64 `json:"le_us"`
+	Count int64 `json:"count"`
+}
+
+type histJSON struct {
+	Count   int64            `json:"count"`
+	SumUS   int64            `json:"sum_us"`
+	MaxUS   int64            `json:"max_us"`
+	Buckets []histBucketJSON `json:"buckets,omitempty"`
+}
+
+func (h *histogram) snapshot() histJSON {
+	out := histJSON{Count: h.count.Load(), SumUS: h.sumUS.Load(), MaxUS: h.maxUS.Load()}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		le := int64(-1)
+		if i < histBuckets-1 {
+			le = int64(1) << i
+		}
+		out.Buckets = append(out.Buckets, histBucketJSON{LeUS: le, Count: n})
+	}
+	return out
+}
+
+// routeStats counts one route's traffic.
+type routeStats struct {
+	requests atomic.Int64 // requests accepted into the handler
+	errors   atomic.Int64 // responses with status >= 400
+	latency  histogram
+}
+
+// metrics is the server's observability surface, exported as a single
+// JSON document on /metrics. Everything is an atomic counter or gauge,
+// so recording never contends beyond the cache line being bumped.
+type metrics struct {
+	start time.Time
+
+	inFlight   atomic.Int64 // requests currently inside a handler
+	queueDepth atomic.Int64 // requests waiting for a solver worker
+
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheCollapsed atomic.Int64 // duplicate in-flight solves absorbed
+
+	shedQueueFull atomic.Int64 // 503: admission queue at capacity
+	shedTimeout   atomic.Int64 // 429: queue wait exceeded the cap
+	shedDeadline  atomic.Int64 // 429: request deadline expired queued
+
+	mu     sync.Mutex
+	routes map[string]*routeStats
+}
+
+func newMetrics(start time.Time) *metrics {
+	return &metrics{start: start, routes: make(map[string]*routeStats)}
+}
+
+// route returns (registering on first use) the stats of one route.
+func (m *metrics) route(name string) *routeStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.routes[name]
+	if rs == nil {
+		rs = &routeStats{}
+		m.routes[name] = rs
+	}
+	return rs
+}
+
+// metricsJSON is the /metrics document. Field order is fixed by the
+// struct, and route order by the sorted slice, so two snapshots of the
+// same state are byte-identical.
+type metricsJSON struct {
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	InFlight      int64       `json:"in_flight"`
+	QueueDepth    int64       `json:"queue_depth"`
+	Draining      bool        `json:"draining"`
+	Cache         cacheJSON   `json:"cache"`
+	Shed          shedJSON    `json:"shed"`
+	Routes        []routeJSON `json:"routes"`
+}
+
+type cacheJSON struct {
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Collapsed int64 `json:"collapsed"`
+}
+
+type shedJSON struct {
+	QueueFull    int64 `json:"queue_full"`
+	QueueTimeout int64 `json:"queue_timeout"`
+	Deadline     int64 `json:"deadline"`
+}
+
+type routeJSON struct {
+	Route     string   `json:"route"`
+	Requests  int64    `json:"requests"`
+	Errors    int64    `json:"errors"`
+	LatencyUS histJSON `json:"latency_us"`
+}
+
+// snapshot renders the whole document. size/capacity describe the
+// solve cache; draining mirrors /readyz.
+func (m *metrics) snapshot(now time.Time, cacheSize, cacheCap int, draining bool) metricsJSON {
+	doc := metricsJSON{
+		UptimeSeconds: now.Sub(m.start).Seconds(),
+		InFlight:      m.inFlight.Load(),
+		QueueDepth:    m.queueDepth.Load(),
+		Draining:      draining,
+		Cache: cacheJSON{
+			Size:      cacheSize,
+			Capacity:  cacheCap,
+			Hits:      m.cacheHits.Load(),
+			Misses:    m.cacheMisses.Load(),
+			Collapsed: m.cacheCollapsed.Load(),
+		},
+		Shed: shedJSON{
+			QueueFull:    m.shedQueueFull.Load(),
+			QueueTimeout: m.shedTimeout.Load(),
+			Deadline:     m.shedDeadline.Load(),
+		},
+	}
+	m.mu.Lock()
+	names := make([]string, 0, len(m.routes))
+	for name := range m.routes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rs := m.routes[name]
+		doc.Routes = append(doc.Routes, routeJSON{
+			Route:     name,
+			Requests:  rs.requests.Load(),
+			Errors:    rs.errors.Load(),
+			LatencyUS: rs.latency.snapshot(),
+		})
+	}
+	m.mu.Unlock()
+	return doc
+}
+
+// writeJSON renders v with a trailing newline; encoding errors are
+// reported to the client when nothing has been written yet.
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
+		return err
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,268 @@
+// Package serve exposes the LoPC model stack over HTTP: JSON endpoints
+// for single solves (/v1/alltoall, /v1/workpile, /v1/general), batch
+// sweeps (/v1/sweep, fanned out through internal/runner), bounds and
+// calibration queries, all behind a solve cache and admission control.
+//
+// The server manages exactly the resource contention the model it
+// serves describes — a bounded pool of solver workers fed by bursty
+// request arrivals — so it eats its own dogfood twice:
+//
+//   - The solve cache collapses thundering herds on a hot parameter
+//     point into one AMVA fixed-point solve (singleflight) and memoizes
+//     rendered responses in an LRU keyed on canonicalized, quantized
+//     parameter tuples, making cache hits byte-identical to cold solves.
+//   - Admission control bounds the worker pool and its queue, sheds
+//     excess load with 429/503 + Retry-After, and is sized at startup by
+//     the paper's own Eq. 6.8 optimal server allocation
+//     (RecommendWorkers).
+//
+// Observability is a single JSON document on /metrics (request and shed
+// counters, latency histograms, cache hit/miss/collapse counts, queue
+// depth and in-flight gauges) plus /healthz and /readyz; draining for
+// graceful shutdown flips /readyz to 503 while in-flight requests
+// finish.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// production default applied by New.
+type Config struct {
+	// Workers is the solver pool size: the maximum number of solves
+	// (or sweeps) in flight. Defaults to 8. RecommendWorkers sizes it
+	// from the paper's own model.
+	Workers int
+	// QueueDepth is the maximum number of requests waiting for a
+	// worker before the server sheds with 503. Defaults to 64.
+	QueueDepth int
+	// QueueWait caps how long one request waits for a worker before a
+	// 429. Defaults to 1s.
+	QueueWait time.Duration
+	// RequestTimeout is the per-request deadline propagated via
+	// context into solvers and sweep fan-out. Defaults to 10s.
+	RequestTimeout time.Duration
+	// CacheSize is the solve-cache capacity in entries; <= -1 disables
+	// memoization (singleflight collapse stays on). 0 means the
+	// default 1024.
+	CacheSize int
+	// SolveEstimate is the rough per-solve service time used for
+	// Retry-After hints and the Eq. 6.8 sizing log. Defaults to 1ms.
+	SolveEstimate time.Duration
+	// MaxSweepPoints caps the points of one /v1/sweep request.
+	// Defaults to 4096.
+	MaxSweepPoints int
+	// MaxSweepJobs caps the per-request fan-out of /v1/sweep (the
+	// request's own jobs field is clamped to it). Defaults to Workers.
+	MaxSweepJobs int
+	// MaxBodyBytes caps request bodies. Defaults to 1 MiB.
+	MaxBodyBytes int64
+	// Clock supplies time for latency metrics, queue-wait timeouts and
+	// drain deadlines. nil means the system clock; tests inject a
+	// clock.Fake to pin shed and drain behaviour.
+	Clock clock.Waiter
+	// Logf, when non-nil, receives startup and drain log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.SolveEstimate <= 0 {
+		c.SolveEstimate = time.Millisecond
+	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 4096
+	}
+	if c.MaxSweepJobs <= 0 {
+		c.MaxSweepJobs = c.Workers
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Clock == nil {
+		c.Clock = clock.System
+	}
+	return c
+}
+
+// Server is the contention-aware prediction service. Create one with
+// New, mount Handler on an http.Server, and call Drain before exit.
+type Server struct {
+	cfg      Config
+	clk      clock.Waiter
+	mux      *http.ServeMux
+	cache    *solveCache
+	adm      *admission
+	met      *metrics
+	draining atomic.Bool
+	active   sync.WaitGroup // one count per in-flight request
+}
+
+// New builds a Server from cfg (zero value fine) and logs the Eq. 6.8
+// worker-pool recommendation for the configured solve-time estimate.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	met := newMetrics(cfg.Clock.Now())
+	s := &Server{
+		cfg:   cfg,
+		clk:   cfg.Clock,
+		mux:   http.NewServeMux(),
+		cache: newSolveCache(cfg.CacheSize),
+		adm:   newAdmission(cfg.Workers, cfg.QueueDepth, cfg.QueueWait, cfg.SolveEstimate, cfg.Clock, met),
+		met:   met,
+	}
+	s.routes()
+	s.logSizing()
+	return s
+}
+
+// logSizing reports what the paper's own work-pile model recommends
+// for the configured pool: dogfooding Eq. 6.8 as capacity planning.
+func (s *Server) logSizing() {
+	if s.cfg.Logf == nil {
+		return
+	}
+	clients := s.cfg.QueueDepth + s.cfg.Workers // the population the pool must absorb
+	psStar, workers, err := RecommendWorkers(clients, 0, s.cfg.SolveEstimate)
+	if err != nil {
+		s.cfg.Logf("serve: Eq. 6.8 sizing unavailable: %v", err)
+		return
+	}
+	s.cfg.Logf("serve: admission sized for %d workers, queue %d; work-pile model (Eq. 6.8) recommends Ps* = %.2f (best integral %d) for ~%d saturating clients at solve=%v",
+		s.cfg.Workers, s.cfg.QueueDepth, psStar, workers, clients, s.cfg.SolveEstimate)
+}
+
+// Handler returns the server's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// routes mounts every endpoint.
+func (s *Server) routes() {
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.Handle("/v1/alltoall", s.instrument("/v1/alltoall", s.handleAllToAll))
+	s.mux.Handle("/v1/workpile", s.instrument("/v1/workpile", s.handleWorkpile))
+	s.mux.Handle("/v1/general", s.instrument("/v1/general", s.handleGeneral))
+	s.mux.Handle("/v1/bounds", s.instrument("/v1/bounds", s.handleBounds))
+	s.mux.Handle("/v1/fit", s.instrument("/v1/fit", s.handleFit))
+	s.mux.Handle("/v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+}
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps an API handler with the shared request plumbing:
+// draining rejection, in-flight accounting, per-request deadline, and
+// request/error/latency metrics.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	rs := s.met.route(route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server draining", http.StatusServiceUnavailable)
+			return
+		}
+		s.active.Add(1)
+		defer s.active.Done()
+		s.met.inFlight.Add(1)
+		defer s.met.inFlight.Add(-1)
+		rs.requests.Add(1)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+		start := s.clk.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		rs.latency.observe(s.clk.Now().Sub(start))
+		if rec.status >= 400 {
+			rs.errors.Add(1)
+		}
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ready\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	doc := s.met.snapshot(s.clk.Now(), s.cache.len(), s.cfg.CacheSize, s.draining.Load())
+	_ = writeJSON(w, http.StatusOK, doc)
+}
+
+// StartDrain flips the server into draining mode: /readyz answers 503
+// (so load balancers stop routing here) and new API requests are
+// rejected, while requests already in flight keep running.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Drain marks the server draining and waits — on the injected clock —
+// until every in-flight request has finished or timeout elapses. It
+// reports whether the drain completed cleanly.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.StartDrain()
+	done := make(chan struct{})
+	go func() {
+		s.active.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("serve: drain complete, all in-flight requests finished")
+		}
+		return true
+	case <-s.clk.After(timeout):
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("serve: drain timed out with %d request(s) still in flight", s.met.inFlight.Load())
+		}
+		return false
+	}
+}

@@ -1,0 +1,451 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// newTestServer builds a Server on a fake clock and mounts it on an
+// httptest.Server.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *clock.Fake) {
+	t.Helper()
+	fake := clock.NewFake(time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC))
+	if cfg.Clock == nil {
+		cfg.Clock = fake
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, fake
+}
+
+func post(t *testing.T, url, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatalf("closing response: %v", err)
+	}
+	return resp, string(data)
+}
+
+const validAllToAll = `{"p":32,"w":1000,"st":40,"so":200,"c2":0}`
+
+// TestHandlerTable drives every endpoint through its request-shape and
+// validation failure modes.
+func TestHandlerTable(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	cases := []struct {
+		name, path, body string
+		status           int
+		wantInBody       string
+	}{
+		{"alltoall ok", "/v1/alltoall", validAllToAll, 200, `"r":`},
+		{"alltoall with n", "/v1/alltoall", `{"p":32,"w":1000,"st":40,"so":200,"n":100}`, 200, `"total_runtime":`},
+		{"alltoall shadow priority", "/v1/alltoall", `{"p":32,"w":1000,"st":40,"so":200,"priority":"shadow"}`, 200, `"r":`},
+		{"bad JSON", "/v1/alltoall", `{"p":32,`, 400, "decoding request"},
+		{"unknown field", "/v1/alltoall", `{"p":32,"w":1000,"so":200,"bogus":1}`, 400, "bogus"},
+		{"trailing garbage", "/v1/alltoall", validAllToAll + ` {"again":true}`, 400, "trailing data"},
+		{"infinite parameter", "/v1/alltoall", `{"p":32,"w":1e999,"so":200}`, 400, "decoding request"},
+		{"NaN literal", "/v1/alltoall", `{"p":32,"w":NaN,"so":200}`, 400, "decoding request"},
+		{"zero So rejected by Validate", "/v1/alltoall", `{"p":32,"w":1000}`, 400, "handlers must take positive time"},
+		{"negative W rejected by Validate", "/v1/alltoall", `{"p":32,"w":-5,"so":200}`, 400, "negative W"},
+		{"P too small", "/v1/alltoall", `{"p":1,"w":1000,"so":200}`, 400, "at least 2 processors"},
+		{"bad priority", "/v1/alltoall", `{"p":32,"w":1000,"so":200,"priority":"fifo"}`, 400, "unknown priority"},
+		{"negative n", "/v1/alltoall", `{"p":32,"w":1000,"so":200,"n":-1}`, 400, "negative request count"},
+		{"workpile ok", "/v1/workpile", `{"p":32,"ps":8,"w":1500,"st":40,"so":131}`, 200, `"x":`},
+		{"workpile optimal split", "/v1/workpile", `{"p":32,"ps":0,"w":1500,"st":40,"so":131}`, 200, `"optimal_servers":`},
+		{"workpile bad split", "/v1/workpile", `{"p":32,"ps":40,"w":1500,"so":131}`, 400, "Ps"},
+		{"bounds ok", "/v1/bounds", `{"p":32,"ps":8,"w":1500,"st":40,"so":131}`, 200, `"server_bound":`},
+		{"general ok", "/v1/general", `{"p":4,"w":[1000,1000,1000,1000],"v":[[0,0.3333333333,0.3333333333,0.3333333333],[0.3333333333,0,0.3333333333,0.3333333333],[0.3333333333,0.3333333333,0,0.3333333333],[0.3333333333,0.3333333333,0.3333333333,0]],"st":40,"so":[200],"c2":0}`, 200, `"total_x":`},
+		{"general shape mismatch", "/v1/general", `{"p":4,"w":[1000],"v":[[0]],"st":40,"so":[200]}`, 400, "len(W)"},
+		{"fit too few observations", "/v1/fit", `{"p":32,"c2":0,"observations":[{"w":0,"r":900},{"w":64,"r":960}]}`, 400, "at least 3"},
+		{"sweep ok", "/v1/sweep", `{"points":[` + validAllToAll + `,{"p":32,"w":2000,"st":40,"so":200,"c2":0}],"jobs":2}`, 200, `"results":`},
+		{"sweep empty", "/v1/sweep", `{"points":[]}`, 400, "at least one point"},
+		{"sweep bad point", "/v1/sweep", `{"points":[{"p":1,"w":10,"so":1}]}`, 400, "point 0"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, body := post(t, ts.URL+c.path, c.body)
+			if resp.StatusCode != c.status {
+				t.Fatalf("status = %d, want %d; body: %s", resp.StatusCode, c.status, body)
+			}
+			if !strings.Contains(body, c.wantInBody) {
+				t.Errorf("body %q missing %q", body, c.wantInBody)
+			}
+		})
+	}
+}
+
+// TestSolveErrorTaxonomy pins the error classification: admission
+// rejections keep their status and Retry-After, context expiry is a
+// retryable 503, and everything else is a model infeasibility (422).
+func TestSolveErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		name       string
+		err        error
+		status     int
+		retryAfter string
+	}{
+		{"shed queue full", &shedError{status: 503, retryAfter: 2, reason: "queue full"}, 503, "2"},
+		{"shed queue wait", &shedError{status: 429, retryAfter: 1, reason: "queue wait exceeded"}, 429, "1"},
+		{"wrapped shed", fmt.Errorf("solving: %w", &shedError{status: 429, retryAfter: 3, reason: "x"}), 429, "3"},
+		{"deadline", context.DeadlineExceeded, 503, "1"},
+		{"canceled", context.Canceled, 503, "1"},
+		{"model infeasible", errors.New("core: saturated"), 422, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			writeSolveError(rec, c.err)
+			if rec.Code != c.status {
+				t.Errorf("status = %d, want %d", rec.Code, c.status)
+			}
+			if got := rec.Header().Get("Retry-After"); got != c.retryAfter {
+				t.Errorf("Retry-After = %q, want %q", got, c.retryAfter)
+			}
+			var body errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error == "" {
+				t.Errorf("error envelope missing: %s (%v)", rec.Body.Bytes(), err)
+			}
+		})
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/alltoall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := resp.Body.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d, want 405", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Allow"); got != http.MethodPost {
+		t.Errorf("Allow = %q, want POST", got)
+	}
+}
+
+// TestSweepPointCap: a sweep larger than the configured cap is a 400,
+// not a giant fan-out.
+func TestSweepPointCap(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{MaxSweepPoints: 2})
+	points := make([]string, 3)
+	for i := range points {
+		points[i] = fmt.Sprintf(`{"p":32,"w":%d,"st":40,"so":200}`, 100+i)
+	}
+	resp, body := post(t, ts.URL+"/v1/sweep", `{"points":[`+strings.Join(points, ",")+`]}`)
+	if resp.StatusCode != 400 || !strings.Contains(body, "cap") {
+		t.Fatalf("status %d body %s, want 400 mentioning the cap", resp.StatusCode, body)
+	}
+}
+
+// TestCacheHitBytesIdentical: the cached response is byte-for-byte the
+// cold response; the outcome travels only in the X-Lopc-Cache header.
+func TestCacheHitBytesIdentical(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	cold, coldBody := post(t, ts.URL+"/v1/alltoall", validAllToAll)
+	hit, hitBody := post(t, ts.URL+"/v1/alltoall", validAllToAll)
+	if cold.StatusCode != 200 || hit.StatusCode != 200 {
+		t.Fatalf("statuses %d/%d, want 200/200", cold.StatusCode, hit.StatusCode)
+	}
+	if got := cold.Header.Get("X-Lopc-Cache"); got != "miss" {
+		t.Errorf("first solve cache header = %q, want miss", got)
+	}
+	if got := hit.Header.Get("X-Lopc-Cache"); got != "hit" {
+		t.Errorf("second solve cache header = %q, want hit", got)
+	}
+	if coldBody != hitBody {
+		t.Errorf("cache hit bytes differ from cold solve:\ncold: %s\nhit:  %s", coldBody, hitBody)
+	}
+}
+
+// TestCacheQuantization: parameters that differ below the quantization
+// resolution share one cache entry.
+func TestCacheQuantization(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	_, _ = post(t, ts.URL+"/v1/alltoall", validAllToAll)
+	resp, _ := post(t, ts.URL+"/v1/alltoall", `{"p":32,"w":1000.0000000001,"st":40,"so":200,"c2":0}`)
+	if got := resp.Header.Get("X-Lopc-Cache"); got != "hit" {
+		t.Errorf("sub-resolution W change: cache = %q, want hit", got)
+	}
+	resp, _ = post(t, ts.URL+"/v1/alltoall", `{"p":32,"w":1001,"st":40,"so":200,"c2":0}`)
+	if got := resp.Header.Get("X-Lopc-Cache"); got != "miss" {
+		t.Errorf("real W change: cache = %q, want miss", got)
+	}
+}
+
+// TestSweepUsesCache: sweep points land in the same cache as single
+// solves, so a sweep over an already-solved point reuses it.
+func TestSweepUsesCache(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	_, single := post(t, ts.URL+"/v1/alltoall", validAllToAll)
+	resp, body := post(t, ts.URL+"/v1/sweep", `{"points":[`+validAllToAll+`]}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, body)
+	}
+	var sweep struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(body), &sweep); err != nil {
+		t.Fatalf("sweep response: %v", err)
+	}
+	if len(sweep.Results) != 1 {
+		t.Fatalf("%d results, want 1", len(sweep.Results))
+	}
+	if got, want := string(sweep.Results[0]), strings.TrimSuffix(single, "\n"); got != want {
+		t.Errorf("sweep result differs from single solve:\nsweep:  %s\nsingle: %s", got, want)
+	}
+	if hits := s.met.cacheHits.Load(); hits == 0 {
+		t.Error("sweep over a cached point recorded no cache hit")
+	}
+}
+
+// TestMetricsDocument: /metrics is one JSON document carrying the
+// counters the test can force deterministically.
+func TestMetricsDocument(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	_, _ = post(t, ts.URL+"/v1/alltoall", validAllToAll)
+	_, _ = post(t, ts.URL+"/v1/alltoall", validAllToAll)
+	_, _ = post(t, ts.URL+"/v1/alltoall", `{"bad json`)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	var doc metricsJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("metrics is not valid JSON: %v\n%s", err, data)
+	}
+	if doc.Cache.Hits != 1 || doc.Cache.Misses != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 1/1", doc.Cache.Hits, doc.Cache.Misses)
+	}
+	if doc.Cache.Size != 1 {
+		t.Errorf("cache size = %d, want 1", doc.Cache.Size)
+	}
+	var a2a *routeJSON
+	for i := range doc.Routes {
+		if doc.Routes[i].Route == "/v1/alltoall" {
+			a2a = &doc.Routes[i]
+		}
+	}
+	if a2a == nil {
+		t.Fatalf("metrics missing /v1/alltoall route: %s", data)
+	}
+	if a2a.Requests != 3 || a2a.Errors != 1 {
+		t.Errorf("alltoall requests/errors = %d/%d, want 3/1", a2a.Requests, a2a.Errors)
+	}
+	if a2a.LatencyUS.Count != 3 {
+		t.Errorf("latency count = %d, want 3", a2a.LatencyUS.Count)
+	}
+	if doc.InFlight != 0 || doc.QueueDepth != 0 {
+		t.Errorf("idle gauges in_flight=%d queue_depth=%d, want 0/0", doc.InFlight, doc.QueueDepth)
+	}
+}
+
+func TestHealthAndReady(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if resp.StatusCode != 200 {
+			t.Errorf("%s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	s.StartDrain()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining /readyz = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestGracefulDrain: draining waits for in-flight requests on the
+// injected clock, rejects new work, and completes once the last
+// request finishes.
+func TestGracefulDrain(t *testing.T) {
+	s, ts, fake := newTestServer(t, Config{Workers: 1, QueueDepth: 8, QueueWait: time.Minute})
+
+	// Occupy the single solver slot so an incoming request stays in
+	// flight (queued inside admission) for as long as the test wants.
+	release, err := s.adm.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("occupying worker slot: %v", err)
+	}
+
+	reqDone := make(chan string, 1)
+	go func() {
+		_, body := postNoT(ts.URL+"/v1/alltoall", validAllToAll)
+		reqDone <- body
+	}()
+	waitFor(t, func() bool { return s.met.queueDepth.Load() == 1 })
+
+	drained := make(chan bool, 1)
+	go func() { drained <- s.Drain(time.Hour) }()
+	waitFor(t, func() bool { return s.draining.Load() })
+
+	// New work is rejected while draining.
+	resp, _ := post(t, ts.URL+"/v1/alltoall", validAllToAll)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain = %d, want 503", resp.StatusCode)
+	}
+	select {
+	case <-drained:
+		t.Fatal("drain completed with a request still in flight")
+	default:
+	}
+
+	release() // let the in-flight request solve
+	if body := <-reqDone; !strings.Contains(body, `"r":`) {
+		t.Errorf("in-flight request failed during drain: %s", body)
+	}
+	select {
+	case ok := <-drained:
+		if !ok {
+			t.Error("drain reported timeout despite all requests finishing")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not complete after the last request finished")
+	}
+	_ = fake
+}
+
+// TestDrainTimeout: a drain that cannot finish reports failure once
+// the fake clock passes the budget.
+func TestDrainTimeout(t *testing.T) {
+	s, ts, fake := newTestServer(t, Config{Workers: 1, QueueDepth: 8, QueueWait: time.Hour})
+	release, err := s.adm.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqDone := make(chan string, 1)
+	go func() {
+		_, body := postNoT(ts.URL+"/v1/alltoall", validAllToAll)
+		reqDone <- body
+	}()
+	waitFor(t, func() bool { return s.met.queueDepth.Load() == 1 })
+
+	drained := make(chan bool, 1)
+	go func() { drained <- s.Drain(time.Minute) }()
+	waitFor(t, func() bool { return s.draining.Load() })
+	fake.Advance(2 * time.Minute)
+	select {
+	case ok := <-drained:
+		if ok {
+			t.Error("drain reported success with a request still in flight")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not observe its fake-clock timeout")
+	}
+	release()
+	<-reqDone
+}
+
+// postNoT is post for goroutines that must not call t.Fatal.
+func postNoT(url, body string) (*http.Response, string) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, "error: " + err.Error()
+	}
+	data, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	return resp, string(data)
+}
+
+// waitFor polls cond (real time — it synchronizes goroutine progress,
+// not clock behaviour).
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestConcurrentClientsRaceClean hammers the server with 64 concurrent
+// clients across every endpoint; run under -race this is the
+// acceptance stress test. Every response must be a known status.
+func TestConcurrentClientsRaceClean(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{
+		Workers: 4, QueueDepth: 16, QueueWait: 50 * time.Millisecond,
+		Clock: clock.System,
+	})
+	const clients = 64
+	const perClient = 12
+	bodies := []struct{ path, body string }{
+		{"/v1/alltoall", validAllToAll},
+		{"/v1/alltoall", `{"p":64,"w":500,"st":40,"so":150,"c2":1}`},
+		{"/v1/workpile", `{"p":32,"ps":8,"w":1500,"st":40,"so":131}`},
+		{"/v1/bounds", `{"p":32,"ps":8,"w":1500,"st":40,"so":131}`},
+		{"/v1/sweep", `{"points":[` + validAllToAll + `,{"p":32,"w":123,"st":40,"so":200}],"jobs":2}`},
+		{"/v1/fit", `{"p":16,"c2":0,"observations":[{"w":0,"r":900},{"w":512,"r":1400},{"w":2048,"r":2950}]}`},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				req := bodies[(c+i)%len(bodies)]
+				resp, body := postNoT(ts.URL+req.path, req.body)
+				if resp == nil {
+					errs <- body
+					continue
+				}
+				switch resp.StatusCode {
+				case 200, 429, 503:
+				default:
+					errs <- fmt.Sprintf("%s: status %d: %s", req.path, resp.StatusCode, body)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -1,0 +1,68 @@
+// Package version reports build provenance for the cmd/ binaries: the
+// module version and the VCS revision stamped by the Go toolchain
+// (runtime/debug.ReadBuildInfo). Every binary exposes it through the
+// same -version flag so operators can tell exactly which build answers
+// their predictions.
+package version
+
+import (
+	"flag"
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// AddFlag registers the standard -version flag on fs and returns its
+// value pointer. After parsing, a main that sees *v == true should
+// print String(name) and exit cleanly.
+func AddFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("version", false, "print version and build information, then exit")
+}
+
+// String renders the one-line version report for a binary: the binary
+// name, the module version, the Go toolchain, and — when the build was
+// stamped from a VCS checkout — the revision, commit time and dirty
+// marker.
+func String(name string) string {
+	info, ok := debug.ReadBuildInfo()
+	return render(name, info, ok)
+}
+
+// render is String with the build info injected, so tests can exercise
+// every shape of metadata without depending on how the test binary was
+// built.
+func render(name string, info *debug.BuildInfo, ok bool) string {
+	if !ok || info == nil {
+		return name + " (build info unavailable)"
+	}
+	var b strings.Builder
+	ver := info.Main.Version
+	if ver == "" {
+		ver = "(devel)"
+	}
+	fmt.Fprintf(&b, "%s %s %s", name, ver, info.GoVersion)
+	var rev, at, dirty string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			at = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " (rev %s%s", rev, dirty)
+		if at != "" {
+			fmt.Fprintf(&b, ", %s", at)
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package version
+
+import (
+	"flag"
+	"io"
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestStringAlwaysIdentifiesBinary(t *testing.T) {
+	got := String("lopc-test")
+	if !strings.HasPrefix(got, "lopc-test") {
+		t.Errorf("String = %q, want the binary name first", got)
+	}
+	if strings.ContainsAny(got, "\n\r") {
+		t.Errorf("String = %q, want a single line", got)
+	}
+}
+
+func TestRenderShapes(t *testing.T) {
+	stamped := &debug.BuildInfo{
+		GoVersion: "go1.22.0",
+		Main:      debug.Module{Path: "repro", Version: "v1.2.3"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+			{Key: "vcs.time", Value: "2026-08-06T00:00:00Z"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}
+	cases := []struct {
+		name string
+		info *debug.BuildInfo
+		ok   bool
+		want string
+	}{
+		{"stamped", stamped, true,
+			"lopc v1.2.3 go1.22.0 (rev 0123456789ab-dirty, 2026-08-06T00:00:00Z)"},
+		{"devel", &debug.BuildInfo{GoVersion: "go1.22.0", Main: debug.Module{Path: "repro"}}, true,
+			"lopc (devel) go1.22.0"},
+		{"missing", nil, false, "lopc (build info unavailable)"},
+	}
+	for _, c := range cases {
+		if got := render("lopc", c.info, c.ok); got != c.want {
+			t.Errorf("%s: render = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAddFlagRegistersVersion(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	v := AddFlag(fs)
+	if err := fs.Parse([]string{"-version"}); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !*v {
+		t.Error("-version did not set the flag")
+	}
+}
