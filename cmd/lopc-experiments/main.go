@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/runner"
+	"repro/internal/trace"
 	"repro/internal/version"
 )
 
@@ -34,6 +35,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		jobs     = flag.Int("j", 1, "run up to this many experiments (and sweep points within each) concurrently; outputs stay ordered and identical to -j 1")
 		progress = flag.Bool("progress", false, "report progress (done/total, elapsed, ETA) on stderr")
+		jobtrace = flag.String("jobtrace", "", "write a Chrome-trace span per experiment to this file (view in Perfetto)")
 		ver      = version.AddFlag(flag.CommandLine)
 	)
 	flag.Parse()
@@ -68,6 +70,11 @@ func main() {
 	if *progress {
 		opts.Progress = os.Stderr
 	}
+	var spans *trace.Spans
+	if *jobtrace != "" {
+		spans = trace.NewSpans(nil)
+		opts.Spans = spans
+	}
 	// Each experiment builds its own machines and random streams from
 	// (cfg, name), so experiments fan out safely; runner merges reports
 	// in registry order, keeping output identical to a sequential run.
@@ -81,6 +88,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lopc-experiments:", err)
 		os.Exit(1)
+	}
+	if spans != nil {
+		if err := spans.WriteFile(*jobtrace); err != nil {
+			fmt.Fprintln(os.Stderr, "lopc-experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d experiment span(s) to %s\n", spans.Len(), *jobtrace)
 	}
 	for _, rep := range reports {
 		write := rep.WriteText

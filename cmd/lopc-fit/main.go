@@ -24,6 +24,7 @@ import (
 
 	"repro"
 	"repro/internal/fit"
+	"repro/internal/obs"
 	"repro/internal/version"
 )
 
@@ -43,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		c2      = fs.Float64("C2", 0, "handler-time SCV of the measured machine")
 		demo    = fs.Bool("demo", false, "simulate a hidden machine and fit it")
 		seed    = fs.Uint64("seed", 1, "seed for -demo")
+		convtr  = fs.String("convtrace", "", "write convergence traces of the fit's model solves to this file (.csv, else JSON)")
 		ver     = version.AddFlag(fs)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -53,14 +55,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	// The fit's grid search solves the model at every (St, So) candidate
+	// for every observation; the recorder's ring keeps the most recent
+	// solves — the refinement passes around the accepted optimum.
+	var conv *obs.ConvRecorder
+	if *convtr != "" {
+		conv = obs.NewConvRecorder(0, nil, nil)
+	}
+
 	var err error
 	switch {
 	case *demo:
-		err = runDemo(stdout, *p, *seed)
+		err = runDemo(stdout, *p, *seed, conv)
 	case *csvPath != "":
-		err = runCSV(stdout, *csvPath, *p, *c2)
+		err = runCSV(stdout, *csvPath, *p, *c2, conv)
 	default:
 		err = fmt.Errorf("need -csv file or -demo (see -help)")
+	}
+	if err == nil && conv != nil {
+		if err = conv.WriteFile(*convtr); err == nil {
+			fmt.Fprintf(stderr, "lopc-fit: wrote convergence traces (%d solves total) to %s\n", conv.Total(), *convtr)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "lopc-fit:", err)
@@ -69,7 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func runCSV(w io.Writer, path string, p int, c2 float64) error {
+func runCSV(w io.Writer, path string, p int, c2 float64, conv *obs.ConvRecorder) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -102,7 +117,7 @@ func runCSV(w io.Writer, path string, p int, c2 float64) error {
 		}
 		obs = append(obs, o)
 	}
-	res, err := fit.AllToAll(obs, p, c2)
+	res, err := fit.AllToAllObserved(obs, p, c2, convObserver(conv))
 	if err != nil {
 		return err
 	}
@@ -110,7 +125,16 @@ func runCSV(w io.Writer, path string, p int, c2 float64) error {
 	return nil
 }
 
-func runDemo(out io.Writer, p int, seed uint64) error {
+// convObserver converts a possibly-nil *ConvRecorder into the observer
+// argument: a typed-nil interface would defeat fit's nil check.
+func convObserver(conv *obs.ConvRecorder) obs.SolveObserver {
+	if conv == nil {
+		return nil
+	}
+	return conv
+}
+
+func runDemo(out io.Writer, p int, seed uint64, conv *obs.ConvRecorder) error {
 	// "Hidden" machine parameters the demo pretends not to know.
 	const (
 		trueSt = 40.0
@@ -134,7 +158,7 @@ func runDemo(out io.Writer, p int, seed uint64) error {
 		obs = append(obs, fit.Observation{W: w, R: sim.R.Mean(), Rq: sim.Rq.Mean()})
 		fmt.Fprintf(out, "  W=%6.0f  measured R=%8.1f  Rq=%6.1f\n", w, sim.R.Mean(), sim.Rq.Mean())
 	}
-	res, err := fit.AllToAll(obs, p, 0)
+	res, err := fit.AllToAllObserved(obs, p, 0, convObserver(conv))
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -35,5 +36,54 @@ func TestFitNoArgs(t *testing.T) {
 	}
 	if !bytes.Contains(stderr.Bytes(), []byte("-csv")) {
 		t.Errorf("error does not mention -csv: %s", stderr.String())
+	}
+}
+
+// TestFitConvTrace: -convtrace records the grid search's model solves.
+// The file must parse as the convergence-trace document, hold the most
+// recent solves in a bounded ring, and report the full solve count.
+func TestFitConvTrace(t *testing.T) {
+	csv := filepath.Join("..", "lopc-sweep", "testdata", "sweep_golden.csv")
+	path := filepath.Join(t.TempDir(), "conv.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-csv", csv, "-P", "16", "-convtrace", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("fit failed (%d): %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading convtrace: %v", err)
+	}
+	var doc struct {
+		Total    int `json:"total"`
+		Capacity int `json:"capacity"`
+		Traces   []struct {
+			Solver    string `json:"solver"`
+			Iters     int    `json:"iters"`
+			Converged bool   `json:"converged"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("convtrace is not valid JSON: %v", err)
+	}
+	// The grid search evaluates the loss at many (St, So) candidates,
+	// each solving the model once per observation.
+	if doc.Total <= len(doc.Traces) && doc.Total < 10 {
+		t.Errorf("suspiciously few solves recorded: total %d, ring %d", doc.Total, len(doc.Traces))
+	}
+	if len(doc.Traces) == 0 || len(doc.Traces) > doc.Capacity {
+		t.Fatalf("ring holds %d traces with capacity %d", len(doc.Traces), doc.Capacity)
+	}
+	for i, tr := range doc.Traces {
+		if tr.Solver != "alltoall" || tr.Iters <= 0 {
+			t.Errorf("trace %d: solver %q iters %d, want alltoall with > 0 iterations", i, tr.Solver, tr.Iters)
+		}
+	}
+	// The report itself must be unaffected by observation.
+	want, err := os.ReadFile(filepath.Join("testdata", "fit_golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout.String() != string(want) {
+		t.Errorf("observed fit drifted from golden:\n--- got ---\n%s--- want ---\n%s", stdout.String(), want)
 	}
 }

@@ -1,0 +1,11 @@
+// Package obs mirrors the telemetry package, which is in the
+// deterministic set: instruments record wall times through an injected
+// clock, never by reading the system clock directly.
+package obs
+
+import "time"
+
+// Stamp reads the wall clock for a trace timestamp.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -7,10 +7,18 @@
 //	lopc-serve [-addr :8080] [-workers 0] [-queue 64] [-queue-wait 1s]
 //	           [-timeout 10s] [-cache 1024] [-sweep-points 4096]
 //	           [-sweep-jobs 0] [-solve-est 1ms] [-drain 10s]
+//	           [-pprof] [-convtrace FILE] [-reqtrace FILE]
 //
 // Endpoints: POST /v1/alltoall, /v1/workpile, /v1/general, /v1/bounds,
 // /v1/fit, /v1/sweep; GET /metrics, /healthz, /readyz. See the README
 // "Serving predictions" section for request shapes and examples.
+//
+// /metrics content-negotiates: the JSON document by default, Prometheus
+// text exposition for scrapers (Accept: text/plain or
+// ?format=prometheus), including Go runtime gauges. -pprof additionally
+// mounts net/http/pprof under /debug/pprof/. At shutdown, -convtrace
+// writes the ring of recent solver convergence traces (.csv or JSON)
+// and -reqtrace writes a Chrome-trace span per handled request.
 //
 // -workers 0 sizes the solver pool with the paper's own Eq. 6.8
 // optimal-server allocation (clamped to [1, GOMAXPROCS]); any other
@@ -35,7 +43,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/trace"
 	"repro/internal/version"
 )
 
@@ -60,6 +70,9 @@ func run(args []string, stdout, stderr io.Writer, onReady func(addr string)) int
 		sweepJobs   = fs.Int("sweep-jobs", 0, "max fan-out per /v1/sweep request (0: worker count)")
 		solveEst    = fs.Duration("solve-est", time.Millisecond, "estimated per-solve service time (Retry-After and Eq. 6.8 sizing)")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		pprofOn     = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (unauthenticated; keep off public listeners)")
+		convtr      = fs.String("convtrace", "", "write recent solver convergence traces to this file at shutdown (.csv, else JSON)")
+		reqtrace    = fs.String("reqtrace", "", "write a Chrome-trace span per handled request to this file at shutdown")
 		ver         = version.AddFlag(fs)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -74,6 +87,10 @@ func run(args []string, stdout, stderr io.Writer, onReady func(addr string)) int
 	if *workers <= 0 {
 		*workers = recommendedWorkers(logger, *queue, *solveEst)
 	}
+	var spans *trace.Spans
+	if *reqtrace != "" {
+		spans = trace.NewSpans(nil)
+	}
 	srv := serve.New(serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -84,7 +101,35 @@ func run(args []string, stdout, stderr io.Writer, onReady func(addr string)) int
 		MaxSweepPoints: *sweepPoints,
 		MaxSweepJobs:   *sweepJobs,
 		Logf:           logger.Printf,
+		Pprof:          *pprofOn,
+		Spans:          spans,
 	})
+	// Runtime gauges (goroutines, heap, GC) join the Prometheus
+	// exposition; the JSON document is untouched by them.
+	obs.RegisterRuntime(srv.Registry())
+
+	// writeTraces flushes the -convtrace / -reqtrace files; it runs on
+	// every exit path after the server has stopped handling requests.
+	writeTraces := func() bool {
+		ok := true
+		if *convtr != "" {
+			if err := srv.ConvTraces().WriteFile(*convtr); err != nil {
+				logger.Printf("convtrace: %v", err)
+				ok = false
+			} else {
+				logger.Printf("wrote %d convergence trace(s) to %s", srv.ConvTraces().Total(), *convtr)
+			}
+		}
+		if spans != nil {
+			if err := spans.WriteFile(*reqtrace); err != nil {
+				logger.Printf("reqtrace: %v", err)
+				ok = false
+			} else {
+				logger.Printf("wrote %d request span(s) to %s", spans.Len(), *reqtrace)
+			}
+		}
+		return ok
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -109,6 +154,7 @@ func run(args []string, stdout, stderr io.Writer, onReady func(addr string)) int
 	select {
 	case err := <-serveErr:
 		logger.Printf("serve: %v", err)
+		writeTraces()
 		return 1
 	case <-ctx.Done():
 	}
@@ -120,6 +166,10 @@ func run(args []string, stdout, stderr io.Writer, onReady func(addr string)) int
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Printf("drain incomplete: %v", err)
+		writeTraces()
+		return 1
+	}
+	if !writeTraces() {
 		return 1
 	}
 	logger.Printf("clean shutdown")

@@ -15,6 +15,12 @@
 // derives its seed from (seed, replication index), so the CSV is
 // byte-identical for every -j value. With -reps > 1 two extra columns
 // report 95% confidence half-widths over the replications.
+//
+// Two observability flags ride along: -jobtrace FILE writes one
+// Chrome-trace span per sweep point (open in Perfetto to see the -j
+// fan-out), and -convtrace FILE records the AMVA model's convergence
+// at every swept W — the solves run sequentially in point order after
+// the simulation sweep, so the trace is identical for every -j.
 package main
 
 import (
@@ -26,6 +32,9 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/version"
 )
 
@@ -51,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jobs     = fs.Int("j", 0, "max concurrent sweep points (0 = GOMAXPROCS); never changes output")
 		reps     = fs.Int("reps", 1, "independent replications per point (means + 95% CI columns)")
 		progress = fs.Bool("progress", false, "report progress (done/total, elapsed, ETA) on stderr")
+		jobtrace = fs.String("jobtrace", "", "write a Chrome-trace span per sweep point to this file (view in Perfetto)")
+		convtr   = fs.String("convtrace", "", "write AMVA convergence traces for the swept points to this file (.csv, else JSON)")
 		ver      = version.AddFlag(fs)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -89,6 +100,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts := repro.ParallelOptions{Jobs: *jobs, Label: "sweep"}
 	if *progress {
 		opts.Progress = stderr
+	}
+	var spans *trace.Spans
+	if *jobtrace != "" {
+		spans = trace.NewSpans(nil)
+		opts.Spans = spans
 	}
 
 	// One row per point, computed in parallel and emitted in sweep
@@ -132,5 +148,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%g,%.4f,%.4f,%.4f,%.4f\n", works[i], rw.r, rw.rq, rw.rCI95, rw.rqCI95)
 		}
 	}
+
+	if spans != nil {
+		if err := spans.WriteFile(*jobtrace); err != nil {
+			fmt.Fprintln(stderr, "lopc-sweep:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "lopc-sweep: wrote %d job span(s) to %s\n", spans.Len(), *jobtrace)
+	}
+	if *convtr != "" {
+		if err := writeConvTrace(*convtr, works, *p, *st, *so, *c2, stderr); err != nil {
+			fmt.Fprintln(stderr, "lopc-sweep:", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// writeConvTrace solves the AMVA all-to-all model at every swept work
+// setting, recording each fixed point's convergence (iterations, final
+// residual, guard trips, wall time), and writes the trace ring to path.
+// The solves run sequentially in point order — independent of -j — so
+// trace sequence numbers always match CSV row order. Points the model
+// has no feasible solution for are recorded with their error rather
+// than aborting the trace.
+func writeConvTrace(path string, works []float64, p int, st, so, c2 float64, stderr io.Writer) error {
+	rec := obs.NewConvRecorder(len(works), nil, nil)
+	for _, w := range works {
+		params := core.Params{P: p, W: w, St: st, So: so, C2: c2}
+		if _, err := core.AllToAllObserved(params, rec); err != nil {
+			fmt.Fprintf(stderr, "lopc-sweep: convtrace: model solve at W=%g: %v\n", w, err)
+		}
+	}
+	if err := rec.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "lopc-sweep: wrote %d convergence trace(s) to %s\n", rec.Total(), path)
+	return nil
 }

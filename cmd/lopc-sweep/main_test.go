@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/core"
 )
 
 // goldenArgs is the pinned sweep configuration shared with
@@ -75,5 +79,85 @@ func TestSweepBadInput(t *testing.T) {
 	}
 	if code := run([]string{"-reps", "0"}, &stdout, &stderr); code == 0 {
 		t.Error("-reps 0 accepted")
+	}
+}
+
+// TestSweepConvTrace: -convtrace records one AMVA solve per swept W,
+// and each trace's iteration count matches the iteration metadata the
+// solver itself returns for that point — the trace is the solver's own
+// account, not a parallel bookkeeping that can drift.
+func TestSweepConvTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "conv.json")
+	runSweep(t, append([]string{"-convtrace", path}, goldenArgs...)...)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading convtrace: %v", err)
+	}
+	var doc struct {
+		Total  int `json:"total"`
+		Traces []struct {
+			Seq       int     `json:"seq"`
+			Solver    string  `json:"solver"`
+			Iters     int     `json:"iters"`
+			Residual  float64 `json:"residual"`
+			Converged bool    `json:"converged"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("convtrace is not valid JSON: %v\n%s", err, data)
+	}
+	works := []float64{0, 64, 256, 1024} // goldenArgs' -W list
+	if doc.Total != len(works) || len(doc.Traces) != len(works) {
+		t.Fatalf("convtrace holds %d traces (total %d), want %d", len(doc.Traces), doc.Total, len(works))
+	}
+	for i, tr := range doc.Traces {
+		res, err := core.AllToAll(core.Params{P: 16, W: works[i], St: 40, So: 200})
+		if err != nil {
+			t.Fatalf("reference solve at W=%g: %v", works[i], err)
+		}
+		if tr.Solver != "alltoall" {
+			t.Errorf("trace %d: solver = %q, want alltoall", i, tr.Solver)
+		}
+		if tr.Iters != res.Solve.Iters {
+			t.Errorf("W=%g: trace iters = %d, solver metadata says %d", works[i], tr.Iters, res.Solve.Iters)
+		}
+		if !tr.Converged || !res.Solve.Converged {
+			t.Errorf("W=%g: converged trace=%v solver=%v, want both true", works[i], tr.Converged, res.Solve.Converged)
+		}
+	}
+}
+
+// TestSweepJobTrace: -jobtrace writes a Chrome trace with one complete
+// slice per sweep point, named after the point index.
+func TestSweepJobTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.json")
+	runSweep(t, append([]string{"-jobtrace", path, "-j", "2"}, goldenArgs...)...)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading jobtrace: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("jobtrace is not valid trace JSON: %v", err)
+	}
+	names := map[string]bool{}
+	slices := 0
+	for _, e := range events {
+		if e["ph"] == "X" {
+			slices++
+			if n, ok := e["name"].(string); ok {
+				names[n] = true
+			}
+		}
+	}
+	if slices != 4 {
+		t.Errorf("jobtrace has %d slices, want one per sweep point (4)", slices)
+	}
+	for i := 0; i < 4; i++ {
+		if want := fmt.Sprintf("sweep #%d", i); !names[want] {
+			t.Errorf("jobtrace missing slice %q (have %v)", want, names)
+		}
 	}
 }

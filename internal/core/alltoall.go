@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/numeric"
+	"repro/internal/obs"
 )
 
 // AllToAllResult is the model's solution for one compute/request cycle
@@ -37,6 +38,10 @@ type AllToAllResult struct {
 	// UpperBound is the §5.3 upper bound W + 2St + β·So on the model's
 	// fixed point, with β = 3.46 at C² = 0 (computed for the actual C²).
 	UpperBound float64
+	// Solve describes the fixed-point iteration that produced this
+	// result: iteration count, final residual, guard trips, and the peak
+	// handler utilization visited.
+	Solve obs.SolveStats
 }
 
 // Contention returns the predicted total contention cost per cycle:
@@ -117,31 +122,51 @@ func allToAllStep(p Params, r float64) (AllToAllResult, error) {
 // local work with a blocking request to a uniformly random peer; the
 // request handler replies; the reply handler unblocks the thread.
 func AllToAll(p Params) (AllToAllResult, error) {
+	return AllToAllObserved(p, nil)
+}
+
+// AllToAllObserved is AllToAll reporting the solve to o (which may be
+// nil). Observation costs one nil check per solve when off; the
+// returned result's Solve field carries the same stats the observer
+// sees.
+func AllToAllObserved(p Params, o obs.SolveObserver) (AllToAllResult, error) {
 	if err := p.Validate(); err != nil {
 		return AllToAllResult{}, err
 	}
+	done := beginSolve(o, SolverAllToAll)
 	lower := p.ContentionFree()
+	var stats obs.SolveStats
 	f := func(r float64) float64 {
 		step, err := allToAllStep(p, r)
 		if err != nil {
 			// Push the iterate back toward the feasible region; the
 			// final solve below re-validates.
+			stats.GuardTrips++
 			return r + p.So
+		}
+		if step.Uq > stats.MaxUtil {
+			stats.MaxUtil = step.Uq
 		}
 		return step.R
 	}
-	r, err := numeric.FixedPoint(f, lower+p.So, numeric.DefaultFixedPointOpts())
+	r, fp, err := numeric.FixedPointTraced(f, lower+p.So, numeric.DefaultFixedPointOpts())
+	stats.Iters, stats.Residual, stats.Converged = fp.Iters, fp.Residual, fp.Converged
 	if err != nil {
-		return AllToAllResult{}, fmt.Errorf("core: all-to-all fixed point: %w", err)
+		err = fmt.Errorf("core: all-to-all fixed point: %w", err)
+		done(stats, err)
+		return AllToAllResult{}, err
 	}
 	res, err := allToAllStep(p, r)
 	if err != nil {
+		done(stats, err)
 		return AllToAllResult{}, err
 	}
 	res.R = r
 	res.X = float64(p.P) / r
 	res.ContentionFree = lower
 	res.UpperBound = p.W + 2*p.St + UpperBoundBeta(p.C2)*p.So
+	res.Solve = stats
+	done(stats, nil)
 	return res, nil
 }
 

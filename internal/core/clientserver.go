@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/numeric"
+	"repro/internal/obs"
 )
 
 // ClientServerParams parameterizes the work-pile analysis of Chapter 6:
@@ -57,6 +58,9 @@ type ClientServerResult struct {
 	Qs float64
 	// Us is the utilization of each server.
 	Us float64
+	// Solve describes the fixed-point iteration that produced this
+	// result.
+	Solve obs.SolveStats
 }
 
 // ClientServer solves the work-pile model for an arbitrary split,
@@ -66,9 +70,17 @@ type ClientServerResult struct {
 // the only unknown is the server response time Rs, found as a fixed
 // point of Bard's approximation (Eq. 6.5 with Little's law).
 func ClientServer(p ClientServerParams) (ClientServerResult, error) {
+	return ClientServerObserved(p, nil)
+}
+
+// ClientServerObserved is ClientServer reporting the solve to o (which
+// may be nil). The returned result's Solve field carries the same stats
+// the observer sees.
+func ClientServerObserved(p ClientServerParams, o obs.SolveObserver) (ClientServerResult, error) {
 	if err := p.Validate(); err != nil {
 		return ClientServerResult{}, err
 	}
+	done := beginSolve(o, SolverClientServer)
 	pc := float64(p.P - p.Ps)
 	ps := float64(p.Ps)
 	step := func(rs float64) (ClientServerResult, error) {
@@ -83,23 +95,34 @@ func ClientServer(p ClientServerParams) (ClientServerResult, error) {
 		rsNext := p.So * (1 + qs + (p.C2-1)/2*us)
 		return ClientServerResult{X: x, R: r, Rs: rsNext, Qs: qs, Us: us}, nil
 	}
+	var stats obs.SolveStats
 	f := func(rs float64) float64 {
 		res, err := step(rs)
 		if err != nil {
+			stats.GuardTrips++
 			return rs * 2 // push away from the saturated region
+		}
+		if res.Us > stats.MaxUtil {
+			stats.MaxUtil = res.Us
 		}
 		return res.Rs
 	}
-	rs, err := numeric.FixedPoint(f, p.So, numeric.DefaultFixedPointOpts())
+	rs, fp, err := numeric.FixedPointTraced(f, p.So, numeric.DefaultFixedPointOpts())
+	stats.Iters, stats.Residual, stats.Converged = fp.Iters, fp.Residual, fp.Converged
 	if err != nil {
-		return ClientServerResult{}, fmt.Errorf("core: client-server fixed point: %w", err)
+		err = fmt.Errorf("core: client-server fixed point: %w", err)
+		done(stats, err)
+		return ClientServerResult{}, err
 	}
 	res, err := step(rs)
 	if err != nil {
+		done(stats, err)
 		return ClientServerResult{}, err
 	}
 	res.Rs = rs
 	res.Qs = res.X / ps * rs
+	res.Solve = stats
+	done(stats, nil)
 	return res, nil
 }
 

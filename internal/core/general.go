@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // GeneralParams parameterizes the general LoPC model of Appendix A: one
@@ -109,15 +111,29 @@ type GeneralResult struct {
 	Uq, Uy []float64
 	// TotalX is the summed throughput of all active threads.
 	TotalX float64
+	// Solve describes the damped fixed-point iteration that produced
+	// this result: iteration count, final residual, utilization-clamp
+	// guard trips, and the peak request-handler utilization visited.
+	Solve obs.SolveStats
 }
 
 // General solves the Appendix A model by damped fixed-point iteration
 // on the per-thread cycle times. It returns an error if the iteration
 // cannot find a feasible solution (some node saturated).
 func General(p GeneralParams) (GeneralResult, error) {
+	return GeneralObserved(p, nil)
+}
+
+// GeneralObserved is General reporting the solve to o (which may be
+// nil). The returned result's Solve field carries the same stats the
+// observer sees; GuardTrips counts applications of the maxUtil clamp,
+// and MaxUtil is the peak raw request-handler utilization any iterate
+// visited (it can exceed 1 on early overshoot).
+func GeneralObserved(p GeneralParams, o obs.SolveObserver) (GeneralResult, error) {
 	if err := p.Validate(); err != nil {
 		return GeneralResult{}, err
 	}
+	done := beginSolve(o, SolverGeneral)
 	so := p.normalizedSo()
 	P := p.P
 
@@ -164,7 +180,9 @@ func General(p GeneralParams) (GeneralResult, error) {
 		// the iteration is still far from its fixed point.
 		maxUtil = 0.999999
 	)
+	var stats obs.SolveStats
 	for iter := 0; iter < maxIter; iter++ {
+		stats.Iters = iter + 1
 		// Throughputs from current cycle times (A.1, A.2).
 		for c := 0; c < P; c++ {
 			if active[c] && r[c] > 0 {
@@ -182,6 +200,9 @@ func General(p GeneralParams) (GeneralResult, error) {
 			uy[k] = x[k] * so[k] // A.4: one reply per cycle, at home
 			qq[k] = rq[k] * sum  // A.5
 			qy[k] = x[k] * ry[k] // A.6
+			if uq[k] > stats.MaxUtil {
+				stats.MaxUtil = uq[k]
+			}
 		}
 		// Handler response times (A.7, A.8) with the §5.2 correction.
 		maxDelta := 0.0
@@ -195,6 +216,7 @@ func General(p GeneralParams) (GeneralResult, error) {
 			rq[k], ry[k] = newRq, newRy
 		}
 		// Thread residence (A.9) and cycle times (A.10).
+		//lopc:allow convergeloop inner per-node pass of the outer iteration, which carries the cap and the NaN/Inf guard; the clamp comparison is not a convergence test
 		for c := 0; c < P; c++ {
 			if !active[c] {
 				continue
@@ -207,7 +229,11 @@ func General(p GeneralParams) (GeneralResult, error) {
 				// closed network always has a feasible fixed point).
 				// Clamp the denominator during iteration; a genuinely
 				// saturated *solution* is rejected after convergence.
-				u := math.Min(uq[c], maxUtil)
+				u := uq[c]
+				if u > maxUtil {
+					u = maxUtil
+					stats.GuardTrips++
+				}
 				rw[c] = (p.W[c] + so[c]*qq[c]) / (1 - u)
 			}
 			newR := rw[c] + p.St + ry[c]
@@ -218,28 +244,38 @@ func General(p GeneralParams) (GeneralResult, error) {
 			maxDelta = math.Max(maxDelta, math.Abs(newR-r[c]))
 			r[c] = newR
 		}
+		stats.Residual = maxDelta
 		// NaN poisons maxDelta and compares false against tol forever;
 		// fail fast instead of spinning to the iteration cap.
 		if math.IsNaN(maxDelta) || math.IsInf(maxDelta, 0) {
-			return GeneralResult{}, fmt.Errorf("core: AMVA iteration diverged (delta = %v) at iteration %d", maxDelta, iter)
+			err := fmt.Errorf("core: AMVA iteration diverged (delta = %v) at iteration %d", maxDelta, iter)
+			done(stats, err)
+			return GeneralResult{}, err
 		}
 		if maxDelta < tol {
+			stats.Converged = true
 			for k := 0; k < P; k++ {
 				if uq[k] >= maxUtil {
-					return GeneralResult{}, fmt.Errorf("core: node %d saturated at the fixed point (Uq = %v)", k, uq[k])
+					err := fmt.Errorf("core: node %d saturated at the fixed point (Uq = %v)", k, uq[k])
+					done(stats, err)
+					return GeneralResult{}, err
 				}
 			}
 			res := GeneralResult{
 				R: r, X: x, Rw: rw, Rq: rq, Ry: ry,
 				Qq: qq, Qy: qy, Uq: uq, Uy: uy,
+				Solve: stats,
 			}
 			for c := 0; c < P; c++ {
 				res.TotalX += x[c]
 			}
+			done(stats, nil)
 			return res, nil
 		}
 	}
-	return GeneralResult{}, fmt.Errorf("core: general model did not converge in %d iterations", maxIter)
+	err := fmt.Errorf("core: general model did not converge in %d iterations", maxIter)
+	done(stats, err)
+	return GeneralResult{}, err
 }
 
 // HomogeneousVisits returns the all-to-all visit matrix: each thread

@@ -1,0 +1,27 @@
+package core
+
+import "repro/internal/obs"
+
+// Solver names reported through obs.SolveObserver.BeginSolve, one per
+// fixed-point solver in this package.
+const (
+	SolverAllToAll     = "alltoall"
+	SolverClientServer = "clientserver"
+	SolverGeneral      = "general"
+)
+
+// beginSolve starts an observation on o, tolerating a nil observer: the
+// returned func reports the solve (folding err into the stats) and is
+// safe to call unconditionally.
+func beginSolve(o obs.SolveObserver, solver string) func(obs.SolveStats, error) {
+	if o == nil {
+		return func(obs.SolveStats, error) {}
+	}
+	done := o.BeginSolve(solver)
+	return func(s obs.SolveStats, err error) {
+		if err != nil {
+			s.Err = err.Error()
+		}
+		done(s)
+	}
+}

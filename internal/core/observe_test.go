@@ -1,0 +1,127 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// capture records the last observation delivered through the
+// SolveObserver seam.
+type capture struct {
+	solver string
+	stats  obs.SolveStats
+	calls  int
+}
+
+func (c *capture) BeginSolve(solver string) func(obs.SolveStats) {
+	c.solver = solver
+	return func(s obs.SolveStats) {
+		c.stats = s
+		c.calls++
+	}
+}
+
+// TestAllToAllObserved: the observer sees the same solve stats the
+// result carries, and the observed solve matches the unobserved one.
+func TestAllToAllObserved(t *testing.T) {
+	p := Params{P: 32, W: 1000, St: 40, So: 200}
+	var c capture
+	res, err := AllToAllObserved(p, &c)
+	if err != nil {
+		t.Fatalf("AllToAllObserved: %v", err)
+	}
+	if c.calls != 1 || c.solver != SolverAllToAll {
+		t.Fatalf("observer saw %d calls for solver %q, want 1 call for %q", c.calls, c.solver, SolverAllToAll)
+	}
+	if c.stats != res.Solve {
+		t.Errorf("observer stats %+v differ from result.Solve %+v", c.stats, res.Solve)
+	}
+	if !res.Solve.Converged || res.Solve.Iters < 1 || res.Solve.Residual < 0 {
+		t.Errorf("implausible solve stats %+v", res.Solve)
+	}
+	if res.Solve.MaxUtil <= 0 || res.Solve.MaxUtil >= 1 {
+		t.Errorf("MaxUtil = %v, want in (0, 1) for a feasible solve", res.Solve.MaxUtil)
+	}
+	plain, err := AllToAll(p)
+	if err != nil {
+		t.Fatalf("AllToAll: %v", err)
+	}
+	//lopc:allow floateq observed and unobserved solves run the identical iteration and must agree bit-for-bit
+	if plain.R != res.R || plain.Solve != res.Solve {
+		t.Errorf("observation changed the solve: %+v vs %+v", plain, res)
+	}
+}
+
+// TestClientServerObservedError: a saturated configuration reports the
+// failed solve through the observer with the error attached.
+func TestClientServerObservedError(t *testing.T) {
+	// One server shared by 63 clients with chunk work approaching zero
+	// saturates it: the fixed point pushes Us past 1.
+	p := ClientServerParams{P: 64, Ps: 1, W: 0.001, St: 0, So: 100}
+	var c capture
+	_, err := ClientServerObserved(p, &c)
+	if err == nil {
+		t.Skip("configuration unexpectedly feasible; saturation test void")
+	}
+	if c.calls != 1 || c.solver != SolverClientServer {
+		t.Fatalf("observer saw %d calls for solver %q", c.calls, c.solver)
+	}
+	if c.stats.Err == "" {
+		t.Errorf("observer stats carry no error for failed solve: %+v", c.stats)
+	}
+	if c.stats.GuardTrips == 0 {
+		t.Errorf("saturated solve tripped no guards: %+v", c.stats)
+	}
+}
+
+// TestGeneralObserved: the general solver reports through the same
+// seam, with iteration counts matching the result.
+func TestGeneralObserved(t *testing.T) {
+	p := GeneralParams{
+		P:  4,
+		W:  []float64{1000, 1000, 1000, 1000},
+		V:  HomogeneousVisits(4),
+		St: 40,
+		So: []float64{200},
+	}
+	var c capture
+	res, err := GeneralObserved(p, &c)
+	if err != nil {
+		t.Fatalf("GeneralObserved: %v", err)
+	}
+	if c.solver != SolverGeneral || c.stats != res.Solve {
+		t.Errorf("observer saw solver %q stats %+v, result carries %+v", c.solver, c.stats, res.Solve)
+	}
+	if !res.Solve.Converged || res.Solve.Iters < 1 {
+		t.Errorf("implausible solve stats %+v", res.Solve)
+	}
+}
+
+// TestObservedWithConvRecorder: the end-to-end pairing used by the
+// CLIs — core solver into obs.ConvRecorder — records traces whose
+// iteration counts match the solver's returned metadata.
+func TestObservedWithConvRecorder(t *testing.T) {
+	rec := obs.NewConvRecorder(16, nil, nil)
+	var want []int
+	for _, w := range []float64{500, 1000, 2000} {
+		res, err := AllToAllObserved(Params{P: 16, W: w, St: 40, So: 200}, rec)
+		if err != nil {
+			t.Fatalf("solve at W=%v: %v", w, err)
+		}
+		want = append(want, res.Solve.Iters)
+	}
+	traces := rec.Traces()
+	if len(traces) != len(want) {
+		t.Fatalf("recorded %d traces, want %d", len(traces), len(want))
+	}
+	for i, tr := range traces {
+		if tr.Iters != want[i] {
+			t.Errorf("trace %d records %d iters, solver returned %d", i, tr.Iters, want[i])
+		}
+		if !strings.HasPrefix(tr.Solver, "alltoall") {
+			t.Errorf("trace %d solver = %q", i, tr.Solver)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/numeric"
+	obspkg "repro/internal/obs"
 )
 
 // Observation is one point of the calibration sweep: the configured
@@ -46,6 +47,15 @@ type Result struct {
 // with handler variability c2. At least three observations spanning
 // different W values are required (two parameters plus a residual check).
 func AllToAll(obs []Observation, p int, c2 float64) (Result, error) {
+	return AllToAllObserved(obs, p, c2, nil)
+}
+
+// AllToAllObserved is AllToAll reporting every model solve the
+// optimizer's loss evaluations make to observer (which may be nil) —
+// a fit is a long sequence of all-to-all solves, and the convergence
+// trace shows how the solver behaves as the optimizer roams the
+// (St, So) plane.
+func AllToAllObserved(obs []Observation, p int, c2 float64, observer obspkg.SolveObserver) (Result, error) {
 	if math.IsNaN(c2) || math.IsInf(c2, 0) || c2 < 0 {
 		return Result{}, fmt.Errorf("fit: invalid handler variability C² = %v", c2)
 	}
@@ -69,7 +79,7 @@ func AllToAll(obs []Observation, p int, c2 float64) (Result, error) {
 		st, so := math.Exp(x[0]), math.Exp(x[1])
 		sum := 0.0
 		for _, o := range obs {
-			res, err := core.AllToAll(core.Params{P: p, W: o.W, St: st, So: so, C2: c2})
+			res, err := core.AllToAllObserved(core.Params{P: p, W: o.W, St: st, So: so, C2: c2}, observer)
 			if err != nil {
 				return math.Inf(1)
 			}

@@ -20,6 +20,10 @@ var DeterministicPackages = []string{
 	"internal/rng",
 	"internal/stats",
 	"internal/runner",
+	// The telemetry layer instruments the deterministic solvers, so it
+	// must be deterministic itself: wall times come from an injected
+	// clock.Clock, never a direct time.Now.
+	"internal/obs",
 }
 
 // suffixScope matches a package path against a list of path suffixes

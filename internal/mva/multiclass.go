@@ -3,6 +3,8 @@ package mva
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // MultiParams describes a multiclass closed queueing network: C
@@ -62,6 +64,9 @@ type MultiResult struct {
 	QTotal []float64
 	// CycleTime[c] is class c's cycle time N[c]/X[c].
 	CycleTime []float64
+	// Solve describes the fixed-point iteration that produced this
+	// result. It is zero for the exact (non-iterative) solver.
+	Solve obs.SolveStats
 }
 
 // popIndex maps a population vector to a dense index for memoization,
@@ -189,10 +194,12 @@ func multiFinish(p MultiParams, r [][]float64, x []float64, qTot []float64) Mult
 }
 
 // multiApproximate runs the multiclass AMVA fixed point with the given
-// arrival-queue estimator est(qTotalK, qSelfK, nc).
-func multiApproximate(p MultiParams, est func(qTot, qSelf float64, nc int) float64) (MultiResult, error) {
+// arrival-queue estimator est(qTotalK, qSelfK, nc). The returned stats
+// are meaningful on every path, including errors.
+func multiApproximate(p MultiParams, est func(qTot, qSelf float64, nc int) float64) (MultiResult, obs.SolveStats, error) {
+	var stats obs.SolveStats
 	if err := p.validate(); err != nil {
-		return MultiResult{}, err
+		return MultiResult{}, stats, err
 	}
 	C, K := len(p.N), len(p.Centers)
 	q := make([][]float64, C) // per class per center
@@ -213,6 +220,7 @@ func multiApproximate(p MultiParams, est func(qTot, qSelf float64, nc int) float
 		damping = 0.5
 	)
 	for iter := 0; iter < maxIter; iter++ {
+		stats.Iters = iter + 1
 		delta := 0.0
 		for c := 0; c < C; c++ {
 			if p.N[c] == 0 {
@@ -234,6 +242,18 @@ func multiApproximate(p MultiParams, est func(qTot, qSelf float64, nc int) float
 			}
 			x[c] = float64(p.N[c]) / total
 		}
+		for k := 0; k < K; k++ {
+			if p.Centers[k].Kind != Queueing {
+				continue
+			}
+			u := 0.0
+			for c := 0; c < C; c++ {
+				u += x[c] * p.Demand[c][k]
+			}
+			if u > stats.MaxUtil {
+				stats.MaxUtil = u
+			}
+		}
 		for c := 0; c < C; c++ {
 			for k := 0; k < K; k++ {
 				nq := x[c] * r[c][k]
@@ -242,37 +262,66 @@ func multiApproximate(p MultiParams, est func(qTot, qSelf float64, nc int) float
 				q[c][k] = nq
 			}
 		}
+		stats.Residual = delta
 		// NaN compares false against tol forever; fail fast rather than
 		// spin to the iteration cap.
 		if math.IsNaN(delta) || math.IsInf(delta, 0) {
-			return MultiResult{}, fmt.Errorf("mva: multiclass approximation diverged (delta = %v)", delta)
+			return MultiResult{}, stats, fmt.Errorf("mva: multiclass approximation diverged (delta = %v)", delta)
 		}
 		if delta < tol {
+			stats.Converged = true
 			qTot := make([]float64, K)
 			for k := 0; k < K; k++ {
 				for c := 0; c < C; c++ {
 					qTot[k] += q[c][k]
 				}
 			}
-			return multiFinish(p, r, x, qTot), nil
+			res := multiFinish(p, r, x, qTot)
+			res.Solve = stats
+			return res, stats, nil
 		}
 	}
-	return MultiResult{}, fmt.Errorf("mva: multiclass approximation did not converge")
+	return MultiResult{}, stats, fmt.Errorf("mva: multiclass approximation did not converge")
+}
+
+// multiBardEst is Bard's estimator: an arriving customer of any class
+// sees the full-population time-average queue.
+func multiBardEst(qTot, _ float64, _ int) float64 { return qTot }
+
+// multiSchweitzerEst is Schweitzer's estimator: an arriving class-c
+// customer sees the full queue minus 1/N_c of its own class's
+// contribution.
+func multiSchweitzerEst(qTot, qSelf float64, nc int) float64 {
+	return qTot - qSelf/float64(nc)
 }
 
 // MultiBard solves the multiclass network with Bard's approximation:
 // an arriving customer of any class sees the full-population
 // time-average queue.
 func MultiBard(p MultiParams) (MultiResult, error) {
-	return multiApproximate(p, func(qTot, _ float64, _ int) float64 { return qTot })
+	return MultiBardObserved(p, nil)
+}
+
+// MultiBardObserved is MultiBard reporting the solve to o (which may be
+// nil).
+func MultiBardObserved(p MultiParams, o obs.SolveObserver) (MultiResult, error) {
+	return solveObserved(o, SolverMultiBard, func() (MultiResult, obs.SolveStats, error) {
+		return multiApproximate(p, multiBardEst)
+	})
 }
 
 // MultiSchweitzer solves the multiclass network with Schweitzer's
 // approximation: an arriving class-c customer sees the full queue minus
 // 1/N_c of its own class's contribution.
 func MultiSchweitzer(p MultiParams) (MultiResult, error) {
-	return multiApproximate(p, func(qTot, qSelf float64, nc int) float64 {
-		return qTot - qSelf/float64(nc)
+	return MultiSchweitzerObserved(p, nil)
+}
+
+// MultiSchweitzerObserved is MultiSchweitzer reporting the solve to o
+// (which may be nil).
+func MultiSchweitzerObserved(p MultiParams, o obs.SolveObserver) (MultiResult, error) {
+	return solveObserved(o, SolverMultiSchweitzer, func() (MultiResult, obs.SolveStats, error) {
+		return multiApproximate(p, multiSchweitzerEst)
 	})
 }
 

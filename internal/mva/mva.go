@@ -18,7 +18,36 @@ package mva
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
+
+// Solver names reported through obs.SolveObserver.BeginSolve, one per
+// iterative solver in this package (the exact recursions are not
+// fixed-point iterations and are not observed).
+const (
+	SolverBard            = "mva.bard"
+	SolverSchweitzer      = "mva.schweitzer"
+	SolverMultiBard       = "mva.multibard"
+	SolverMultiSchweitzer = "mva.multischweitzer"
+)
+
+// solveObserved brackets f with an observation on o, tolerating nil.
+// f returns its result together with the solve stats so error paths
+// still report iteration counts.
+func solveObserved[T any](o obs.SolveObserver, name string, f func() (T, obs.SolveStats, error)) (T, error) {
+	if o == nil {
+		res, _, err := f()
+		return res, err
+	}
+	done := o.BeginSolve(name)
+	res, stats, err := f()
+	if err != nil {
+		stats.Err = err.Error()
+	}
+	done(stats)
+	return res, err
+}
 
 // Kind classifies a service center.
 type Kind int
@@ -66,6 +95,9 @@ type Result struct {
 	// U[k] is the utilization of center k (demand flow; may exceed 1
 	// only for Delay centers, where it is the mean population).
 	U []float64
+	// Solve describes the fixed-point iteration that produced this
+	// result. It is zero for the exact (non-iterative) solver.
+	Solve obs.SolveStats
 }
 
 func validate(centers []Center, n int) error {
@@ -144,13 +176,16 @@ func Exact(centers []Center, n int) (Result, error) {
 // approximate runs the fixed-point AMVA with the given arrival-queue
 // estimator: est(qk, n) is the queue length an arriving customer is
 // assumed to see at a queueing center, given the time-average queue qk
-// with the full population n.
-func approximate(centers []Center, n int, est func(q float64, n int) float64) (Result, error) {
+// with the full population n. The returned stats are meaningful on
+// every path, including errors.
+func approximate(centers []Center, n int, est func(q float64, n int) float64) (Result, obs.SolveStats, error) {
+	var stats obs.SolveStats
 	if err := validate(centers, n); err != nil {
-		return Result{}, err
+		return Result{}, stats, err
 	}
 	if n == 0 {
-		return finish(centers, 0, make([]float64, len(centers))), nil
+		stats.Converged = true
+		return finish(centers, 0, make([]float64, len(centers))), stats, nil
 	}
 	k := len(centers)
 	q := make([]float64, k)
@@ -164,6 +199,7 @@ func approximate(centers []Center, n int, est func(q float64, n int) float64) (R
 		tol     = 1e-12
 	)
 	for iter := 0; iter < maxIter; iter++ {
+		stats.Iters = iter + 1
 		total := 0.0
 		for j, c := range centers {
 			if c.Kind == Delay {
@@ -175,21 +211,40 @@ func approximate(centers []Center, n int, est func(q float64, n int) float64) (R
 		}
 		x := float64(n) / total
 		delta := 0.0
-		for j := range centers {
+		for j, c := range centers {
+			if c.Kind == Queueing {
+				if u := x * c.Demand; u > stats.MaxUtil {
+					stats.MaxUtil = u
+				}
+			}
 			nq := x * r[j]
 			delta = math.Max(delta, math.Abs(nq-q[j]))
 			q[j] = nq
 		}
+		stats.Residual = delta
 		// NaN compares false against tol forever; fail fast rather than
 		// spin to the iteration cap.
 		if math.IsNaN(delta) || math.IsInf(delta, 0) {
-			return Result{}, fmt.Errorf("mva: approximation diverged (delta = %v) for n=%d", delta, n)
+			return Result{}, stats, fmt.Errorf("mva: approximation diverged (delta = %v) for n=%d", delta, n)
 		}
 		if delta < tol {
-			return finish(centers, n, r), nil
+			stats.Converged = true
+			res := finish(centers, n, r)
+			res.Solve = stats
+			return res, stats, nil
 		}
 	}
-	return Result{}, fmt.Errorf("mva: approximation did not converge for n=%d", n)
+	return Result{}, stats, fmt.Errorf("mva: approximation did not converge for n=%d", n)
+}
+
+// bardEst is Bard's arrival-queue estimator: an arriving customer sees
+// the time-average queue with the full population.
+func bardEst(q float64, _ int) float64 { return q }
+
+// schweitzerEst is Schweitzer's estimator: an arriving customer sees
+// (N−1)/N of the time-average queue.
+func schweitzerEst(q float64, n int) float64 {
+	return q * float64(n-1) / float64(n)
 }
 
 // Bard solves the network with Bard's approximation to the arrival
@@ -198,15 +253,28 @@ func approximate(centers []Center, n int, est func(q float64, n int) float64) (R
 // slightly over-estimates queue lengths and response times, with the
 // error vanishing as N grows.
 func Bard(centers []Center, n int) (Result, error) {
-	return approximate(centers, n, func(q float64, _ int) float64 { return q })
+	return BardObserved(centers, n, nil)
+}
+
+// BardObserved is Bard reporting the solve to o (which may be nil).
+func BardObserved(centers []Center, n int, o obs.SolveObserver) (Result, error) {
+	return solveObserved(o, SolverBard, func() (Result, obs.SolveStats, error) {
+		return approximate(centers, n, bardEst)
+	})
 }
 
 // Schweitzer solves the network with Schweitzer's approximation: an
 // arriving customer sees (N−1)/N of the time-average queue. It is
 // usually more accurate than Bard at small populations.
 func Schweitzer(centers []Center, n int) (Result, error) {
-	return approximate(centers, n, func(q float64, n int) float64 {
-		return q * float64(n-1) / float64(n)
+	return SchweitzerObserved(centers, n, nil)
+}
+
+// SchweitzerObserved is Schweitzer reporting the solve to o (which may
+// be nil).
+func SchweitzerObserved(centers []Center, n int, o obs.SolveObserver) (Result, error) {
+	return solveObserved(o, SolverSchweitzer, func() (Result, obs.SolveStats, error) {
+		return approximate(centers, n, schweitzerEst)
 	})
 }
 

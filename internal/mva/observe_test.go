@@ -1,0 +1,69 @@
+package mva
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+type capture struct {
+	solver string
+	stats  obs.SolveStats
+	calls  int
+}
+
+func (c *capture) BeginSolve(solver string) func(obs.SolveStats) {
+	c.solver = solver
+	return func(s obs.SolveStats) {
+		c.stats = s
+		c.calls++
+	}
+}
+
+// TestBardObserved: the observer sees the stats the result carries and
+// observation does not perturb the solve.
+func TestBardObserved(t *testing.T) {
+	centers := WorkpileNetwork(28, 4, 1000, 40, 200)
+	var c capture
+	res, err := BardObserved(centers, 28, &c)
+	if err != nil {
+		t.Fatalf("BardObserved: %v", err)
+	}
+	if c.calls != 1 || c.solver != SolverBard {
+		t.Fatalf("observer saw %d calls for solver %q", c.calls, c.solver)
+	}
+	if c.stats != res.Solve || !res.Solve.Converged || res.Solve.Iters < 1 {
+		t.Errorf("stats mismatch or implausible: observer %+v, result %+v", c.stats, res.Solve)
+	}
+	if res.Solve.MaxUtil <= 0 {
+		t.Errorf("MaxUtil = %v, want positive for a loaded network", res.Solve.MaxUtil)
+	}
+	plain, err := Bard(centers, 28)
+	if err != nil {
+		t.Fatalf("Bard: %v", err)
+	}
+	//lopc:allow floateq observed and unobserved solves run the identical iteration and must agree bit-for-bit
+	if plain.X != res.X || plain.Solve != res.Solve {
+		t.Errorf("observation changed the solve: X %v vs %v", plain.X, res.X)
+	}
+}
+
+// TestMultiSchweitzerObserved: the multiclass seam reports the same
+// way.
+func TestMultiSchweitzerObserved(t *testing.T) {
+	p, err := MultiWorkpileNetwork([]int{10, 6}, 2, []float64{800, 1600}, 40, 200)
+	if err != nil {
+		t.Fatalf("MultiWorkpileNetwork: %v", err)
+	}
+	var c capture
+	res, err := MultiSchweitzerObserved(p, &c)
+	if err != nil {
+		t.Fatalf("MultiSchweitzerObserved: %v", err)
+	}
+	if c.solver != SolverMultiSchweitzer || c.stats != res.Solve {
+		t.Errorf("observer saw solver %q stats %+v, result carries %+v", c.solver, c.stats, res.Solve)
+	}
+	if !res.Solve.Converged || res.Solve.Iters < 1 {
+		t.Errorf("implausible solve stats %+v", res.Solve)
+	}
+}

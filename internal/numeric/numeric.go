@@ -51,25 +51,50 @@ func DefaultFixedPointOpts() FixedPointOpts {
 	return FixedPointOpts{Tol: 1e-10, MaxIter: 100000, Damping: 0.5}
 }
 
+// FixedPointInfo describes how a FixedPointTraced run went, whether or
+// not it converged.
+type FixedPointInfo struct {
+	// Iters is the number of iterations taken (evaluations of f).
+	Iters int
+	// Residual is the last step size |next − x|, the quantity tested
+	// against the tolerance.
+	Residual float64
+	// Converged reports whether the tolerance was met within MaxIter.
+	Converged bool
+}
+
 // FixedPoint iterates x <- (1-d)x + d·f(x) from x0 until successive
 // iterates differ by at most Tol, returning the fixed point.
 func FixedPoint(f func(float64) float64, x0 float64, opts FixedPointOpts) (float64, error) {
+	x, _, err := FixedPointTraced(f, x0, opts)
+	return x, err
+}
+
+// FixedPointTraced is FixedPoint returning, alongside the fixed point,
+// how the iteration behaved — for the convergence observability in
+// internal/obs. The info is meaningful on every return, including the
+// error paths.
+func FixedPointTraced(f func(float64) float64, x0 float64, opts FixedPointOpts) (float64, FixedPointInfo, error) {
+	var info FixedPointInfo
 	if opts.Tol <= 0 || opts.MaxIter <= 0 || opts.Damping <= 0 || opts.Damping > 1 {
-		return 0, fmt.Errorf("numeric: invalid fixed point options %+v", opts)
+		return 0, info, fmt.Errorf("numeric: invalid fixed point options %+v", opts)
 	}
 	x := x0
 	for i := 0; i < opts.MaxIter; i++ {
+		info.Iters = i + 1
 		fx := f(x)
 		if math.IsNaN(fx) || math.IsInf(fx, 0) {
-			return 0, fmt.Errorf("numeric: fixed point map returned %v at x=%v", fx, x)
+			return 0, info, fmt.Errorf("numeric: fixed point map returned %v at x=%v", fx, x)
 		}
 		next := (1-opts.Damping)*x + opts.Damping*fx
-		if math.Abs(next-x) <= opts.Tol*(1+math.Abs(next)) {
-			return next, nil
+		info.Residual = math.Abs(next - x)
+		if info.Residual <= opts.Tol*(1+math.Abs(next)) {
+			info.Converged = true
+			return next, info, nil
 		}
 		x = next
 	}
-	return x, ErrNoConvergence
+	return x, info, ErrNoConvergence
 }
 
 // Bisect finds a root of f on [lo, hi], where f(lo) and f(hi) must have

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the full exposition byte-for-byte:
+// family and series ordering, HELP/TYPE lines, cumulative histogram
+// buckets with le last, and value formatting.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lopc_requests_total", "requests served", Labels{"route": "/alltoall"}).Add(3)
+	r.Counter("lopc_requests_total", "requests served", Labels{"route": "/mva"}).Inc()
+	r.Gauge("lopc_in_flight", "requests in flight", nil).Set(2)
+	r.GaugeFunc("lopc_cache_size", "entries in the solve cache", nil, func() float64 { return 7 })
+	h := r.Histogram("lopc_latency_us", "request latency in microseconds", nil, []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 3, 100} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# HELP lopc_cache_size entries in the solve cache
+# TYPE lopc_cache_size gauge
+lopc_cache_size 7
+# HELP lopc_in_flight requests in flight
+# TYPE lopc_in_flight gauge
+lopc_in_flight 2
+# HELP lopc_latency_us request latency in microseconds
+# TYPE lopc_latency_us histogram
+lopc_latency_us_bucket{le="1"} 2
+lopc_latency_us_bucket{le="2"} 2
+lopc_latency_us_bucket{le="4"} 3
+lopc_latency_us_bucket{le="+Inf"} 4
+lopc_latency_us_sum 104.5
+lopc_latency_us_count 4
+# HELP lopc_requests_total requests served
+# TYPE lopc_requests_total counter
+lopc_requests_total{route="/alltoall"} 3
+lopc_requests_total{route="/mva"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusDeterministic: same state, byte-identical output.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, route := range []string{"/c", "/a", "/b"} {
+		r.Counter("lopc_x_total", "h", Labels{"route": route}).Inc()
+	}
+	var a, b strings.Builder
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("two expositions of identical state differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestPrometheusEscaping: HELP newlines/backslashes and label-value
+// quotes survive as exposition escapes.
+func TestPrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lopc_esc_total", "line one\nback\\slash", Labels{"q": `say "hi"`}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP lopc_esc_total line one\nback\\slash`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `lopc_esc_total{q="say \"hi\""} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+// TestMetricNameValidation: bad names are rejected at registration.
+func TestMetricNameValidation(t *testing.T) {
+	for _, bad := range []string{"", "9start", "has-dash", "has space"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("metric name %q did not panic", bad)
+				}
+			}()
+			NewRegistry().Counter(bad, "h", nil)
+		}()
+	}
+}

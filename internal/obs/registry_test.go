@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBuckets pins the bucket-placement rule: value v lands in
+// the first bucket whose inclusive upper bound is >= v, with everything
+// past the last bound in the overflow bucket.
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int // bucket index in Counts
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{1.0001, 1}, {2, 1},
+		{2.5, 2}, {4, 2},
+		{7.9, 3}, {8, 3},
+		{8.1, 4}, {1e9, 4}, // overflow
+	}
+	for _, c := range cases {
+		h := newHistogram([]float64{1, 2, 4, 8})
+		h.Observe(c.v)
+		s := h.Snapshot()
+		got := -1
+		for i, n := range s.Counts {
+			if n == 1 {
+				got = i
+			}
+		}
+		if got != c.want {
+			t.Errorf("Observe(%v): landed in bucket %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestHistogramSumCountMax: the scalar accumulators track every
+// observation.
+func TestHistogramSumCountMax(t *testing.T) {
+	h := newHistogram([]float64{10, 100})
+	for _, v := range []float64{1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Errorf("Count = %d, want 4", s.Count)
+	}
+	if s.Sum != 556 {
+		t.Errorf("Sum = %v, want 556", s.Sum)
+	}
+	if s.Max != 500 {
+		t.Errorf("Max = %v, want 500", s.Max)
+	}
+}
+
+// TestHistogramQuantile pins the interpolation estimate on a known
+// distribution: 100 observations spread 25/25/25/25 over buckets with
+// bounds 10/20/30/40.
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30, 40})
+	for i := 0; i < 100; i++ {
+		// 25 observations centered in each of the four finite buckets.
+		h.Observe(float64((i/25)*10) + 5)
+	}
+	s := h.Snapshot()
+	cases := []struct {
+		q, want float64
+	}{
+		{0.25, 10}, // exactly the first bound
+		{0.5, 20},
+		{0.75, 30},
+		{1.0, 40},
+		{0.125, 5},  // halfway into the first bucket, interpolated from 0
+		{0.625, 25}, // halfway into the third bucket
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// TestHistogramQuantileOverflow: a quantile landing in the overflow
+// bucket reports the tracked maximum, and an empty histogram reports 0.
+func TestHistogramQuantileOverflow(t *testing.T) {
+	h := newHistogram([]float64{1})
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	h.Observe(1000)
+	h.Observe(2000)
+	if got := h.Snapshot().Quantile(0.99); got != 2000 {
+		t.Errorf("overflow Quantile = %v, want the max 2000", got)
+	}
+}
+
+// TestExpBuckets: geometric bounds.
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 5)
+	want := []float64{1, 2, 4, 8, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCounterRejectsDecrease: counters only go up.
+func TestCounterRejectsDecrease(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(-1) did not panic")
+		}
+	}()
+	c := &Counter{}
+	c.Add(-1)
+}
+
+// TestRegistryIdempotent: re-registering the same (name, labels) pair
+// returns the same instrument; different labels make a new series.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("lopc_test_total", "h", Labels{"route": "/x"})
+	b := r.Counter("lopc_test_total", "h", Labels{"route": "/x"})
+	if a != b {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	c := r.Counter("lopc_test_total", "h", Labels{"route": "/y"})
+	if a == c {
+		t.Error("different labels returned the same counter")
+	}
+}
+
+// TestRegistryKindMismatch: reusing a name with another kind is a
+// programming error.
+func TestRegistryKindMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("lopc_test_total", "h", nil)
+	r.Gauge("lopc_test_total", "h", nil)
+}
+
+// TestRegistryRace hammers one registry from 64 concurrent writers —
+// mixed registration and instrument updates — and checks the totals.
+// Run under -race this is the registry's thread-safety proof.
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	const (
+		writers = 64
+		perG    = 500
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			label := Labels{"w": []string{"a", "b", "c", "d"}[g%4]}
+			for i := 0; i < perG; i++ {
+				r.Counter("lopc_race_total", "h", label).Inc()
+				r.Gauge("lopc_race_gauge", "h", nil).Add(1)
+				r.Histogram("lopc_race_hist", "h", nil, []float64{1, 10, 100}).Observe(float64(i % 200))
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, l := range []string{"a", "b", "c", "d"} {
+		total += r.Counter("lopc_race_total", "h", Labels{"w": l}).Value()
+	}
+	if want := int64(writers * perG); total != want {
+		t.Errorf("counter total = %d, want %d", total, want)
+	}
+	if got := r.Gauge("lopc_race_gauge", "h", nil).Value(); got != writers*perG {
+		t.Errorf("gauge = %d, want %d", got, writers*perG)
+	}
+	s := r.Histogram("lopc_race_hist", "h", nil, nil).Snapshot()
+	if s.Count != writers*perG {
+		t.Errorf("histogram count = %d, want %d", s.Count, writers*perG)
+	}
+	var inBuckets int64
+	for _, n := range s.Counts {
+		inBuckets += n
+	}
+	if inBuckets != s.Count {
+		t.Errorf("bucket counts sum to %d, count says %d", inBuckets, s.Count)
+	}
+}

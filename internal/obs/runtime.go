@@ -1,0 +1,33 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntime adds the Go runtime's own health gauges to the
+// registry, evaluated lazily at each exposition: goroutine count, heap
+// in use, cumulative allocations, GC cycles, and GOMAXPROCS. Callers
+// that golden-test their exposition should keep these off a test
+// registry — the values depend on the live process, not on recorded
+// traffic.
+func RegisterRuntime(r *Registry) {
+	r.GaugeFunc("lopc_goroutines", "current goroutine count", nil, func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("lopc_gomaxprocs", "GOMAXPROCS at exposition time", nil, func() float64 {
+		return float64(runtime.GOMAXPROCS(0))
+	})
+	r.GaugeFunc("lopc_heap_alloc_bytes", "bytes of allocated heap objects in use", nil, func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+	r.GaugeFunc("lopc_alloc_bytes_total", "cumulative bytes allocated on the heap", nil, func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.TotalAlloc)
+	})
+	r.GaugeFunc("lopc_gc_cycles_total", "completed garbage-collection cycles", nil, func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.NumGC)
+	})
+}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/trace"
 )
 
 // Options tunes one parallel run.
@@ -51,6 +52,10 @@ type Options struct {
 	// progress output. The clock only shapes progress lines, never
 	// results.
 	Clock clock.Clock
+	// Spans, when non-nil, records one Chrome-trace span per task
+	// execution (viewable in Perfetto); see trace.Spans. Like Progress,
+	// spans observe the run without affecting results.
+	Spans *trace.Spans
 }
 
 func (o Options) jobs() int {
@@ -120,7 +125,14 @@ func MapCtx[T any](ctx context.Context, n int, opts Options, task func(i int) (T
 				if i >= n || int64(i) >= minFail.Load() {
 					return
 				}
+				var endSpan func(map[string]any)
+				if opts.Spans != nil {
+					endSpan = opts.Spans.Start("runner", taskName(opts.Label, i))
+				}
 				r, err := task(i)
+				if endSpan != nil {
+					endSpan(map[string]any{"index": i, "ok": err == nil})
+				}
 				if err != nil {
 					errs[i] = err
 					for {
@@ -137,6 +149,7 @@ func MapCtx[T any](ctx context.Context, n int, opts Options, task func(i int) (T
 		}()
 	}
 	wg.Wait()
+	prog.summary(int(done.Load()))
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("task %d: %w", i, err)
@@ -146,6 +159,14 @@ func MapCtx[T any](ctx context.Context, n int, opts Options, task func(i int) (T
 		return nil, fmt.Errorf("runner: run canceled after %d/%d tasks: %w", done.Load(), n, err)
 	}
 	return results, nil
+}
+
+// taskName labels a task's span.
+func taskName(label string, i int) string {
+	if label == "" {
+		label = "task"
+	}
+	return fmt.Sprintf("%s #%d", label, i)
 }
 
 // Do is Map for tasks without a result value.
@@ -220,6 +241,24 @@ func (p *progress) report(done int) {
 	if done > 0 && done < p.n {
 		eta := time.Duration(float64(elapsed) / float64(done) * float64(p.n-done))
 		line += fmt.Sprintf(", eta %s", round(eta))
+	}
+	fmt.Fprintln(p.w, line)
+}
+
+// summary prints the final structured line of a run: tasks completed,
+// wall time, and throughput. Unlike the transient high-water-mark lines
+// of report, it always prints (once, after every worker has stopped) so
+// scripts can grep one stable line per run.
+func (p *progress) summary(done int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	elapsed := p.clk.Now().Sub(p.start)
+	line := fmt.Sprintf("%s: summary: %d/%d tasks in %s", p.label, done, p.n, round(elapsed))
+	if secs := elapsed.Seconds(); secs > 0 && done > 0 {
+		line += fmt.Sprintf(" (%.1f tasks/s)", float64(done)/secs)
 	}
 	fmt.Fprintln(p.w, line)
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/trace"
 )
 
 // TestMapOrdersResultsBySubmission: results land at their task index
@@ -186,8 +187,9 @@ func TestDo(t *testing.T) {
 	}
 }
 
-// TestProgressReporting: the final progress line always prints and
-// carries the done/total count; intermediate lines are throttled.
+// TestProgressReporting: the final progress line and the closing
+// summary always print and carry the done/total count; intermediate
+// lines are throttled.
 func TestProgressReporting(t *testing.T) {
 	var buf bytes.Buffer
 	_, err := Map(20, Options{Jobs: 4, Progress: &buf, Label: "sweep", Every: time.Hour}, func(i int) (int, error) {
@@ -200,9 +202,38 @@ func TestProgressReporting(t *testing.T) {
 	if !strings.Contains(out, "sweep: 20/20 done") {
 		t.Errorf("missing final progress line, got %q", out)
 	}
-	// With a one-hour throttle only the final (unthrottled) line prints.
-	if n := strings.Count(out, "\n"); n != 1 {
-		t.Errorf("throttle ignored: %d lines, want 1:\n%s", n, out)
+	if !strings.Contains(out, "sweep: summary: 20/20 tasks in ") {
+		t.Errorf("missing summary line, got %q", out)
+	}
+	// With a one-hour throttle only the final (unthrottled) progress line
+	// and the summary print.
+	if n := strings.Count(out, "\n"); n != 2 {
+		t.Errorf("throttle ignored: %d lines, want 2:\n%s", n, out)
+	}
+}
+
+// TestRunSummary: the summary line is deterministic under a fake clock
+// and includes throughput.
+func TestRunSummary(t *testing.T) {
+	var buf bytes.Buffer
+	fake := clock.NewFake(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	p := newProgress(Options{Progress: &buf, Label: "exp", Every: time.Hour, Clock: fake}, 8)
+	fake.Advance(4 * time.Second)
+	p.summary(8)
+	if got, want := buf.String(), "exp: summary: 8/8 tasks in 4s (2.0 tasks/s)\n"; got != want {
+		t.Errorf("summary = %q, want %q", got, want)
+	}
+}
+
+// TestRunSummaryZeroElapsed: a run finishing within the clock's
+// resolution omits the throughput rather than dividing by zero.
+func TestRunSummaryZeroElapsed(t *testing.T) {
+	var buf bytes.Buffer
+	fake := clock.NewFake(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	p := newProgress(Options{Progress: &buf, Label: "x", Clock: fake}, 2)
+	p.summary(2)
+	if got, want := buf.String(), "x: summary: 2/2 tasks in 0s\n"; got != want {
+		t.Errorf("summary = %q, want %q", got, want)
 	}
 }
 
@@ -261,6 +292,40 @@ func TestProgressETA(t *testing.T) {
 	out := p.w.(*bytes.Buffer).String()
 	if !strings.Contains(out, "eta") {
 		t.Errorf("mid-run progress line has no ETA: %q", out)
+	}
+}
+
+// TestMapRecordsJobSpans: with Options.Spans set, every task execution
+// becomes one span, and span collection never changes results.
+func TestMapRecordsJobSpans(t *testing.T) {
+	fake := clock.NewFake(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	spans := trace.NewSpans(fake)
+	got, err := Map(10, Options{Jobs: 4, Label: "sweep", Spans: spans}, func(i int) (int, error) {
+		return i * 3, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*3 {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*3)
+		}
+	}
+	if spans.Len() != 10 {
+		t.Errorf("recorded %d spans, want 10", spans.Len())
+	}
+	var buf bytes.Buffer
+	if err := spans.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	out := buf.String()
+	for i := 0; i < 10; i++ {
+		if want := fmt.Sprintf("sweep #%d", i); !strings.Contains(out, want) {
+			t.Errorf("trace JSON missing span %q", want)
+		}
+	}
+	if !strings.Contains(out, `"ph":"X"`) || !strings.Contains(out, `"process_name"`) {
+		t.Errorf("trace JSON missing complete-slice events or metadata:\n%s", out)
 	}
 }
 

@@ -51,7 +51,7 @@ func newAdmission(workers, queueDepth int, queueWait, solveEst time.Duration, cl
 // backlog times the per-solve estimate, divided across the pool,
 // rounded up to a whole second (the Retry-After unit).
 func (a *admission) retryAfter() int {
-	backlog := a.met.queueDepth.Load() + int64(len(a.sem))
+	backlog := a.met.queueDepth.Value() + int64(len(a.sem))
 	est := time.Duration(backlog+1) * a.solveEst / time.Duration(cap(a.sem))
 	secs := int((est + time.Second - 1) / time.Second)
 	if secs < 1 {

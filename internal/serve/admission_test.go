@@ -11,7 +11,7 @@ import (
 
 func newTestAdmission(workers, queueDepth int, queueWait time.Duration) (*admission, *clock.Fake, *metrics) {
 	fake := clock.NewFake(time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC))
-	met := newMetrics(fake.Now())
+	met := newMetrics(fake.Now(), nil)
 	return newAdmission(workers, queueDepth, queueWait, time.Millisecond, fake, met), fake, met
 }
 
@@ -43,7 +43,7 @@ func TestAdmissionShedQueueFull(t *testing.T) {
 		}
 		queued <- err
 	}()
-	waitForCond(t, func() bool { return met.queueDepth.Load() == 1 })
+	waitForCond(t, func() bool { return met.queueDepth.Value() == 1 })
 
 	_, err = a.acquire(context.Background())
 	shed, ok := err.(*shedError)
@@ -56,16 +56,16 @@ func TestAdmissionShedQueueFull(t *testing.T) {
 	if shed.retryAfter < 1 {
 		t.Errorf("Retry-After = %d, want >= 1", shed.retryAfter)
 	}
-	if met.shedQueueFull.Load() != 1 {
-		t.Errorf("shedQueueFull = %d, want 1", met.shedQueueFull.Load())
+	if met.shedQueueFull.Value() != 1 {
+		t.Errorf("shedQueueFull = %d, want 1", met.shedQueueFull.Value())
 	}
 
 	release() // hand the slot to the queued waiter
 	if err := <-queued; err != nil {
 		t.Errorf("queued acquire: %v", err)
 	}
-	if met.queueDepth.Load() != 0 {
-		t.Errorf("queue depth = %d after settle, want 0", met.queueDepth.Load())
+	if met.queueDepth.Value() != 0 {
+		t.Errorf("queue depth = %d after settle, want 0", met.queueDepth.Value())
 	}
 }
 
@@ -84,7 +84,7 @@ func TestAdmissionShedQueueWait(t *testing.T) {
 		_, err := a.acquire(context.Background())
 		queued <- err
 	}()
-	waitForCond(t, func() bool { return met.queueDepth.Load() == 1 })
+	waitForCond(t, func() bool { return met.queueDepth.Value() == 1 })
 
 	fake.Advance(29 * time.Second)
 	select {
@@ -98,8 +98,8 @@ func TestAdmissionShedQueueWait(t *testing.T) {
 	if !ok || shed.status != http.StatusTooManyRequests {
 		t.Fatalf("queued acquire after wait cap: %v, want 429 shedError", err)
 	}
-	if met.shedTimeout.Load() != 1 {
-		t.Errorf("shedTimeout = %d, want 1", met.shedTimeout.Load())
+	if met.shedTimeout.Value() != 1 {
+		t.Errorf("shedTimeout = %d, want 1", met.shedTimeout.Value())
 	}
 }
 
@@ -119,15 +119,15 @@ func TestAdmissionShedDeadline(t *testing.T) {
 		_, err := a.acquire(ctx)
 		queued <- err
 	}()
-	waitForCond(t, func() bool { return met.queueDepth.Load() == 1 })
+	waitForCond(t, func() bool { return met.queueDepth.Value() == 1 })
 	cancel()
 	err = <-queued
 	shed, ok := err.(*shedError)
 	if !ok || shed.status != http.StatusTooManyRequests {
 		t.Fatalf("canceled acquire: %v, want 429 shedError", err)
 	}
-	if met.shedDeadline.Load() != 1 {
-		t.Errorf("shedDeadline = %d, want 1", met.shedDeadline.Load())
+	if met.shedDeadline.Value() != 1 {
+		t.Errorf("shedDeadline = %d, want 1", met.shedDeadline.Value())
 	}
 }
 
@@ -147,7 +147,7 @@ func TestShedUnderLoadHTTP(t *testing.T) {
 		resp, _ := postNoT(ts.URL+"/v1/alltoall", validAllToAll)
 		queuedResp <- resp
 	}()
-	waitFor(t, func() bool { return s.met.queueDepth.Load() == 1 })
+	waitFor(t, func() bool { return s.met.queueDepth.Value() == 1 })
 
 	// Queue full: the second concurrent request sheds with 503 now.
 	resp, _ := post(t, ts.URL+"/v1/alltoall", `{"p":32,"w":777,"st":40,"so":200}`)

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fit"
+	obspkg "repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -162,9 +163,10 @@ func (q alltoallRequest) params() (core.Params, error) {
 	return p, p.Validate()
 }
 
-// solveAllToAll computes the full single-solve payload.
-func solveAllToAll(p core.Params, n int) (alltoallResponse, error) {
-	res, err := core.AllToAll(p)
+// solveAllToAll computes the full single-solve payload, reporting the
+// fixed-point convergence to o (the server's ConvRecorder).
+func solveAllToAll(p core.Params, n int, o obspkg.SolveObserver) (alltoallResponse, error) {
+	res, err := core.AllToAllObserved(p, o)
 	if err != nil {
 		return alltoallResponse{}, err
 	}
@@ -194,7 +196,7 @@ func solveAllToAll(p core.Params, n int) (alltoallResponse, error) {
 func (s *Server) cachedAllToAll(p core.Params, n int, admit func(func() ([]byte, error)) ([]byte, error)) ([]byte, outcome, error) {
 	return s.cache.get(keyAllToAll(p, n), func() ([]byte, error) {
 		return admit(func() ([]byte, error) {
-			out, err := solveAllToAll(p, n)
+			out, err := solveAllToAll(p, n, s.conv)
 			if err != nil {
 				return nil, err
 			}
@@ -273,7 +275,7 @@ func (q workpileRequest) params() (core.ClientServerParams, error) {
 	return p, p.Validate()
 }
 
-func solveWorkpile(p core.ClientServerParams) (workpileResponse, error) {
+func solveWorkpile(p core.ClientServerParams, o obspkg.SolveObserver) (workpileResponse, error) {
 	if p.Ps == 0 {
 		opt, err := core.OptimalServersInt(p)
 		if err != nil {
@@ -281,7 +283,7 @@ func solveWorkpile(p core.ClientServerParams) (workpileResponse, error) {
 		}
 		p.Ps = opt
 	}
-	res, err := core.ClientServer(p)
+	res, err := core.ClientServerObserved(p, o)
 	if err != nil {
 		return workpileResponse{}, err
 	}
@@ -304,7 +306,7 @@ func (s *Server) handleWorkpile(w http.ResponseWriter, r *http.Request) {
 	}
 	data, o, err := s.cache.get(keyWorkpile(p), func() ([]byte, error) {
 		return s.admitted(r.Context())(func() ([]byte, error) {
-			out, err := solveWorkpile(p)
+			out, err := solveWorkpile(p, s.conv)
 			if err != nil {
 				return nil, err
 			}
@@ -405,7 +407,7 @@ func (s *Server) handleGeneral(w http.ResponseWriter, r *http.Request) {
 	}
 	data, o, err := s.cache.get(keyGeneral(p), func() ([]byte, error) {
 		return s.admitted(r.Context())(func() ([]byte, error) {
-			res, err := core.General(p)
+			res, err := core.GeneralObserved(p, s.conv)
 			if err != nil {
 				return nil, err
 			}
@@ -455,7 +457,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	}
 	data, o, err := s.cache.get(keyFit(obs, req.P, req.C2), func() ([]byte, error) {
 		return s.admitted(r.Context())(func() ([]byte, error) {
-			res, err := fit.AllToAll(obs, req.P, req.C2)
+			res, err := fit.AllToAllObserved(obs, req.P, req.C2, s.conv)
 			if err != nil {
 				return nil, err
 			}

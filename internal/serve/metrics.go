@@ -2,47 +2,41 @@ package serve
 
 import (
 	"encoding/json"
-	"math/bits"
 	"net/http"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// histogram is a fixed-bucket latency histogram: bucket i counts
-// observations in (2^(i-1), 2^i] microseconds, with bucket 0 holding
-// everything at or under 1µs and the last bucket open-ended. Power-of-
-// two buckets keep observation lock-free (one atomic add) while still
-// resolving the microsecond-to-minute range a solve endpoint spans.
-type histogram struct {
-	buckets [histBuckets]atomic.Int64
-	count   atomic.Int64
-	sumUS   atomic.Int64
-	maxUS   atomic.Int64
-}
-
-// histBuckets covers 1µs .. 2^26µs (~67s) plus an overflow bucket.
+// histBuckets covers 1µs .. 2^26µs (~67s) plus an overflow bucket —
+// the same span the original hand-rolled histogram resolved.
 const histBuckets = 28
 
-func (h *histogram) observe(d time.Duration) {
+// latencyBounds reproduces the legacy power-of-two bucketing on top of
+// obs.Histogram's inclusive upper bounds. The old scheme placed an
+// integer microsecond count us into bucket bits.Len64(us), i.e. bucket
+// i held [2^(i-1), 2^i−1] with bucket 0 holding only zero; an
+// inclusive-bound histogram gets identical placement from
+// bounds[i] = 2^i − 1 for i = 0..histBuckets−2, overflow last.
+var latencyBounds = func() []float64 {
+	b := make([]float64, histBuckets-1)
+	for i := range b {
+		b[i] = float64(int64(1)<<i - 1)
+	}
+	return b
+}()
+
+// observeLatency records one request duration as integer microseconds
+// (clamped at zero), matching the legacy histogram's arithmetic so
+// sums and bucket placement stay byte-identical in the JSON document.
+func observeLatency(h *obs.Histogram, d time.Duration) {
 	us := d.Microseconds()
 	if us < 0 {
 		us = 0
 	}
-	i := bits.Len64(uint64(us)) // 0 or 1 → bucket 0/1, doubling from there
-	if i >= histBuckets {
-		i = histBuckets - 1
-	}
-	h.buckets[i].Add(1)
-	h.count.Add(1)
-	h.sumUS.Add(us)
-	for {
-		cur := h.maxUS.Load()
-		if us <= cur || h.maxUS.CompareAndSwap(cur, us) {
-			break
-		}
-	}
+	h.Observe(float64(us))
 }
 
 // histBucketJSON is one rendered histogram bucket: the inclusive upper
@@ -60,15 +54,17 @@ type histJSON struct {
 	Buckets []histBucketJSON `json:"buckets,omitempty"`
 }
 
-func (h *histogram) snapshot() histJSON {
-	out := histJSON{Count: h.count.Load(), SumUS: h.sumUS.Load(), MaxUS: h.maxUS.Load()}
-	for i := range h.buckets {
-		n := h.buckets[i].Load()
+// legacyHist renders an obs histogram snapshot in the document's
+// original shape: le_us = 2^i for bucket index i (the old exclusive
+// display bound), -1 for overflow, zero-count buckets skipped.
+func legacyHist(s obs.HistogramSnapshot) histJSON {
+	out := histJSON{Count: s.Count, SumUS: int64(s.Sum), MaxUS: int64(s.Max)}
+	for i, n := range s.Counts {
 		if n == 0 {
 			continue
 		}
 		le := int64(-1)
-		if i < histBuckets-1 {
+		if i < len(s.Counts)-1 {
 			le = int64(1) << i
 		}
 		out.Buckets = append(out.Buckets, histBucketJSON{LeUS: le, Count: n})
@@ -78,34 +74,53 @@ func (h *histogram) snapshot() histJSON {
 
 // routeStats counts one route's traffic.
 type routeStats struct {
-	requests atomic.Int64 // requests accepted into the handler
-	errors   atomic.Int64 // responses with status >= 400
-	latency  histogram
+	requests *obs.Counter // requests accepted into the handler
+	errors   *obs.Counter // responses with status >= 400
+	latency  *obs.Histogram
 }
 
-// metrics is the server's observability surface, exported as a single
-// JSON document on /metrics. Everything is an atomic counter or gauge,
-// so recording never contends beyond the cache line being bumped.
+// metrics is the server's observability surface: every instrument
+// lives in a shared obs.Registry (so /metrics can expose Prometheus
+// text), and snapshot renders the same instruments as the original
+// single JSON document.
 type metrics struct {
 	start time.Time
+	reg   *obs.Registry
 
-	inFlight   atomic.Int64 // requests currently inside a handler
-	queueDepth atomic.Int64 // requests waiting for a solver worker
+	inFlight   *obs.Gauge // requests currently inside a handler
+	queueDepth *obs.Gauge // requests waiting for a solver worker
 
-	cacheHits      atomic.Int64
-	cacheMisses    atomic.Int64
-	cacheCollapsed atomic.Int64 // duplicate in-flight solves absorbed
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheCollapsed *obs.Counter // duplicate in-flight solves absorbed
 
-	shedQueueFull atomic.Int64 // 503: admission queue at capacity
-	shedTimeout   atomic.Int64 // 429: queue wait exceeded the cap
-	shedDeadline  atomic.Int64 // 429: request deadline expired queued
+	shedQueueFull *obs.Counter // 503: admission queue at capacity
+	shedTimeout   *obs.Counter // 429: queue wait exceeded the cap
+	shedDeadline  *obs.Counter // 429: request deadline expired queued
 
 	mu     sync.Mutex
 	routes map[string]*routeStats
 }
 
-func newMetrics(start time.Time) *metrics {
-	return &metrics{start: start, routes: make(map[string]*routeStats)}
+func newMetrics(start time.Time, reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	cacheHelp := "Solve-cache lookups by outcome."
+	shedHelp := "Requests shed by admission control, by reason."
+	return &metrics{
+		start:          start,
+		reg:            reg,
+		inFlight:       reg.Gauge("lopc_serve_in_flight", "Requests currently inside a handler.", nil),
+		queueDepth:     reg.Gauge("lopc_serve_queue_depth", "Requests waiting for a solver worker.", nil),
+		cacheHits:      reg.Counter("lopc_serve_cache_events_total", cacheHelp, obs.Labels{"event": "hit"}),
+		cacheMisses:    reg.Counter("lopc_serve_cache_events_total", cacheHelp, obs.Labels{"event": "miss"}),
+		cacheCollapsed: reg.Counter("lopc_serve_cache_events_total", cacheHelp, obs.Labels{"event": "collapsed"}),
+		shedQueueFull:  reg.Counter("lopc_serve_shed_total", shedHelp, obs.Labels{"reason": "queue_full"}),
+		shedTimeout:    reg.Counter("lopc_serve_shed_total", shedHelp, obs.Labels{"reason": "queue_timeout"}),
+		shedDeadline:   reg.Counter("lopc_serve_shed_total", shedHelp, obs.Labels{"reason": "deadline"}),
+		routes:         make(map[string]*routeStats),
+	}
 }
 
 // route returns (registering on first use) the stats of one route.
@@ -114,7 +129,12 @@ func (m *metrics) route(name string) *routeStats {
 	defer m.mu.Unlock()
 	rs := m.routes[name]
 	if rs == nil {
-		rs = &routeStats{}
+		labels := obs.Labels{"route": name}
+		rs = &routeStats{
+			requests: m.reg.Counter("lopc_serve_requests_total", "Requests accepted into a handler, by route.", labels),
+			errors:   m.reg.Counter("lopc_serve_request_errors_total", "Responses with status >= 400, by route.", labels),
+			latency:  m.reg.Histogram("lopc_serve_latency_us", "Request latency in microseconds, by route.", labels, latencyBounds),
+		}
 		m.routes[name] = rs
 	}
 	return rs
@@ -159,20 +179,20 @@ type routeJSON struct {
 func (m *metrics) snapshot(now time.Time, cacheSize, cacheCap int, draining bool) metricsJSON {
 	doc := metricsJSON{
 		UptimeSeconds: now.Sub(m.start).Seconds(),
-		InFlight:      m.inFlight.Load(),
-		QueueDepth:    m.queueDepth.Load(),
+		InFlight:      m.inFlight.Value(),
+		QueueDepth:    m.queueDepth.Value(),
 		Draining:      draining,
 		Cache: cacheJSON{
 			Size:      cacheSize,
 			Capacity:  cacheCap,
-			Hits:      m.cacheHits.Load(),
-			Misses:    m.cacheMisses.Load(),
-			Collapsed: m.cacheCollapsed.Load(),
+			Hits:      m.cacheHits.Value(),
+			Misses:    m.cacheMisses.Value(),
+			Collapsed: m.cacheCollapsed.Value(),
 		},
 		Shed: shedJSON{
-			QueueFull:    m.shedQueueFull.Load(),
-			QueueTimeout: m.shedTimeout.Load(),
-			Deadline:     m.shedDeadline.Load(),
+			QueueFull:    m.shedQueueFull.Value(),
+			QueueTimeout: m.shedTimeout.Value(),
+			Deadline:     m.shedDeadline.Value(),
 		},
 	}
 	m.mu.Lock()
@@ -185,9 +205,9 @@ func (m *metrics) snapshot(now time.Time, cacheSize, cacheCap int, draining bool
 		rs := m.routes[name]
 		doc.Routes = append(doc.Routes, routeJSON{
 			Route:     name,
-			Requests:  rs.requests.Load(),
-			Errors:    rs.errors.Load(),
-			LatencyUS: rs.latency.snapshot(),
+			Requests:  rs.requests.Value(),
+			Errors:    rs.errors.Value(),
+			LatencyUS: legacyHist(rs.latency.Snapshot()),
 		})
 	}
 	m.mu.Unlock()

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// updateGolden regenerates testdata goldens in place:
+//
+//	go test ./internal/serve -run TestMetricsJSONGolden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
+
+// goldenTraffic drives a fixed request sequence through a server on a
+// fake clock: a cold solve, the same point again (cache hit), a
+// malformed body (a 400 on the route's error counter), and one workpile
+// solve. Every counter, gauge and histogram bucket the sequence touches
+// is deterministic, so the /metrics document must be byte-stable.
+func goldenTraffic(t *testing.T) *Server {
+	t.Helper()
+	fake := clock.NewFake(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	s := New(Config{Workers: 2, QueueDepth: 4, CacheSize: 8, Clock: fake})
+	do := func(method, path, body string) {
+		t.Helper()
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("%s %s: unexpected status %d: %s", method, path, rec.Code, rec.Body.String())
+		}
+	}
+	do(http.MethodPost, "/v1/alltoall", `{"p":32,"w":1000,"st":40,"so":200}`)
+	do(http.MethodPost, "/v1/alltoall", `{"p":32,"w":1000,"st":40,"so":200}`)
+	do(http.MethodPost, "/v1/alltoall", `{"p":32,`) // malformed: 400
+	do(http.MethodPost, "/v1/workpile", `{"p":32,"ps":4,"w":1000,"st":40,"so":200}`)
+	return s
+}
+
+// TestMetricsJSONGolden pins the exact bytes of the JSON /metrics
+// document: the refactor onto the shared internal/obs registry must not
+// change a single byte of the legacy exposition.
+func TestMetricsJSONGolden(t *testing.T) {
+	s := goldenTraffic(t)
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	got := rec.Body.Bytes()
+	path := filepath.Join("testdata", "metrics_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-golden to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("/metrics JSON drifted from golden\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

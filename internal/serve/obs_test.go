@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// get performs one GET against the server with optional Accept header.
+func get(t *testing.T, s *Server, path, accept string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// TestMetricsContentNegotiation: JSON stays the default exposition
+// (scripts and the CI smoke test send no Accept header), Prometheus
+// text is selected by Accept: text/plain or ?format=prometheus.
+func TestMetricsContentNegotiation(t *testing.T) {
+	s := goldenTraffic(t)
+
+	for _, accept := range []string{"", "*/*", "application/json"} {
+		rec := get(t, s, "/metrics", accept)
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("Accept %q: Content-Type = %q, want application/json", accept, ct)
+		}
+		if !strings.HasPrefix(rec.Body.String(), "{") {
+			t.Errorf("Accept %q: body is not a JSON document", accept)
+		}
+	}
+
+	for _, tc := range []struct{ path, accept string }{
+		{"/metrics", "text/plain"},
+		{"/metrics", "application/openmetrics-text"},
+		{"/metrics?format=prometheus", ""},
+	} {
+		rec := get(t, s, tc.path, tc.accept)
+		if ct := rec.Header().Get("Content-Type"); ct != obs.PrometheusContentType {
+			t.Errorf("%s Accept %q: Content-Type = %q, want Prometheus text", tc.path, tc.accept, ct)
+		}
+		body := rec.Body.String()
+		for _, want := range []string{
+			"# TYPE lopc_serve_requests_total counter",
+			`lopc_serve_requests_total{route="/v1/alltoall"} 3`,
+			`lopc_serve_cache_events_total{event="hit"} 1`,
+			`lopc_serve_latency_us_bucket{route="/v1/alltoall",le="+Inf"} 3`,
+			"# TYPE lopc_serve_uptime_seconds gauge",
+			`lopc_solves_total{solver="alltoall"} 1`,
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("%s Accept %q: exposition missing %q\n%s", tc.path, tc.accept, want, body)
+			}
+		}
+	}
+}
+
+// TestMetricsFormatJSONOverridesAccept: ?format=json forces the JSON
+// document even for a text/plain client.
+func TestMetricsFormatJSONOverridesAccept(t *testing.T) {
+	s := goldenTraffic(t)
+	rec := get(t, s, "/metrics?format=json", "text/plain")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+}
+
+// TestPprofGate: the profiling endpoints exist only when Config.Pprof
+// is set.
+func TestPprofGate(t *testing.T) {
+	fake := clock.NewFake(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	off := New(Config{Clock: fake})
+	if rec := get(t, off, "/debug/pprof/", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("pprof off: GET /debug/pprof/ = %d, want 404", rec.Code)
+	}
+	on := New(Config{Clock: fake, Pprof: true})
+	rec := get(t, on, "/debug/pprof/", "")
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof on: GET /debug/pprof/ = %d, want 200", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("pprof index does not list profiles:\n%s", rec.Body.String())
+	}
+}
+
+// TestRequestSpans: with Config.Spans set, every instrumented request
+// is recorded as one Chrome-trace span carrying route and status.
+func TestRequestSpans(t *testing.T) {
+	fake := clock.NewFake(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	spans := trace.NewSpans(fake)
+	s := New(Config{Workers: 2, CacheSize: 8, Clock: fake, Spans: spans})
+
+	do := func(body string) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/alltoall", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+	}
+	do(`{"p":32,"w":1000,"st":40,"so":200}`)
+	do(`{"p":32,`) // malformed: still a span, with status 400
+
+	if spans.Len() != 2 {
+		t.Fatalf("spans.Len() = %d, want 2", spans.Len())
+	}
+	var b strings.Builder
+	if err := spans.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"/v1/alltoall"`, `"cat":"http"`, `"status":400`, `"status":200`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("span trace missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestConvRecorderThreaded: cold solves land in the server's
+// convergence-trace ring (one per fixed-point solve: the cache hit and
+// the malformed request record nothing) with the solver's own iteration
+// metadata.
+func TestConvRecorderThreaded(t *testing.T) {
+	s := goldenTraffic(t)
+	conv := s.ConvTraces()
+	traces := conv.Traces()
+	if conv.Total() != 2 || len(traces) != 2 {
+		t.Fatalf("conv ring holds %d traces (total %d), want 2: %+v", len(traces), conv.Total(), traces)
+	}
+	if traces[0].Solver != "alltoall" || traces[1].Solver != "clientserver" {
+		t.Errorf("trace solvers = %s, %s; want alltoall, clientserver", traces[0].Solver, traces[1].Solver)
+	}
+	for _, tr := range traces {
+		if tr.Iters <= 0 || !tr.Converged {
+			t.Errorf("%s trace: iters = %d, converged = %v; want a converged solve", tr.Solver, tr.Iters, tr.Converged)
+		}
+	}
+}

@@ -16,21 +16,29 @@
 //     the paper's own Eq. 6.8 optimal server allocation
 //     (RecommendWorkers).
 //
-// Observability is a single JSON document on /metrics (request and shed
-// counters, latency histograms, cache hit/miss/collapse counts, queue
-// depth and in-flight gauges) plus /healthz and /readyz; draining for
-// graceful shutdown flips /readyz to 503 while in-flight requests
-// finish.
+// Observability is built on the shared internal/obs registry: /metrics
+// serves the original JSON document by default and Prometheus text
+// exposition under content negotiation (Accept: text/plain or
+// ?format=prometheus); solver convergence traces are recorded through
+// an obs.ConvRecorder threaded into every solve; Config.Spans records
+// per-request Chrome-trace spans; Config.Pprof mounts net/http/pprof
+// under /debug/pprof/. /healthz and /readyz complete the surface;
+// draining for graceful shutdown flips /readyz to 503 while in-flight
+// requests finish.
 package serve
 
 import (
 	"context"
 	"net/http"
+	httppprof "net/http/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -70,6 +78,18 @@ type Config struct {
 	Clock clock.Waiter
 	// Logf, when non-nil, receives startup and drain log lines.
 	Logf func(format string, args ...any)
+	// Pprof mounts net/http/pprof handlers under /debug/pprof/ for CPU,
+	// heap and goroutine profiling. Off by default: the profile
+	// endpoints are unauthenticated and can stall the process while a
+	// profile is captured, so they are opt-in.
+	Pprof bool
+	// Spans, when non-nil, records one Chrome-trace span per API
+	// request (viewable in Perfetto). Like runner.Options.Spans, it
+	// observes requests without affecting responses.
+	Spans *trace.Spans
+	// ConvCapacity sizes the ring of recent solver convergence traces;
+	// <= 0 means obs.DefaultConvCapacity.
+	ConvCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +123,9 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = clock.System
 	}
+	if c.ConvCapacity <= 0 {
+		c.ConvCapacity = obs.DefaultConvCapacity
+	}
 	return c
 }
 
@@ -115,6 +138,8 @@ type Server struct {
 	cache    *solveCache
 	adm      *admission
 	met      *metrics
+	reg      *obs.Registry
+	conv     *obs.ConvRecorder
 	draining atomic.Bool
 	active   sync.WaitGroup // one count per in-flight request
 }
@@ -123,7 +148,8 @@ type Server struct {
 // worker-pool recommendation for the configured solve-time estimate.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	met := newMetrics(cfg.Clock.Now())
+	reg := obs.NewRegistry()
+	met := newMetrics(cfg.Clock.Now(), reg)
 	s := &Server{
 		cfg:   cfg,
 		clk:   cfg.Clock,
@@ -131,11 +157,37 @@ func New(cfg Config) *Server {
 		cache: newSolveCache(cfg.CacheSize),
 		adm:   newAdmission(cfg.Workers, cfg.QueueDepth, cfg.QueueWait, cfg.SolveEstimate, cfg.Clock, met),
 		met:   met,
+		reg:   reg,
+		conv:  obs.NewConvRecorder(cfg.ConvCapacity, cfg.Clock, reg),
 	}
+	// Derived gauges mirror the JSON document's computed fields into
+	// the Prometheus exposition; they read server state at scrape time.
+	reg.GaugeFunc("lopc_serve_uptime_seconds", "Seconds since the server started.", nil,
+		func() float64 { return s.clk.Now().Sub(met.start).Seconds() })
+	reg.GaugeFunc("lopc_serve_cache_size", "Entries currently in the solve cache.", nil,
+		func() float64 { return float64(s.cache.len()) })
+	reg.GaugeFunc("lopc_serve_cache_capacity", "Configured solve-cache capacity.", nil,
+		func() float64 { return float64(s.cfg.CacheSize) })
+	reg.GaugeFunc("lopc_serve_draining", "1 while the server is draining, else 0.", nil,
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
 	s.routes()
 	s.logSizing()
 	return s
 }
+
+// Registry returns the server's metrics registry, e.g. so a main
+// package can add runtime gauges (obs.RegisterRuntime) to the
+// Prometheus exposition.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// ConvTraces returns the recorder holding recent solver convergence
+// traces; mains export it via -convtrace at shutdown.
+func (s *Server) ConvTraces() *obs.ConvRecorder { return s.conv }
 
 // logSizing reports what the paper's own work-pile model recommends
 // for the configured pool: dogfooding Eq. 6.8 as capacity planning.
@@ -167,6 +219,16 @@ func (s *Server) routes() {
 	s.mux.Handle("/v1/bounds", s.instrument("/v1/bounds", s.handleBounds))
 	s.mux.Handle("/v1/fit", s.instrument("/v1/fit", s.handleFit))
 	s.mux.Handle("/v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	if s.cfg.Pprof {
+		// The pprof handlers self-register on http.DefaultServeMux at
+		// import; mount them explicitly so they exist only when asked
+		// for and only on this server's mux.
+		s.mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 }
 
 // statusRecorder captures the response status for metrics.
@@ -209,10 +271,17 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 		r = r.WithContext(ctx)
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 
+		var endSpan func(map[string]any)
+		if s.cfg.Spans != nil {
+			endSpan = s.cfg.Spans.Start("http", route)
+		}
 		start := s.clk.Now()
 		rec := &statusRecorder{ResponseWriter: w}
 		h(rec, r)
-		rs.latency.observe(s.clk.Now().Sub(start))
+		observeLatency(rs.latency, s.clk.Now().Sub(start))
+		if endSpan != nil {
+			endSpan(map[string]any{"status": rec.status})
+		}
 		if rec.status >= 400 {
 			rs.errors.Add(1)
 		}
@@ -233,9 +302,34 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write([]byte("ready\n"))
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics content-negotiates the exposition: the original JSON
+// document stays the default (existing scripts and the CI smoke test
+// parse it with no Accept header), while Prometheus scrapers — which
+// send Accept: text/plain — get text exposition format 0.0.4. The
+// ?format=prometheus query parameter forces the text form for curl.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		_ = s.reg.WritePrometheus(w)
+		return
+	}
 	doc := s.met.snapshot(s.clk.Now(), s.cache.len(), s.cfg.CacheSize, s.draining.Load())
 	_ = writeJSON(w, http.StatusOK, doc)
+}
+
+// wantsPrometheus reports whether the request asked for text
+// exposition. JSON wins any tie: only an explicit text/plain or
+// OpenMetrics Accept (what Prometheus sends), or ?format=prometheus,
+// selects the text form — a browser's */* stays on JSON.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
 }
 
 // StartDrain flips the server into draining mode: /readyz answers 503
@@ -261,7 +355,7 @@ func (s *Server) Drain(timeout time.Duration) bool {
 		return true
 	case <-s.clk.After(timeout):
 		if s.cfg.Logf != nil {
-			s.cfg.Logf("serve: drain timed out with %d request(s) still in flight", s.met.inFlight.Load())
+			s.cfg.Logf("serve: drain timed out with %d request(s) still in flight", s.met.inFlight.Value())
 		}
 		return false
 	}

@@ -218,7 +218,7 @@ func TestSweepUsesCache(t *testing.T) {
 	if got, want := string(sweep.Results[0]), strings.TrimSuffix(single, "\n"); got != want {
 		t.Errorf("sweep result differs from single solve:\nsweep:  %s\nsingle: %s", got, want)
 	}
-	if hits := s.met.cacheHits.Load(); hits == 0 {
+	if hits := s.met.cacheHits.Value(); hits == 0 {
 		t.Error("sweep over a cached point recorded no cache hit")
 	}
 }
@@ -317,7 +317,7 @@ func TestGracefulDrain(t *testing.T) {
 		_, body := postNoT(ts.URL+"/v1/alltoall", validAllToAll)
 		reqDone <- body
 	}()
-	waitFor(t, func() bool { return s.met.queueDepth.Load() == 1 })
+	waitFor(t, func() bool { return s.met.queueDepth.Value() == 1 })
 
 	drained := make(chan bool, 1)
 	go func() { drained <- s.Drain(time.Hour) }()
@@ -362,7 +362,7 @@ func TestDrainTimeout(t *testing.T) {
 		_, body := postNoT(ts.URL+"/v1/alltoall", validAllToAll)
 		reqDone <- body
 	}()
-	waitFor(t, func() bool { return s.met.queueDepth.Load() == 1 })
+	waitFor(t, func() bool { return s.met.queueDepth.Value() == 1 })
 
 	drained := make(chan bool, 1)
 	go func() { drained <- s.Drain(time.Minute) }()

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Spans collects span-style events — runner job executions, serve
+// request handling — for Chrome-trace export, reusing the same Event
+// encoding as Tracer so the output opens in chrome://tracing and
+// Perfetto. Unlike Tracer (which replays a simulation's virtual time),
+// Spans brackets real operations on an injected clock.
+//
+// Overlapping spans are assigned distinct lanes (Chrome-trace thread
+// ids): a span takes the lowest free lane at Start and frees it when
+// closed, so the rendered track count equals the peak concurrency.
+// All methods are safe for concurrent use.
+type Spans struct {
+	// MaxEvents caps collection (0 = unlimited); once reached, further
+	// spans are dropped and Truncated reports true. Set it before the
+	// first Start.
+	MaxEvents int
+	// Process names the Chrome-trace process; empty means "lopc".
+	Process string
+
+	mu        sync.Mutex
+	clk       clock.Clock
+	start     time.Time
+	events    []Event
+	truncated bool
+	free      []int // freed lanes, reused lowest-first
+	next      int   // next fresh lane (1-based)
+}
+
+// NewSpans returns a collector whose timestamps come from clk (nil
+// means clock.System; tests inject a clock.Fake so recorded spans are
+// deterministic). Timestamps are microseconds since NewSpans was
+// called.
+func NewSpans(clk clock.Clock) *Spans {
+	if clk == nil {
+		clk = clock.System
+	}
+	return &Spans{clk: clk, start: clk.Now()}
+}
+
+// Start opens a span and returns the func that closes it, recording a
+// complete ("X") slice with the given category, name, and the closing
+// args. The returned func must be called exactly once; calling it from
+// a different goroutine than Start is fine.
+func (s *Spans) Start(cat, name string) func(args map[string]any) {
+	s.mu.Lock()
+	var lane int
+	if n := len(s.free); n > 0 {
+		lane = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.next++
+		lane = s.next
+	}
+	s.mu.Unlock()
+	begin := s.clk.Now()
+	return func(args map[string]any) {
+		end := s.clk.Now()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.free = append(s.free, lane)
+		sort.Sort(sort.Reverse(sort.IntSlice(s.free)))
+		if s.MaxEvents > 0 && len(s.events) >= s.MaxEvents {
+			s.truncated = true
+			return
+		}
+		s.events = append(s.events, Event{
+			Name: name, Phase: "X",
+			Ts:  float64(begin.Sub(s.start).Microseconds()),
+			Dur: float64(end.Sub(begin).Microseconds()),
+			Pid: 0, Tid: lane, Cat: cat, Args: args,
+		})
+	}
+}
+
+// Len returns the number of closed spans collected so far.
+func (s *Spans) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// Truncated reports whether the collector hit MaxEvents and dropped
+// spans.
+func (s *Spans) Truncated() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.truncated
+}
+
+// WriteJSON emits the collected spans in Chrome's JSON array format
+// with process/lane name metadata. Spans are emitted sorted by start
+// time so output for a given set of spans is deterministic regardless
+// of completion order.
+func (s *Spans) WriteJSON(w io.Writer) error {
+	s.mu.Lock()
+	events := append([]Event(nil), s.events...)
+	lanes := s.next
+	s.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Ts < events[j].Ts {
+			return true
+		}
+		if events[j].Ts < events[i].Ts {
+			return false
+		}
+		return events[i].Tid < events[j].Tid
+	})
+	process := s.Process
+	if process == "" {
+		process = "lopc"
+	}
+	out := make([]Event, 0, len(events)+lanes+1)
+	out = append(out, Event{Name: "process_name", Phase: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": process}})
+	for lane := 1; lane <= lanes; lane++ {
+		out = append(out, Event{Name: "thread_name", Phase: "M", Pid: 0, Tid: lane,
+			Args: map[string]any{"name": fmt.Sprintf("lane %d", lane)}})
+	}
+	out = append(out, events...)
+	return writeEvents(w, out)
+}
+
+// WriteFile writes the trace JSON to path.
+func (s *Spans) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := s.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("trace: writing span trace %s: %w", path, werr)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func fakeClk() *clock.Fake {
+	return clock.NewFake(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+}
+
+func readBytes(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return data
+}
+
+// TestSpansDeterministicTimestamps: span Ts/Dur come from the injected
+// clock, microseconds since construction.
+func TestSpansDeterministicTimestamps(t *testing.T) {
+	fake := fakeClk()
+	s := NewSpans(fake)
+	fake.Advance(100 * time.Microsecond)
+	end := s.Start("job", "solve")
+	fake.Advance(250 * time.Microsecond)
+	end(map[string]any{"index": 0})
+
+	var b strings.Builder
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var events []Event
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	var slice *Event
+	for i := range events {
+		if events[i].Phase == "X" {
+			slice = &events[i]
+		}
+	}
+	if slice == nil {
+		t.Fatalf("no complete slice in %s", b.String())
+	}
+	if slice.Ts != 100 || slice.Dur != 250 || slice.Name != "solve" || slice.Cat != "job" {
+		t.Errorf("slice = %+v, want Ts 100 Dur 250 name solve cat job", *slice)
+	}
+}
+
+// TestSpansLaneAllocation: overlapping spans get distinct lanes;
+// sequential spans reuse lane 1.
+func TestSpansLaneAllocation(t *testing.T) {
+	fake := fakeClk()
+	s := NewSpans(fake)
+	endA := s.Start("job", "a")
+	endB := s.Start("job", "b") // overlaps a: lane 2
+	endA(nil)
+	endB(nil)
+	endC := s.Start("job", "c") // both lanes free again: lane 1
+
+	fake.Advance(time.Microsecond)
+	endC(nil)
+
+	lanes := map[string]int{}
+	var b strings.Builder
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.Phase == "X" {
+			lanes[e.Name] = e.Tid
+		}
+	}
+	if lanes["a"] == lanes["b"] {
+		t.Errorf("overlapping spans share lane %d", lanes["a"])
+	}
+	if lanes["c"] != 1 {
+		t.Errorf("sequential span landed on lane %d, want reuse of lane 1", lanes["c"])
+	}
+}
+
+// TestSpansMaxEvents: the cap drops spans and flags truncation.
+func TestSpansMaxEvents(t *testing.T) {
+	s := NewSpans(fakeClk())
+	s.MaxEvents = 2
+	for i := 0; i < 5; i++ {
+		s.Start("job", "x")(nil)
+	}
+	if s.Len() != 2 || !s.Truncated() {
+		t.Errorf("Len = %d, Truncated = %v; want 2, true", s.Len(), s.Truncated())
+	}
+}
+
+// TestSpansWriteFile: WriteFile produces a parseable trace.
+func TestSpansWriteFile(t *testing.T) {
+	s := NewSpans(fakeClk())
+	s.Start("job", "x")(nil)
+	path := t.TempDir() + "/trace.json"
+	if err := s.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	data := readBytes(t, path)
+	var events []Event
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("file is not valid trace JSON: %v", err)
+	}
+	if len(events) < 2 {
+		t.Errorf("trace has %d events, want metadata plus the span", len(events))
+	}
+}

@@ -130,8 +130,14 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		)
 	}
 	out = append(out, t.events...)
+	return writeEvents(w, out)
+}
+
+// writeEvents encodes events as Chrome's JSON array format; shared by
+// Tracer (simulation traces) and Spans (job/request spans).
+func writeEvents(w io.Writer, events []Event) error {
 	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	return enc.Encode(events)
 }
 
 var _ machine.Observer = (*Tracer)(nil)
