@@ -108,6 +108,41 @@ func Multithreaded(p Params, t int) (MultithreadedResult, error) {
 	return core.Multithreaded(p, t)
 }
 
+// LockParams parameterizes the coarse-grained lock model: the critical
+// section is the handler service time and the lock queue is the LoPC
+// server queue.
+type LockParams = core.LockParams
+
+// LockModelResult is the lock model's solution.
+type LockModelResult = core.LockResult
+
+// Lock solves the coarse-grained lock model (client-server AMVA with
+// the lock as the single server).
+func Lock(p LockParams) (LockModelResult, error) { return core.Lock(p) }
+
+// LockBounds returns the optimistic throughput bounds bracketing the
+// lock model: the serialization bound 1/So and the uncontended bound
+// Threads/(W+2St+So).
+func LockBounds(p LockParams) (serial, uncontended float64) { return core.LockBounds(p) }
+
+// LockFreeParams parameterizes the CAS-retry conflict model: one retry
+// round is a service, and conflicts regenerate work instead of
+// queueing it.
+type LockFreeParams = core.LockFreeParams
+
+// LockFreeModelResult is the conflict model's solution.
+type LockFreeModelResult = core.LockFreeResult
+
+// LockFree solves the CAS-retry conflict model (after Atalar et al.).
+func LockFree(p LockFreeParams) (LockFreeModelResult, error) { return core.LockFree(p) }
+
+// LockFreeBounds returns the optimistic bounds bracketing the conflict
+// model: the commit serialization bound 1/St and the conflict-free
+// bound Threads/(W+So+St).
+func LockFreeBounds(p LockFreeParams) (serial, conflictFree float64) {
+	return core.LockFreeBounds(p)
+}
+
 // --- LogP baseline (internal/logp) ---
 
 // LogP is the contention-free baseline model of Culler et al.
@@ -206,6 +241,30 @@ func SimulateMultithread(cfg SimMultithreadConfig) (SimMultithreadResult, error)
 	return workload.RunMultithread(cfg)
 }
 
+// SimLockConfig configures a coarse-grained lock simulation run.
+type SimLockConfig = workload.LockConfig
+
+// SimLockResult holds lock simulation measurements.
+type SimLockResult = workload.LockSimResult
+
+// SimulateLock runs the coarse-grained lock workload on the simulated
+// machine (threads contending for one lock node).
+func SimulateLock(cfg SimLockConfig) (SimLockResult, error) {
+	return workload.RunLock(cfg)
+}
+
+// SimLockFreeConfig configures a CAS-retry simulation run.
+type SimLockFreeConfig = workload.LockFreeConfig
+
+// SimLockFreeResult holds CAS-retry simulation measurements.
+type SimLockFreeResult = workload.LockFreeSimResult
+
+// SimulateLockFree runs the CAS-retry workload on the discrete-event
+// kernel (threads racing to commit against one versioned word).
+func SimulateLockFree(cfg SimLockFreeConfig) (SimLockFreeResult, error) {
+	return workload.RunLockFree(cfg)
+}
+
 // --- Collectives (internal/am) ---
 
 // CollectiveConfig describes the machine a collective operation runs
@@ -255,6 +314,26 @@ type FitResult = fit.Result
 // practitioner's route to LoPC parameters for a real machine.
 func FitAllToAll(obs []FitObservation, p int, c2 float64) (FitResult, error) {
 	return fit.AllToAll(obs, p, c2)
+}
+
+// FitLockObservation is one point of a contention sweep: thread count
+// and measured throughput (internal/workload/lockbench produces these).
+type FitLockObservation = fit.LockObservation
+
+// FitLockResult is a fitted (W, St) contention parameterization.
+type FitLockResult = fit.LockResult
+
+// FitLock calibrates effective (W, St) of the lock model from a
+// throughput sweep with the critical section (So, C²) held fixed.
+func FitLock(obs []FitLockObservation, so, c2 float64) (FitLockResult, error) {
+	return fit.Lock(obs, so, c2)
+}
+
+// FitLockFree calibrates effective (W, St) of the CAS-retry conflict
+// model from a throughput sweep with the retry round (So, C²) held
+// fixed.
+func FitLockFree(obs []FitLockObservation, so, c2 float64) (FitLockResult, error) {
+	return fit.LockFree(obs, so, c2)
 }
 
 // --- Tracing (internal/trace) ---

@@ -34,6 +34,8 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/version"
 )
@@ -49,11 +51,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lopc-sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		p        = fs.Int("P", 32, "number of processors")
-		st       = fs.Float64("St", 40, "network latency per trip (cycles)")
-		so       = fs.Float64("So", 200, "handler cost (cycles)")
-		c2       = fs.Float64("C2", 0, "handler-time SCV")
-		ws       = fs.String("W", "0,64,256,1024,4096", "comma-separated work settings to sweep")
+		scenario = fs.String("scenario", "alltoall", "workload to sweep: alltoall, lock, or lockfree")
+		p        = fs.Int("P", 32, "number of processors (alltoall)")
+		ts       = fs.String("T", "1,2,4,8,16,32", "comma-separated thread counts to sweep (lock/lockfree)")
+		st       = fs.Float64("St", 40, "network latency per trip (cycles); lock handoff / lock-free commit cost")
+		so       = fs.Float64("So", 200, "handler cost (cycles); lock critical section / lock-free retry round")
+		c2       = fs.Float64("C2", 0, "handler-time SCV (critical-section / retry-round SCV for lock scenarios)")
+		ws       = fs.String("W", "0,64,256,1024,4096", "comma-separated work settings to sweep (single value for lock/lockfree; default 800)")
 		cycles   = fs.Int("cycles", 1500, "measured cycles per thread per point")
 		warmup   = fs.Int("warmup", 300, "warmup cycles per thread")
 		seed     = fs.Uint64("seed", 1, "random seed")
@@ -72,6 +76,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	wSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "W" {
+			wSet = true
+		}
+	})
 	var works []float64
 	for _, field := range strings.Split(*ws, ",") {
 		w, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
@@ -83,6 +93,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *reps < 1 {
 		fmt.Fprintf(stderr, "lopc-sweep: -reps must be >= 1, got %d\n", *reps)
+		return 1
+	}
+
+	switch *scenario {
+	case "alltoall":
+	case "lock", "lockfree":
+		// Lock scenarios sweep thread counts at one work setting: the
+		// W axis collapses to a single value (default 800 cycles when
+		// -W is not given, since the alltoall default is a list).
+		if !wSet {
+			works = []float64{800}
+		}
+		if len(works) != 1 {
+			fmt.Fprintf(stderr, "lopc-sweep: -scenario %s sweeps -T and takes a single -W, got %d values\n", *scenario, len(works))
+			return 1
+		}
+		var threads []int
+		for _, field := range strings.Split(*ts, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil || n < 1 {
+				fmt.Fprintf(stderr, "lopc-sweep: bad T value %q\n", field)
+				return 1
+			}
+			threads = append(threads, n)
+		}
+		return runContention(contentionSweep{
+			scenario: *scenario,
+			threads:  threads,
+			w:        works[0], st: *st, so: *so, c2: *c2,
+			cycles: *cycles, warmup: *warmup,
+			seed: *seed, jobs: *jobs, reps: *reps,
+			progress: *progress, jobtrace: *jobtrace, convtrace: *convtr,
+		}, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "lopc-sweep: unknown -scenario %q (want alltoall, lock, or lockfree)\n", *scenario)
 		return 1
 	}
 
@@ -163,6 +208,157 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// contentionSweep is a parsed lock/lockfree sweep request.
+type contentionSweep struct {
+	scenario       string
+	threads        []int
+	w, st, so, c2  float64
+	cycles, warmup int
+	seed           uint64
+	jobs, reps     int
+	progress       bool
+	jobtrace       string
+	convtrace      string
+}
+
+// runContention sweeps thread counts through the simulated lock or
+// CAS-retry workload and emits CSV rows (T,X,...). The -cycles and
+// -warmup flags keep their per-thread-cycle meaning: the measurement
+// window is cycles x the uncontended cycle time, so each point sees on
+// the order of cycles completions per thread regardless of parameters.
+func runContention(c contentionSweep, stdout, stderr io.Writer) int {
+	est := c.w + 2*c.st + c.so // uncontended lock cycle
+	if c.scenario == "lockfree" {
+		est = c.w + c.so + c.st // work + one clean round + commit
+	}
+	warmupTime := float64(c.warmup) * est
+	measureTime := float64(c.cycles) * est
+
+	opts := repro.ParallelOptions{Jobs: c.jobs, Label: "sweep"}
+	if c.progress {
+		opts.Progress = stderr
+	}
+	var spans *trace.Spans
+	if c.jobtrace != "" {
+		spans = trace.NewSpans(nil)
+		opts.Spans = spans
+	}
+
+	// One simulated point at a given thread count and seed. The lock
+	// scenario reports the critical-section residence Rs in column 4;
+	// the lock-free scenario reports the conflict fraction.
+	point := func(n int, seed uint64) (x, r, extra float64, err error) {
+		if c.scenario == "lock" {
+			sim, err := repro.SimulateLock(repro.SimLockConfig{
+				Threads:    n,
+				Work:       repro.Deterministic(c.w),
+				Handoff:    repro.Deterministic(c.st),
+				Critical:   repro.FromMeanSCV(c.so, c.c2),
+				WarmupTime: warmupTime, MeasureTime: measureTime,
+				Seed: seed,
+			})
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return sim.X, sim.R.Mean(), sim.Rs.Mean(), nil
+		}
+		sim, err := repro.SimulateLockFree(repro.SimLockFreeConfig{
+			Threads:    n,
+			Work:       repro.Deterministic(c.w),
+			Round:      repro.FromMeanSCV(c.so, c.c2),
+			Serial:     repro.Deterministic(c.st),
+			WarmupTime: warmupTime, MeasureTime: measureTime,
+			Seed: seed,
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return sim.X, sim.R.Mean(), sim.Conflict, nil
+	}
+
+	type row struct {
+		x, r, extra, xCI95 float64
+	}
+	rows, err := repro.RunParallel(len(c.threads), opts, func(i int) (row, error) {
+		if c.reps == 1 {
+			x, r, extra, err := point(c.threads[i], c.seed)
+			return row{x: x, r: r, extra: extra}, err
+		}
+		// Replication seeds are a pure function of (root seed, rep
+		// index), so the CSV is identical for every -j.
+		var xs, rs, extras stats.Tally
+		for rep := 0; rep < c.reps; rep++ {
+			x, r, extra, err := point(c.threads[i], rng.SeedAt(c.seed, uint64(rep)))
+			if err != nil {
+				return row{}, err
+			}
+			xs.Add(x)
+			rs.Add(r)
+			extras.Add(extra)
+		}
+		return row{x: xs.Mean(), r: rs.Mean(), extra: extras.Mean(), xCI95: xs.HalfWidth95()}, nil
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "lopc-sweep:", err)
+		return 1
+	}
+
+	extraCol := "Rs"
+	if c.scenario == "lockfree" {
+		extraCol = "Conflict"
+	}
+	if c.reps == 1 {
+		fmt.Fprintf(stdout, "T,X,R,%s\n", extraCol)
+		for i, rw := range rows {
+			fmt.Fprintf(stdout, "%d,%.6g,%.4f,%.4f\n", c.threads[i], rw.x, rw.r, rw.extra)
+		}
+	} else {
+		fmt.Fprintf(stdout, "T,X,R,%s,X_ci95\n", extraCol)
+		for i, rw := range rows {
+			fmt.Fprintf(stdout, "%d,%.6g,%.4f,%.4f,%.3g\n", c.threads[i], rw.x, rw.r, rw.extra, rw.xCI95)
+		}
+	}
+
+	if spans != nil {
+		if err := spans.WriteFile(c.jobtrace); err != nil {
+			fmt.Fprintln(stderr, "lopc-sweep:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "lopc-sweep: wrote %d job span(s) to %s\n", spans.Len(), c.jobtrace)
+	}
+	if c.convtrace != "" {
+		if err := writeContentionConvTrace(c, stderr); err != nil {
+			fmt.Fprintln(stderr, "lopc-sweep:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// writeContentionConvTrace solves the contention model at every swept
+// thread count with a convergence recorder attached, mirroring the
+// all-to-all -convtrace behaviour: sequential, in point order,
+// independent of -j.
+func writeContentionConvTrace(c contentionSweep, stderr io.Writer) error {
+	rec := obs.NewConvRecorder(len(c.threads), nil, nil)
+	for _, n := range c.threads {
+		var err error
+		if c.scenario == "lock" {
+			_, err = core.LockObserved(core.LockParams{Threads: n, W: c.w, St: c.st, So: c.so, C2: c.c2}, rec)
+		} else {
+			_, err = core.LockFreeObserved(core.LockFreeParams{Threads: n, W: c.w, St: c.st, So: c.so, C2: c.c2}, rec)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "lopc-sweep: convtrace: model solve at T=%d: %v\n", n, err)
+		}
+	}
+	if err := rec.WriteFile(c.convtrace); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "lopc-sweep: wrote %d convergence trace(s) to %s\n", rec.Total(), c.convtrace)
+	return nil
 }
 
 // writeConvTrace solves the AMVA all-to-all model at every swept work

@@ -67,6 +67,114 @@ func TestSweepRepsHeader(t *testing.T) {
 	}
 }
 
+// Pinned contention-sweep configurations for the golden and
+// determinism tests below.
+var (
+	lockArgs     = []string{"-scenario", "lock", "-T", "1,2,4,8,16", "-St", "20", "-So", "100", "-C2", "1", "-cycles", "300", "-warmup", "60", "-seed", "7"}
+	lockFreeArgs = []string{"-scenario", "lockfree", "-T", "1,2,4,8,16", "-W", "400", "-St", "5", "-So", "60", "-C2", "1", "-cycles", "300", "-warmup", "60", "-seed", "7"}
+)
+
+// TestSweepContentionGolden pins the lock and lock-free scenario CSVs.
+func TestSweepContentionGolden(t *testing.T) {
+	for _, c := range []struct {
+		golden string
+		args   []string
+	}{
+		{"sweep_lock_golden.csv", lockArgs},
+		{"sweep_lockfree_golden.csv", lockFreeArgs},
+	} {
+		got := runSweep(t, c.args...)
+		want, err := os.ReadFile(filepath.Join("testdata", c.golden))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != string(want) {
+			t.Errorf("%s drifted:\n--- got ---\n%s--- want ---\n%s", c.golden, got, want)
+		}
+	}
+}
+
+// TestSweepContentionDeterministicAcrossJobs: the new scenarios keep
+// the engine's guarantee — -j 8 emits byte-identical CSV to -j 1, with
+// and without replications.
+func TestSweepContentionDeterministicAcrossJobs(t *testing.T) {
+	for _, base := range [][]string{lockArgs, lockFreeArgs} {
+		seq := runSweep(t, append([]string{"-j", "1"}, base...)...)
+		par := runSweep(t, append([]string{"-j", "8"}, base...)...)
+		if seq != par {
+			t.Errorf("%v: -j 8 CSV differs from -j 1:\n--- j1 ---\n%s--- j8 ---\n%s", base[1], seq, par)
+		}
+		seqR := runSweep(t, append([]string{"-j", "1", "-reps", "3"}, base...)...)
+		parR := runSweep(t, append([]string{"-j", "8", "-reps", "3"}, base...)...)
+		if seqR != parR {
+			t.Errorf("%v: -reps 3 CSV differs between -j 1 and -j 8", base[1])
+		}
+		if seqR == seq {
+			t.Errorf("%v: -reps 3 output identical to -reps 1", base[1])
+		}
+	}
+}
+
+// TestSweepContentionConvTrace: -convtrace on a lock scenario records
+// one solve per thread count under the scenario's solver name, with
+// iteration counts matching the solver's own metadata.
+func TestSweepContentionConvTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "conv.json")
+	runSweep(t, append([]string{"-convtrace", path}, lockArgs...)...)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading convtrace: %v", err)
+	}
+	var doc struct {
+		Total  int `json:"total"`
+		Traces []struct {
+			Solver    string `json:"solver"`
+			Iters     int    `json:"iters"`
+			Converged bool   `json:"converged"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("convtrace is not valid JSON: %v\n%s", err, data)
+	}
+	threads := []int{1, 2, 4, 8, 16} // lockArgs' -T list
+	if doc.Total != len(threads) || len(doc.Traces) != len(threads) {
+		t.Fatalf("convtrace holds %d traces (total %d), want %d", len(doc.Traces), doc.Total, len(threads))
+	}
+	for i, tr := range doc.Traces {
+		res, err := core.Lock(core.LockParams{Threads: threads[i], W: 800, St: 20, So: 100, C2: 1})
+		if err != nil {
+			t.Fatalf("reference solve at T=%d: %v", threads[i], err)
+		}
+		if tr.Solver != "lock" {
+			t.Errorf("trace %d: solver = %q, want lock", i, tr.Solver)
+		}
+		if tr.Iters != res.Solve.Iters || !tr.Converged {
+			t.Errorf("T=%d: trace iters=%d converged=%v, solver metadata iters=%d", threads[i], tr.Iters, tr.Converged, res.Solve.Iters)
+		}
+	}
+}
+
+// TestSweepScenarioBadInput: scenario-specific flag errors exit
+// nonzero without touching stdout.
+func TestSweepScenarioBadInput(t *testing.T) {
+	cases := [][]string{
+		{"-scenario", "mutex"},
+		{"-scenario", "lock", "-T", "0"},
+		{"-scenario", "lock", "-T", "1,x"},
+		{"-scenario", "lockfree", "-W", "100,200"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code == 0 {
+			t.Errorf("run(%v) accepted", args)
+		}
+		if stdout.Len() != 0 {
+			t.Errorf("run(%v) wrote to stdout: %q", args, stdout.String())
+		}
+	}
+}
+
 // TestSweepBadInput: flag and value errors exit nonzero without
 // touching stdout.
 func TestSweepBadInput(t *testing.T) {

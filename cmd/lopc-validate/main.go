@@ -7,6 +7,7 @@
 //	lopc-validate            # full-length runs (≈ half a minute)
 //	lopc-validate -quick     # shorter simulations
 //	lopc-validate -j 4       # evaluate claims in parallel (same output)
+//	lopc-validate -only lock # claims whose ref or text mentions "lock"
 //
 // Claims are independent (each roots its simulations at its own fixed
 // seed), so -j changes wall-clock time only; the PASS/FAIL lines print
@@ -16,8 +17,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
+	"strings"
 
 	"repro"
 	"repro/internal/runner"
@@ -294,6 +297,78 @@ func claims() []claim {
 			},
 		},
 		{
+			ref:  "Ch. 4 (lock ext.)",
+			text: "lock AMVA tracks simulated mutex-style lock throughput within ~10%",
+			eval: func() (string, bool, error) {
+				warm, measure := 50_000.0, 1_000_000.0
+				if quick {
+					warm, measure = 10_000, 250_000
+				}
+				worst := 0.0
+				for _, n := range []int{1, 4, 16} {
+					sim, err := repro.SimulateLock(repro.SimLockConfig{
+						Threads:    n,
+						Work:       repro.Exponential(800),
+						Handoff:    repro.Deterministic(20),
+						Critical:   repro.Exponential(100),
+						WarmupTime: warm, MeasureTime: measure,
+						Seed: 10,
+					})
+					if err != nil {
+						return "", false, err
+					}
+					model, err := repro.Lock(repro.LockParams{Threads: n, W: 800, St: 20, So: 100, C2: 1})
+					if err != nil {
+						return "", false, err
+					}
+					rel := (model.X - sim.X) / sim.X
+					if math.Abs(rel) > math.Abs(worst) {
+						worst = rel
+					}
+				}
+				return fmt.Sprintf("worst error %+.1f%%", worst*100), math.Abs(worst) <= 0.10, nil
+			},
+		},
+		{
+			ref:  "Ch. 4 (CAS ext.)",
+			text: "CAS conflict model tracks simulated retry fractions within ~15%",
+			eval: func() (string, bool, error) {
+				warm, measure := 50_000.0, 1_000_000.0
+				if quick {
+					warm, measure = 10_000, 250_000
+				}
+				worst := 0.0
+				for _, n := range []int{2, 8, 32} {
+					sim, err := repro.SimulateLockFree(repro.SimLockFreeConfig{
+						Threads:    n,
+						Work:       repro.Exponential(400),
+						Round:      repro.Exponential(60),
+						Serial:     repro.Deterministic(5),
+						WarmupTime: warm, MeasureTime: measure,
+						Seed: 11,
+					})
+					if err != nil {
+						return "", false, err
+					}
+					model, err := repro.LockFree(repro.LockFreeParams{Threads: n, W: 400, St: 5, So: 60, C2: 1})
+					if err != nil {
+						return "", false, err
+					}
+					relX := (model.X - sim.X) / sim.X
+					if math.Abs(relX) > math.Abs(worst) {
+						worst = relX
+					}
+					if sim.Conflict > 0 {
+						relQ := (model.Conflict - sim.Conflict) / sim.Conflict
+						if math.Abs(relQ) > math.Abs(worst) {
+							worst = relQ
+						}
+					}
+				}
+				return fmt.Sprintf("worst error %+.1f%%", worst*100), math.Abs(worst) <= 0.15, nil
+			},
+		},
+		{
 			ref:  "LogP (Culler et al.)",
 			text: "simulated optimal broadcast matches the analytical schedule exactly",
 			eval: func() (string, bool, error) {
@@ -315,19 +390,44 @@ func claims() []claim {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the validation CLI with the given arguments and streams,
+// returning the process exit code. It is the whole tool minus os.Exit,
+// so tests can drive it end-to-end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lopc-validate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		jobs     = flag.Int("j", 0, "max concurrent claim evaluations (0 = GOMAXPROCS); never changes output")
-		progress = flag.Bool("progress", false, "report progress (done/total, elapsed, ETA) on stderr")
-		ver      = version.AddFlag(flag.CommandLine)
+		jobs     = fs.Int("j", 0, "max concurrent claim evaluations (0 = GOMAXPROCS); never changes output")
+		progress = fs.Bool("progress", false, "report progress (done/total, elapsed, ETA) on stderr")
+		only     = fs.String("only", "", "evaluate only claims whose ref or text contains this substring")
+		ver      = version.AddFlag(fs)
 	)
-	flag.BoolVar(&quick, "quick", false, "shorter simulations")
-	flag.Parse()
+	fs.BoolVar(&quick, "quick", false, "shorter simulations")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *ver {
-		fmt.Println(version.String("lopc-validate"))
-		return
+		fmt.Fprintln(stdout, version.String("lopc-validate"))
+		return 0
 	}
 
 	cs := claims()
+	if *only != "" {
+		var kept []claim
+		for _, c := range cs {
+			if strings.Contains(c.ref, *only) || strings.Contains(c.text, *only) {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) == 0 {
+			fmt.Fprintf(stderr, "lopc-validate: no claims match -only %q\n", *only)
+			return 1
+		}
+		cs = kept
+	}
 	type outcome struct {
 		measured string
 		pass     bool
@@ -335,7 +435,7 @@ func main() {
 	}
 	opts := runner.Options{Jobs: *jobs, Label: "validate"}
 	if *progress {
-		opts.Progress = os.Stderr
+		opts.Progress = stderr
 	}
 	// Evaluation errors are part of a claim's outcome (reported as
 	// ERROR lines), not run failures, so the task itself never errors
@@ -356,11 +456,12 @@ func main() {
 			status = "FAIL"
 			failures++
 		}
-		fmt.Printf("[%s] %-22s %s\n        -> %s\n", status, c.ref, c.text, measured)
+		fmt.Fprintf(stdout, "[%s] %-22s %s\n        -> %s\n", status, c.ref, c.text, measured)
 	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "%d claim(s) failed\n", failures)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "%d claim(s) failed\n", failures)
+		return 1
 	}
-	fmt.Println("all paper claims validated")
+	fmt.Fprintln(stdout, "all paper claims validated")
+	return 0
 }

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runValidate(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), code
+}
+
+// TestValidateQuickGolden pins the full -quick report: every claim's
+// PASS line and measured value. Every simulation roots at a fixed
+// seed, so the report is byte-reproducible; if a model or simulator
+// change moves a measured value intentionally, regenerate
+// testdata/validate_quick_golden.txt.
+func TestValidateQuickGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every claim's simulations")
+	}
+	got, stderr, code := runValidate(t, "-quick")
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "validate_quick_golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("validate report drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestValidateDeterministicAcrossJobs: -j 8 must print the identical
+// report to -j 1 — claims evaluate concurrently but report in order,
+// each rooted at its own seed.
+func TestValidateDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the contention claims' simulations twice")
+	}
+	args := []string{"-quick", "-only", "Ch. 4"}
+	seq, _, codeSeq := runValidate(t, append([]string{"-j", "1"}, args...)...)
+	par, _, codePar := runValidate(t, append([]string{"-j", "8"}, args...)...)
+	if codeSeq != 0 || codePar != 0 {
+		t.Fatalf("exit codes: j1=%d j8=%d", codeSeq, codePar)
+	}
+	if seq != par {
+		t.Errorf("-j 8 report differs from -j 1:\n--- j1 ---\n%s--- j8 ---\n%s", seq, par)
+	}
+}
+
+// TestValidateOnlyFilter: -only narrows the claim list by ref/text
+// substring and rejects patterns matching nothing.
+func TestValidateOnlyFilter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the lock claim's simulations")
+	}
+	out, _, code := runValidate(t, "-quick", "-only", "lock ext.")
+	if code != 0 {
+		t.Fatalf("run = %d", code)
+	}
+	if strings.Count(out, "[PASS]")+strings.Count(out, "[FAIL]")+strings.Count(out, "[ERROR]") != 1 {
+		t.Errorf("-only %q evaluated more than one claim:\n%s", "lock ext.", out)
+	}
+	if !strings.Contains(out, "lock AMVA") {
+		t.Errorf("-only %q missed the lock claim:\n%s", "lock ext.", out)
+	}
+}
+
+func TestValidateOnlyNoMatch(t *testing.T) {
+	out, stderr, code := runValidate(t, "-only", "no such claim anywhere")
+	if code == 0 {
+		t.Error("matchless -only accepted")
+	}
+	if out != "" {
+		t.Errorf("matchless -only wrote to stdout: %q", out)
+	}
+	if !strings.Contains(stderr, "no claims match") {
+		t.Errorf("stderr %q missing diagnostic", stderr)
+	}
+}
+
+func TestValidateBadFlag(t *testing.T) {
+	_, _, code := runValidate(t, "-nonsense")
+	if code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}

@@ -102,3 +102,37 @@ func ExampleUpperBoundBeta() {
 	// Output:
 	// beta(C²=0) = 3.45
 }
+
+// ExampleLock prices a coarse-grained lock: the critical section plays
+// the LoPC handler, the lock queue plays the server queue.
+func ExampleLock() {
+	p := repro.LockParams{Threads: 16, W: 800, St: 20, So: 100, C2: 1}
+	res, err := repro.Lock(p)
+	if err != nil {
+		panic(err)
+	}
+	serial, uncontended := repro.LockBounds(p)
+	fmt.Printf("throughput:  %.5f acquisitions/cycle\n", res.X)
+	fmt.Printf("lock wait:   %.0f cycles\n", res.Wait)
+	fmt.Printf("utilization: %.0f%% (bounds %.5f..%.5f)\n", 100*res.U, serial, uncontended)
+	// Output:
+	// throughput:  0.00942 acquisitions/cycle
+	// lock wait:   758 cycles
+	// utilization: 94% (bounds 0.01000..0.01702)
+}
+
+// ExampleLockFree prices a CAS-retry loop: a conflicting commit
+// regenerates the round, so contention is paid in retries, not queueing.
+func ExampleLockFree() {
+	res, err := repro.LockFree(repro.LockFreeParams{Threads: 16, W: 400, St: 5, So: 60, C2: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("throughput: %.5f ops/cycle\n", res.X)
+	fmt.Printf("conflict probability: %.2f\n", res.Conflict)
+	fmt.Printf("rounds per op: %.2f\n", res.Attempts)
+	// Output:
+	// throughput: 0.02851 ops/cycle
+	// conflict probability: 0.62
+	// rounds per op: 2.60
+}

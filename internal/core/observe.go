@@ -8,6 +8,8 @@ const (
 	SolverAllToAll     = "alltoall"
 	SolverClientServer = "clientserver"
 	SolverGeneral      = "general"
+	SolverLock         = "lock"
+	SolverLockFree     = "lockfree"
 )
 
 // beginSolve starts an observation on o, tolerating a nil observer: the

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -227,6 +228,13 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Honour build constraints (//go:build lines, GOOS/GOARCH file
+		// suffixes) under the default build context, so tag-gated
+		// variants (e.g. a race/!race constant pair) don't collide as
+		// duplicate declarations in one package.
+		if match, err := build.Default.MatchFile(dir, name); err == nil && !match {
 			continue
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)

@@ -219,6 +219,8 @@ func (s *Server) routes() {
 	s.mux.Handle("/v1/bounds", s.instrument("/v1/bounds", s.handleBounds))
 	s.mux.Handle("/v1/fit", s.instrument("/v1/fit", s.handleFit))
 	s.mux.Handle("/v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	s.mux.Handle("/v1/lock", s.instrument("/v1/lock", s.handleLock))
+	s.mux.Handle("/v1/lockfree", s.instrument("/v1/lockfree", s.handleLockFree))
 	if s.cfg.Pprof {
 		// The pprof handlers self-register on http.DefaultServeMux at
 		// import; mount them explicitly so they exist only when asked

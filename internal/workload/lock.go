@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// LockConfig describes a coarse-grained lock run on the simulated
+// machine: Threads client nodes loop {compute Work; acquire the lock;
+// critical section; release}, and one extra node plays the lock. The
+// mapping onto the LoPC machine is the work-pile with Ps = 1: the
+// request handler at the lock node is the critical section (requests
+// serialize FIFO, exactly like waiters on a queue lock), the request
+// trip is the acquire handoff, and the reply trip — whose handler does
+// nothing — is the grant handoff back to the waiter, so a full cycle
+// is W + 2St + Rs with Rs the lock response (wait + critical section).
+type LockConfig struct {
+	// Threads is the number of contending threads (client nodes).
+	Threads int
+	// Work is the non-critical work distribution (mean W).
+	Work dist.Distribution
+	// Handoff is the one-way lock handoff latency distribution
+	// (mean St); a cycle pays it twice.
+	Handoff dist.Distribution
+	// Critical is the critical-section distribution (mean So, SCV C²).
+	Critical dist.Distribution
+	// WarmupTime and MeasureTime bound the measurement window, in
+	// simulated cycles; throughput is the metric, so the window is
+	// time-based like the work-pile's.
+	WarmupTime, MeasureTime float64
+	// Seed roots the run's random streams.
+	Seed uint64
+}
+
+func (c LockConfig) validate() error {
+	switch {
+	case c.Threads < 1:
+		return fmt.Errorf("workload: lock needs Threads >= 1, got %d", c.Threads)
+	case c.Work == nil || c.Handoff == nil || c.Critical == nil:
+		return fmt.Errorf("workload: nil distribution in config")
+	// The negated comparisons reject NaN too: NaN >= 0 is false.
+	case !(c.WarmupTime >= 0) || !(c.MeasureTime > 0) || math.IsInf(c.WarmupTime, 0) || math.IsInf(c.MeasureTime, 0):
+		return fmt.Errorf("workload: invalid window warmup=%v measure=%v", c.WarmupTime, c.MeasureTime)
+	}
+	return nil
+}
+
+// LockSimResult holds the measured lock statistics, aligned with
+// core.LockResult.
+type LockSimResult struct {
+	// X is the system throughput: acquisitions per cycle across all
+	// threads in the measurement window.
+	X float64
+	// R is the full thread cycle time (release to release).
+	R stats.Tally
+	// Rs is the lock response: from the acquire request reaching the
+	// lock to the critical section completing (wait + service).
+	Rs stats.Tally
+	// Q is the time-averaged number of threads at the lock.
+	Q float64
+	// U is the time-averaged lock utilization.
+	U float64
+	// Acquisitions counts completed critical sections in the window.
+	Acquisitions int64
+}
+
+// lockProgram drives one thread; it is the work-pile client with a
+// fixed destination (the lock node) and a free reply handler.
+type lockProgram struct {
+	run   *lockRun
+	phase int
+	cur   cycleTimestamps
+}
+
+type lockRun struct {
+	cfg   LockConfig
+	res   *LockSimResult
+	inWin func(t float64) bool
+	acqs  int64
+	free  dist.Distribution // zero-service reply: the grant carries no work
+}
+
+// Next implements machine.Program.
+func (p *lockProgram) Next(m *machine.Machine, self int) machine.Action {
+	switch p.phase {
+	case phaseStart:
+		p.cur.ready = m.Now()
+		p.phase = phaseSend
+		return machine.Compute(p.run.cfg.Work.Sample(m.Rand(self)))
+
+	case phaseSend:
+		p.cur.send = m.Now()
+		p.phase = phaseUnblocked
+		req := &machine.Message{
+			Src: self, Dst: p.run.cfg.Threads, // the lock node
+			Kind: machine.KindRequest, Service: p.run.cfg.Critical,
+		}
+		p.cur.req = req
+		req.OnComplete = func(m *machine.Machine, msg *machine.Message) {
+			rep := &machine.Message{
+				Src: msg.Dst, Dst: msg.Src,
+				Kind: machine.KindReply, Service: p.run.free,
+			}
+			p.cur.rep = rep
+			rep.OnComplete = func(m *machine.Machine, rmsg *machine.Message) {
+				p.cur.repDone = rmsg.Done
+				m.Unblock(rmsg.Dst)
+			}
+			m.Send(rep)
+		}
+		return machine.SendAndBlock(req)
+
+	case phaseUnblocked:
+		c := &p.cur
+		if p.run.inWin(c.repDone) {
+			res := p.run.res
+			res.R.Add(c.repDone - c.ready)
+			res.Rs.Add(c.req.Done - c.req.Arrived)
+			p.run.acqs++
+		}
+		p.cur = cycleTimestamps{ready: c.repDone}
+		p.phase = phaseSend
+		return machine.Compute(p.run.cfg.Work.Sample(m.Rand(self)))
+
+	default:
+		panic(fmt.Sprintf("workload: invalid lock phase %d", p.phase))
+	}
+}
+
+// RunLock executes one coarse-grained lock simulation.
+func RunLock(cfg LockConfig) (LockSimResult, error) {
+	if err := cfg.validate(); err != nil {
+		return LockSimResult{}, err
+	}
+	m := machine.New(machine.Config{
+		P:          cfg.Threads + 1,
+		NetLatency: cfg.Handoff,
+		Seed:       cfg.Seed,
+	})
+	end := cfg.WarmupTime + cfg.MeasureTime
+	run := &lockRun{
+		cfg:  cfg,
+		res:  &LockSimResult{},
+		free: dist.NewDeterministic(0),
+		inWin: func(t float64) bool {
+			return t >= cfg.WarmupTime && t <= end
+		},
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		m.SetProgram(i, &lockProgram{run: run})
+	}
+	m.Start()
+	m.RunUntil(cfg.WarmupTime)
+	m.ResetStats()
+	m.RunUntil(end)
+
+	res := run.res
+	res.Acquisitions = run.acqs
+	res.X = float64(run.acqs) / cfg.MeasureTime
+	ns := m.NodeStats(cfg.Threads)
+	res.Q = ns.ReqQueue
+	res.U = ns.UtilReq
+	return *res, nil
+}

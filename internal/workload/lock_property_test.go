@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// TestLockBoundsProperty: simulated lock throughput never exceeds the
+// LogP-style optimistic bounds min(1/So, Threads/(W+2St+So)), at any
+// random configuration.
+func TestLockBoundsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	f := func(seed uint64, nRaw, wRaw, soRaw uint8) bool {
+		n := int(nRaw%12) + 1 // 1..12
+		w := 200 + float64(wRaw)*8
+		so := 20 + float64(soRaw%150)
+		sim, err := RunLock(LockConfig{
+			Threads:    n,
+			Work:       dist.NewExponential(w),
+			Handoff:    dist.NewDeterministic(20),
+			Critical:   dist.NewExponential(so),
+			WarmupTime: 20_000, MeasureTime: 300_000,
+			Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		serial, unc := core.LockBounds(core.LockParams{Threads: n, W: w, St: 20, So: so, C2: 1})
+		// The 1.1 allowance covers finite-window estimator noise, as in
+		// TestWorkpileBoundsProperty.
+		return sim.X <= math.Min(serial, unc)*1.1+1e-9
+	}
+	if err := quick.Check(f, quickCfg(25)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockMonotonicityProperty: simulated throughput is monotone
+// nondecreasing in the thread count (within estimator noise) — the
+// contention analogue of "more processors never hurt a closed network".
+func TestLockMonotonicityProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	f := func(seed uint64, wRaw uint8) bool {
+		w := 400 + float64(wRaw)*8
+		prev := 0.0
+		for _, n := range []int{1, 4, 16} {
+			sim, err := RunLock(LockConfig{
+				Threads:    n,
+				Work:       dist.NewExponential(w),
+				Handoff:    dist.NewDeterministic(20),
+				Critical:   dist.NewExponential(100),
+				WarmupTime: 20_000, MeasureTime: 300_000,
+				Seed: seed,
+			})
+			if err != nil {
+				return false
+			}
+			if sim.X < prev*0.97 { // 3% noise allowance
+				return false
+			}
+			prev = sim.X
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(10)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockDegenerationProperty: as the critical section shrinks the
+// simulated lock collapses onto the uncontended bound — contention
+// vanishes with the contended resource.
+func TestLockDegenerationProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	f := func(seed uint64, wRaw uint8) bool {
+		w := 500 + float64(wRaw)*8
+		sim, err := RunLock(LockConfig{
+			Threads:    8,
+			Work:       dist.NewExponential(w),
+			Handoff:    dist.NewDeterministic(30),
+			Critical:   dist.NewDeterministic(1), // So ≪ W
+			WarmupTime: 20_000, MeasureTime: 1_500_000,
+			Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		// ~7500 completions per window put the estimator's standard
+		// error near 1.2%; 5% is a > 4σ allowance.
+		unc := 8 / (w + 60 + 1)
+		return math.Abs(sim.X-unc)/unc < 0.05
+	}
+	if err := quick.Check(f, quickCfg(10)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockModelSimCrossProperty: model and simulator agree within 15%
+// on throughput across random feasible configurations — the committed
+// model-vs-simulator contract for the lock scenario.
+func TestLockModelSimCrossProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	f := func(seed uint64, nRaw, wRaw, soRaw uint8) bool {
+		n := int(nRaw%8) + 1 // 1..8
+		w := 400 + float64(wRaw)*8
+		so := 40 + float64(soRaw%120)
+		sim, err := RunLock(LockConfig{
+			Threads:    n,
+			Work:       dist.NewExponential(w),
+			Handoff:    dist.NewDeterministic(20),
+			Critical:   dist.NewExponential(so),
+			WarmupTime: 30_000, MeasureTime: 500_000,
+			Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		mod, err := core.Lock(core.LockParams{Threads: n, W: w, St: 20, So: so, C2: 1})
+		if err != nil {
+			return false
+		}
+		return math.Abs(mod.X-sim.X)/sim.X < 0.15
+	}
+	if err := quick.Check(f, quickCfg(15)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockFreeBoundsProperty: simulated CAS-retry throughput never
+// exceeds the conflict-free bound Threads/(W+So+St).
+func TestLockFreeBoundsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	f := func(seed uint64, nRaw, wRaw, soRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		w := 200 + float64(wRaw)*8
+		so := 20 + float64(soRaw%100)
+		sim, err := RunLockFree(LockFreeConfig{
+			Threads:    n,
+			Work:       dist.NewExponential(w),
+			Round:      dist.NewExponential(so),
+			Serial:     dist.NewDeterministic(5),
+			WarmupTime: 20_000, MeasureTime: 300_000,
+			Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		_, free := core.LockFreeBounds(core.LockFreeParams{Threads: n, W: w, St: 5, So: so, C2: 1})
+		return sim.X <= free*1.05+1e-9
+	}
+	if err := quick.Check(f, quickCfg(25)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockFreeDegenerationProperty: as the retry round shrinks the
+// conflict window closes and the simulator collapses onto the
+// conflict-free bound.
+func TestLockFreeDegenerationProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	f := func(seed uint64, wRaw uint8) bool {
+		w := 500 + float64(wRaw)*8
+		sim, err := RunLockFree(LockFreeConfig{
+			Threads:    8,
+			Work:       dist.NewExponential(w),
+			Round:      dist.NewDeterministic(1), // So ≪ W: conflicts vanish
+			Serial:     dist.NewDeterministic(2),
+			WarmupTime: 20_000, MeasureTime: 1_500_000,
+			Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		// As in TestLockDegenerationProperty, the window is sized so 5%
+		// is a > 4σ allowance on the throughput estimate.
+		free := 8 / (w + 1 + 2)
+		return sim.Conflict < 0.05 && math.Abs(sim.X-free)/free < 0.05
+	}
+	if err := quick.Check(f, quickCfg(10)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockFreeModelSimCrossProperty: conflict model and simulator agree
+// within 15% on throughput across random configurations — the
+// committed model-vs-simulator contract for the lock-free scenario.
+func TestLockFreeModelSimCrossProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	f := func(seed uint64, nRaw, wRaw, soRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		w := 300 + float64(wRaw)*8
+		so := 30 + float64(soRaw%80)
+		sim, err := RunLockFree(LockFreeConfig{
+			Threads:    n,
+			Work:       dist.NewExponential(w),
+			Round:      dist.NewExponential(so),
+			Serial:     dist.NewDeterministic(5),
+			WarmupTime: 30_000, MeasureTime: 500_000,
+			Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		mod, err := core.LockFree(core.LockFreeParams{Threads: n, W: w, St: 5, So: so, C2: 1})
+		if err != nil {
+			return false
+		}
+		return math.Abs(mod.X-sim.X)/sim.X < 0.15
+	}
+	if err := quick.Check(f, quickCfg(15)); err != nil {
+		t.Fatal(err)
+	}
+}

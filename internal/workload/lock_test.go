@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+func TestLockConfigValidate(t *testing.T) {
+	good := LockConfig{
+		Threads:     4,
+		Work:        dist.NewDeterministic(100),
+		Handoff:     dist.NewDeterministic(10),
+		Critical:    dist.NewDeterministic(50),
+		MeasureTime: 1000,
+	}
+	if _, err := RunLock(good); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(*LockConfig){
+		func(c *LockConfig) { c.Threads = 0 },
+		func(c *LockConfig) { c.Work = nil },
+		func(c *LockConfig) { c.Handoff = nil },
+		func(c *LockConfig) { c.Critical = nil },
+		func(c *LockConfig) { c.MeasureTime = 0 },
+		func(c *LockConfig) { c.WarmupTime = -1 },
+		func(c *LockConfig) { c.WarmupTime = math.NaN() },
+	}
+	for i, mutate := range bad {
+		c := good
+		mutate(&c)
+		if _, err := RunLock(c); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+// TestLockSimSingleThread: with one thread and deterministic times the
+// cycle is exactly W + 2St + So and there is never any waiting.
+func TestLockSimSingleThread(t *testing.T) {
+	w, st, so := 500.0, 40.0, 100.0
+	sim, err := RunLock(LockConfig{
+		Threads:    1,
+		Work:       dist.NewDeterministic(w),
+		Handoff:    dist.NewDeterministic(st),
+		Critical:   dist.NewDeterministic(so),
+		WarmupTime: 10_000, MeasureTime: 100_000,
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := w + 2*st + so
+	if math.Abs(sim.R.Mean()-cycle) > 1e-9 || sim.R.Max()-sim.R.Min() > 1e-9 {
+		t.Errorf("R = %v..%v, want exactly %v", sim.R.Min(), sim.R.Max(), cycle)
+	}
+	if math.Abs(sim.Rs.Mean()-so) > 1e-9 {
+		t.Errorf("Rs = %v, want exactly So = %v", sim.Rs.Mean(), so)
+	}
+	if rel := math.Abs(sim.X-1/cycle) / (1 / cycle); rel > 0.01 {
+		t.Errorf("X = %v, want ~%v", sim.X, 1/cycle)
+	}
+}
+
+// TestLockSimDeterminism: the same seed reproduces the identical result
+// bit for bit; a different seed does not.
+func TestLockSimDeterminism(t *testing.T) {
+	cfg := LockConfig{
+		Threads:    6,
+		Work:       dist.NewExponential(500),
+		Handoff:    dist.NewDeterministic(20),
+		Critical:   dist.NewExponential(80),
+		WarmupTime: 5_000, MeasureTime: 100_000,
+		Seed: 42,
+	}
+	a, err := RunLock(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLock(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed = 43
+	c, err := RunLock(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+// TestLockModelSimAgreement: the core.Lock AMVA tracks the simulated
+// lock across the contention range, from idle (U ≈ 0.1) through
+// saturation (U ≈ 1). Documented tolerance: ≤ 10% per point and ≤ 5%
+// mean over the range; the worst observed excursion is ~7% at
+// Threads=16, where utilization crosses ~0.95 and the Schweitzer
+// approximation is weakest (the same knee the paper's Figure 6-2
+// shows for the work-pile AMVA).
+func TestLockModelSimAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	w, st, so := 800.0, 20.0, 100.0
+	var sumRel float64
+	threads := []int{1, 2, 4, 8, 16, 32}
+	for _, n := range threads {
+		sim, err := RunLock(LockConfig{
+			Threads:    n,
+			Work:       dist.NewExponential(w),
+			Handoff:    dist.NewDeterministic(st),
+			Critical:   dist.NewExponential(so),
+			WarmupTime: 50_000, MeasureTime: 1_000_000,
+			Seed: 7,
+		})
+		if err != nil {
+			t.Fatalf("Threads=%d: %v", n, err)
+		}
+		mod, err := core.Lock(core.LockParams{Threads: n, W: w, St: st, So: so, C2: 1})
+		if err != nil {
+			t.Fatalf("Threads=%d: %v", n, err)
+		}
+		rel := math.Abs(mod.X-sim.X) / sim.X
+		sumRel += rel
+		if rel > 0.10 {
+			t.Errorf("Threads=%d: model X=%v vs sim X=%v (rel %.1f%% > 10%%)", n, mod.X, sim.X, 100*rel)
+		}
+	}
+	if mean := sumRel / float64(len(threads)); mean > 0.05 {
+		t.Errorf("mean relative error %.1f%% > 5%%", 100*mean)
+	}
+}

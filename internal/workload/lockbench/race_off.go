@@ -1,0 +1,9 @@
+//go:build !race
+
+package lockbench
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// model-vs-measured tests widen their tolerance under -race: the
+// detector multiplies the cost of every atomic and mutex operation,
+// which distorts exactly the quantities being measured.
+const RaceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package lockbench
+
+// RaceEnabled reports whether the race detector is compiled in; see
+// race_off.go for why the tolerance widens when it is.
+const RaceEnabled = true

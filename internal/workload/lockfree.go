@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// LockFreeConfig describes a CAS-retry run built directly on the
+// discrete-event kernel: Threads threads share one versioned word and
+// loop {compute Work; repeat a retry round of length Round until no
+// other thread committed inside the round; pay Serial; commit}. A round
+// models read-state / compute-new-value / CAS: it fails exactly when
+// the shared version changed between its start and its end — conflicts
+// regenerate the round's work instead of queueing it, the Atalar et
+// al. conflict semantics.
+type LockFreeConfig struct {
+	// Threads is the number of contending threads.
+	Threads int
+	// Work is the parallel work distribution between successful
+	// operations (mean W).
+	Work dist.Distribution
+	// Round is the retry-round distribution (mean So, SCV C²) — the
+	// conflict window.
+	Round dist.Distribution
+	// Serial is the per-commit serialization cost distribution
+	// (mean St): the exclusive cache-line transfer of the winning CAS.
+	Serial dist.Distribution
+	// WarmupTime and MeasureTime bound the measurement window.
+	WarmupTime, MeasureTime float64
+	// Seed roots the per-thread random streams.
+	Seed uint64
+}
+
+func (c LockFreeConfig) validate() error {
+	switch {
+	case c.Threads < 1:
+		return fmt.Errorf("workload: lock-free needs Threads >= 1, got %d", c.Threads)
+	case c.Work == nil || c.Round == nil || c.Serial == nil:
+		return fmt.Errorf("workload: nil distribution in config")
+	// The negated comparisons reject NaN too: NaN >= 0 is false.
+	case !(c.WarmupTime >= 0) || !(c.MeasureTime > 0) || math.IsInf(c.WarmupTime, 0) || math.IsInf(c.MeasureTime, 0):
+		return fmt.Errorf("workload: invalid window warmup=%v measure=%v", c.WarmupTime, c.MeasureTime)
+	}
+	return nil
+}
+
+// LockFreeSimResult holds the measured CAS-retry statistics, aligned
+// with core.LockFreeResult.
+type LockFreeSimResult struct {
+	// X is the system throughput: successful operations per cycle
+	// across all threads in the measurement window.
+	X float64
+	// R is the full thread cycle time (commit completion to commit
+	// completion).
+	R stats.Tally
+	// Attempts is the mean number of retry rounds per successful
+	// operation in the window.
+	Attempts float64
+	// Conflict is the fraction of rounds that lost their CAS.
+	Conflict float64
+	// Ops counts successful operations in the window.
+	Ops int64
+	// Rounds counts retry rounds completed in the window.
+	Rounds int64
+}
+
+// lfState is the shared state of one lock-free run.
+type lfState struct {
+	cfg       LockFreeConfig
+	eng       *sim.Engine
+	version   uint64 // the shared versioned word; commits increment it
+	res       *LockFreeSimResult
+	conflicts int64
+	inWin     func(t float64) bool
+}
+
+// lfThread drives one thread through compute/retry/commit cycles.
+type lfThread struct {
+	st    *lfState
+	r     *rng.Stream
+	ready float64 // start of the current cycle
+	v0    uint64  // version observed at the current round's start
+}
+
+func (t *lfThread) startCycle() {
+	t.ready = t.st.eng.Now()
+	t.st.eng.Schedule(t.st.cfg.Work.Sample(t.r), t.startRound)
+}
+
+func (t *lfThread) startRound() {
+	t.v0 = t.st.version
+	t.st.eng.Schedule(t.st.cfg.Round.Sample(t.r), t.endRound)
+}
+
+func (t *lfThread) endRound() {
+	st := t.st
+	now := st.eng.Now()
+	measured := st.inWin(now)
+	if measured {
+		st.res.Rounds++
+	}
+	if st.version != t.v0 {
+		// Another thread committed inside the window: the CAS fails and
+		// the round's work regenerates.
+		if measured {
+			st.conflicts++
+		}
+		t.startRound()
+		return
+	}
+	st.version++
+	st.eng.Schedule(st.cfg.Serial.Sample(t.r), func() {
+		end := st.eng.Now()
+		if st.inWin(end) {
+			st.res.Ops++
+			st.res.R.Add(end - t.ready)
+		}
+		t.startCycle()
+	})
+}
+
+// RunLockFree executes one CAS-retry simulation.
+func RunLockFree(cfg LockFreeConfig) (LockFreeSimResult, error) {
+	if err := cfg.validate(); err != nil {
+		return LockFreeSimResult{}, err
+	}
+	eng := sim.NewEngine()
+	st := &lfState{cfg: cfg, eng: eng, res: &LockFreeSimResult{}}
+	end := cfg.WarmupTime + cfg.MeasureTime
+	st.inWin = func(t float64) bool {
+		return t >= cfg.WarmupTime && t <= end
+	}
+	src := rng.NewSource(cfg.Seed)
+	for i := 0; i < cfg.Threads; i++ {
+		th := &lfThread{st: st, r: src.Stream()}
+		eng.Schedule(0, th.startCycle)
+	}
+	eng.RunUntil(end)
+
+	res := st.res
+	res.X = float64(res.Ops) / cfg.MeasureTime
+	if res.Rounds > 0 {
+		res.Conflict = float64(st.conflicts) / float64(res.Rounds)
+	}
+	if res.Ops > 0 {
+		res.Attempts = float64(res.Rounds) / float64(res.Ops)
+	}
+	return *res, nil
+}
