@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	lopc-lint [-config file] [-format text|json|github] [-list] [patterns...]
+//	lopc-lint [-config file] [-format text|json|github] [-checks a,b] [-list] [-report-allows] [patterns...]
 //
 // Patterns default to ./... (every package of the enclosing module,
 // skipping testdata). With the default text format findings print one
@@ -22,6 +22,12 @@
 //
 // comment on the flagged line or the line above it; whole path prefixes
 // with a -config allowlist ("check path-prefix" lines).
+//
+// -checks restricts the run to a comma-separated subset of analyzers
+// (unknown names are a usage error). -report-allows prints every
+// //lopc:allow suppression in the analyzed packages with its audited
+// reason instead of running the analyzers, so the full suppression
+// inventory is reviewable per PR.
 package main
 
 import (
@@ -45,7 +51,9 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	configPath := fs.String("config", "", "path allowlist `file` (lines: check path-prefix)")
 	format := fs.String("format", "text", "output `format`: text, json, or github")
+	checks := fs.String("checks", "", "comma-separated `subset` of checks to run (default: all)")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	reportAllows := fs.Bool("report-allows", false, "print every //lopc:allow suppression with its reason and exit")
 	ver := version.AddFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -59,6 +67,19 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	analyzers := lint.All()
+	if *checks != "" {
+		var names []string
+		for _, n := range strings.Split(*checks, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		var err error
+		if analyzers, err = lint.ByNames(names); err != nil {
+			fmt.Fprintln(stderr, "lopc-lint:", err)
+			return 2
+		}
+	}
 	if *list {
 		for _, a := range analyzers {
 			fmt.Fprintf(stdout, "%-16s %s\n", a.Name(), a.Doc())
@@ -93,6 +114,15 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "lopc-lint:", err)
 		return 2
+	}
+
+	if *reportAllows {
+		records := lint.AllowRecords(l, pkgs)
+		for _, r := range records {
+			fmt.Fprintf(stdout, "%s:%d: %s: %s\n", r.File, r.Line, r.Check, r.Reason)
+		}
+		fmt.Fprintf(stderr, "lopc-lint: %d suppression(s) in %d package(s)\n", len(records), len(pkgs))
+		return 0
 	}
 
 	diags := lint.Run(l, pkgs, analyzers, cfg)

@@ -122,7 +122,9 @@ func TestConfigAllowsEverything(t *testing.T) {
 		"waitgroup fixture\n" +
 		"loopcapture fixture\n" +
 		"lockbalance fixture\n" +
-		"sendclosed fixture\n"
+		"sendclosed fixture\n" +
+		"allochot fixture\n" +
+		"deadlock fixture\n"
 	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -133,6 +135,56 @@ func TestConfigAllowsEverything(t *testing.T) {
 	}
 	if stdout.Len() != 0 {
 		t.Errorf("expected no output, got:\n%s", stdout.String())
+	}
+}
+
+// TestChecksSubset: -checks restricts the run to the named analyzers,
+// so only their findings appear.
+func TestChecksSubset(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-checks", "allochot,deadlock", "./..."}, filepath.Join("testdata", "fixturemod"), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d findings, want 3:\n%s", len(lines), stdout.String())
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, ":allochot:") && !strings.Contains(line, ":deadlock:") {
+			t.Errorf("finding from an unselected check leaked through: %s", line)
+		}
+	}
+}
+
+// TestChecksUnknown: an unrecognized -checks name is a usage error
+// (exit 2) naming the bad check, before any packages load.
+func TestChecksUnknown(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-checks", "floateq,nosuchcheck", "./..."}, filepath.Join("testdata", "fixturemod"), &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "nosuchcheck") {
+		t.Errorf("stderr %q does not name the unknown check", stderr.String())
+	}
+}
+
+// TestReportAllowsGolden pins the -report-allows inventory: every
+// //lopc:allow in the fixture module with its file, line, check and
+// audited reason, and exit 0 regardless of findings.
+func TestReportAllowsGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_allows.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-report-allows", "./..."}, filepath.Join("testdata", "fixturemod"), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	if stdout.String() != string(want) {
+		t.Errorf("output mismatch\n--- got ---\n%s--- want ---\n%s", stdout.String(), want)
 	}
 }
 

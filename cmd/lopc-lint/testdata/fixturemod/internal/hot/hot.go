@@ -1,0 +1,29 @@
+// Package hot is the fixture for the hot-path allocation analyzer: a
+// //lopc:hotpath root that allocates once per call, plus one audited
+// suppression so -report-allows has an inventory entry to list.
+package hot
+
+// step advances the state by one sweep, allocating a fresh result
+// slice every call — exactly what allochot exists to flag.
+//
+//lopc:hotpath
+func step(q []float64, v float64) []float64 {
+	out := make([]float64, len(q))
+	for i := range q {
+		out[i] = q[i] + v
+	}
+	return out
+}
+
+// warm builds the scratch buffer the sweeps reuse; the allocation is
+// deliberate and audited.
+//
+//lopc:hotpath
+func warm(n int) []float64 {
+	//lopc:allow allochot scratch is allocated once at setup time and reused by every later sweep
+	buf := make([]float64, n)
+	return buf
+}
+
+var _ = step
+var _ = warm

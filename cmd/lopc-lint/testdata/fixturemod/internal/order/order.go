@@ -1,0 +1,41 @@
+// Package order is the fixture for the cross-function deadlock
+// analyzer: two functions acquiring the same pair of locks in opposite
+// orders, plus one audited channel send under a lock.
+package order
+
+import "sync"
+
+type pair struct {
+	a, b sync.Mutex
+	ch   chan int
+}
+
+// lockAB takes a then b.
+func lockAB(p *pair) {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+}
+
+// lockBA takes b then a: the reverse of lockAB, so two goroutines can
+// deadlock holding one lock each.
+func lockBA(p *pair) {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	defer p.a.Unlock()
+}
+
+// post publishes under the lock; audited because the channel is
+// buffered and drained.
+func post(p *pair, v int) {
+	p.a.Lock()
+	defer p.a.Unlock()
+	//lopc:allow deadlock the channel is buffered (cap 1) and drained by the sole receiver before the next post
+	p.ch <- v
+}
+
+var _ = lockAB
+var _ = lockBA
+var _ = post

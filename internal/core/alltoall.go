@@ -81,11 +81,14 @@ func (r AllToAllResult) Components(p Params) (thread, request, reply float64) {
 // which is linear in (Rq, Ry); eliminating Ry:
 //
 //	Rq = So·(1 + (C²−1)a + a(1 + (C²−1)a/2)) / (1 − a − a²)
+//
+//lopc:hotpath
 func allToAllStep(p Params, r float64) (AllToAllResult, error) {
 	lam := 1 / r // per-node arrival rate of requests (also of replies)
 	a := lam * p.So
 	denom := 1 - a - a*a
 	if denom <= 0 {
+		//lopc:allow allochot error construction runs only on the infeasible-guard path, never on a converged iterate
 		return AllToAllResult{}, fmt.Errorf("core: all-to-all model infeasible at R=%v (handler load a=%v)", r, a)
 	}
 	cc := p.C2 - 1
@@ -100,6 +103,7 @@ func allToAllStep(p Params, r float64) (AllToAllResult, error) {
 		rw = p.W
 	default:
 		if a >= 1 {
+			//lopc:allow allochot error construction runs only on the saturated-guard path, never on a converged iterate
 			return AllToAllResult{}, fmt.Errorf("core: request-handler utilization %v >= 1", a)
 		}
 		if p.Priority == ShadowServer {

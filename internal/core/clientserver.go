@@ -73,6 +73,26 @@ func ClientServer(p ClientServerParams) (ClientServerResult, error) {
 	return ClientServerObserved(p, nil)
 }
 
+// clientServerStep evaluates one iterate of the work-pile fixed point
+// (Eq. 6.5 with Little's law): given a trial server response time rs it
+// returns the implied model quantities, with Rs holding the next
+// iterate. pc and ps are the client and server counts as floats.
+//
+//lopc:hotpath
+func clientServerStep(p ClientServerParams, pc, ps, rs float64) (ClientServerResult, error) {
+	r := p.W + 2*p.St + rs + p.So
+	x := pc / r
+	lamS := x / ps // arrival rate at each server
+	us := lamS * p.So
+	if us >= 1 {
+		//lopc:allow allochot error construction runs only on the saturated-guard path, never on a converged iterate
+		return ClientServerResult{}, fmt.Errorf("core: server utilization %v >= 1 at Rs=%v", us, rs)
+	}
+	qs := lamS * rs
+	rsNext := p.So * (1 + qs + (p.C2-1)/2*us)
+	return ClientServerResult{X: x, R: r, Rs: rsNext, Qs: qs, Us: us}, nil
+}
+
 // ClientServerObserved is ClientServer reporting the solve to o (which
 // may be nil). The returned result's Solve field carries the same stats
 // the observer sees.
@@ -83,21 +103,9 @@ func ClientServerObserved(p ClientServerParams, o obs.SolveObserver) (ClientServ
 	done := beginSolve(o, SolverClientServer)
 	pc := float64(p.P - p.Ps)
 	ps := float64(p.Ps)
-	step := func(rs float64) (ClientServerResult, error) {
-		r := p.W + 2*p.St + rs + p.So
-		x := pc / r
-		lamS := x / ps // arrival rate at each server
-		us := lamS * p.So
-		if us >= 1 {
-			return ClientServerResult{}, fmt.Errorf("core: server utilization %v >= 1 at Rs=%v", us, rs)
-		}
-		qs := lamS * rs
-		rsNext := p.So * (1 + qs + (p.C2-1)/2*us)
-		return ClientServerResult{X: x, R: r, Rs: rsNext, Qs: qs, Us: us}, nil
-	}
 	var stats obs.SolveStats
 	f := func(rs float64) float64 {
-		res, err := step(rs)
+		res, err := clientServerStep(p, pc, ps, rs)
 		if err != nil {
 			stats.GuardTrips++
 			return rs * 2 // push away from the saturated region
@@ -114,7 +122,7 @@ func ClientServerObserved(p ClientServerParams, o obs.SolveObserver) (ClientServ
 		done(stats, err)
 		return ClientServerResult{}, err
 	}
-	res, err := step(rs)
+	res, err := clientServerStep(p, pc, ps, rs)
 	if err != nil {
 		done(stats, err)
 		return ClientServerResult{}, err

@@ -117,6 +117,99 @@ type GeneralResult struct {
 	Solve obs.SolveStats
 }
 
+// generalState holds the iteration vectors of the general AMVA solve,
+// allocated once before the sweep loop starts so the per-iteration
+// sweep itself is allocation-free.
+type generalState struct {
+	// r and x are per-thread cycle times and throughputs; rw the
+	// per-thread residence times.
+	r, x, rw []float64
+	// rq, ry, uq, uy, qq, qy are the per-node handler response times,
+	// utilizations and queue lengths.
+	rq, ry, uq, uy, qq, qy []float64
+}
+
+// Iteration constants of the general AMVA sweep.
+const (
+	generalMaxIter = 200000
+	generalDamping = 0.5
+	generalTol     = 1e-10
+	// generalMaxUtil caps the utilization used in the BKT denominator
+	// while the iteration is still far from its fixed point.
+	generalMaxUtil = 0.999999
+)
+
+// generalSweep runs one damped iteration of the Appendix A equations
+// over every node and thread (A.1–A.10 with the §5.2 correction),
+// updating s in place and returning the largest single-quantity change.
+//
+//lopc:hotpath
+func generalSweep(p GeneralParams, so []float64, active []bool, s *generalState, stats *obs.SolveStats) float64 {
+	P := p.P
+	// Throughputs from current cycle times (A.1, A.2).
+	for c := 0; c < P; c++ {
+		if active[c] && s.r[c] > 0 {
+			s.x[c] = 1 / s.r[c]
+		} else {
+			s.x[c] = 0
+		}
+	}
+	for k := 0; k < P; k++ {
+		sum := 0.0
+		for c := 0; c < P; c++ {
+			sum += p.V[c][k] * s.x[c]
+		}
+		s.uq[k] = so[k] * sum      // A.3
+		s.uy[k] = s.x[k] * so[k]   // A.4: one reply per cycle, at home
+		s.qq[k] = s.rq[k] * sum    // A.5
+		s.qy[k] = s.x[k] * s.ry[k] // A.6
+		if s.uq[k] > stats.MaxUtil {
+			stats.MaxUtil = s.uq[k]
+		}
+	}
+	// Handler response times (A.7, A.8) with the §5.2 correction.
+	maxDelta := 0.0
+	for k := 0; k < P; k++ {
+		newRq := so[k] * (1 + s.qq[k] + s.qy[k] + (p.C2-1)/2*(s.uq[k]+s.uy[k]))
+		newRy := so[k] * (1 + s.qq[k] + (p.C2-1)/2*s.uq[k])
+		newRq = generalDamping*newRq + (1-generalDamping)*s.rq[k]
+		newRy = generalDamping*newRy + (1-generalDamping)*s.ry[k]
+		maxDelta = math.Max(maxDelta, math.Abs(newRq-s.rq[k]))
+		maxDelta = math.Max(maxDelta, math.Abs(newRy-s.ry[k]))
+		s.rq[k], s.ry[k] = newRq, newRy
+	}
+	// Thread residence (A.9) and cycle times (A.10).
+	//lopc:allow convergeloop inner per-node pass of the outer iteration, which carries the cap and the NaN/Inf guard; the clamp comparison is not a convergence test
+	for c := 0; c < P; c++ {
+		if !active[c] {
+			continue
+		}
+		if p.ProtocolProcessor {
+			s.rw[c] = p.W[c]
+		} else {
+			// Early iterates can overshoot Uq past 1 before the rising
+			// cycle times pull throughput back down (a closed network
+			// always has a feasible fixed point). Clamp the denominator
+			// during iteration; a genuinely saturated *solution* is
+			// rejected after convergence.
+			u := s.uq[c]
+			if u > generalMaxUtil {
+				u = generalMaxUtil
+				stats.GuardTrips++
+			}
+			s.rw[c] = (p.W[c] + so[c]*s.qq[c]) / (1 - u)
+		}
+		newR := s.rw[c] + p.St + s.ry[c]
+		for k, v := range p.V[c] {
+			newR += v * (p.St + s.rq[k])
+		}
+		newR = generalDamping*newR + (1-generalDamping)*s.r[c]
+		maxDelta = math.Max(maxDelta, math.Abs(newR-s.r[c]))
+		s.r[c] = newR
+	}
+	return maxDelta
+}
+
 // General solves the Appendix A model by damped fixed-point iteration
 // on the per-thread cycle times. It returns an error if the iteration
 // cannot find a feasible solution (some node saturated).
@@ -147,103 +240,33 @@ func GeneralObserved(p GeneralParams, o obs.SolveObserver) (GeneralResult, error
 		}
 	}
 
+	// All iteration vectors are allocated here, once; the sweep itself
+	// is on the allochot-checked hot path and must not allocate.
+	s := &generalState{
+		r: make([]float64, P), x: make([]float64, P), rw: make([]float64, P),
+		rq: make([]float64, P), ry: make([]float64, P),
+		uq: make([]float64, P), uy: make([]float64, P),
+		qq: make([]float64, P), qy: make([]float64, P),
+	}
+
 	// Initial guess: contention-free cycle times.
-	r := make([]float64, P)
 	for c := 0; c < P; c++ {
 		if !active[c] {
 			continue
 		}
-		r[c] = p.W[c] + 2*p.St + so[c]
+		s.r[c] = p.W[c] + 2*p.St + so[c]
 		for k, v := range p.V[c] {
-			r[c] += v * (p.St + so[k])
+			s.r[c] += v * (p.St + so[k])
 		}
 	}
-
-	rq := make([]float64, P)
-	ry := make([]float64, P)
 	for k := 0; k < P; k++ {
-		rq[k], ry[k] = so[k], so[k]
+		s.rq[k], s.ry[k] = so[k], so[k]
 	}
 
-	x := make([]float64, P)
-	uq := make([]float64, P)
-	uy := make([]float64, P)
-	qq := make([]float64, P)
-	qy := make([]float64, P)
-	rw := make([]float64, P)
-
-	const (
-		maxIter = 200000
-		damping = 0.5
-		tol     = 1e-10
-		// maxUtil caps the utilization used in the BKT denominator while
-		// the iteration is still far from its fixed point.
-		maxUtil = 0.999999
-	)
 	var stats obs.SolveStats
-	for iter := 0; iter < maxIter; iter++ {
+	for iter := 0; iter < generalMaxIter; iter++ {
 		stats.Iters = iter + 1
-		// Throughputs from current cycle times (A.1, A.2).
-		for c := 0; c < P; c++ {
-			if active[c] && r[c] > 0 {
-				x[c] = 1 / r[c]
-			} else {
-				x[c] = 0
-			}
-		}
-		for k := 0; k < P; k++ {
-			sum := 0.0
-			for c := 0; c < P; c++ {
-				sum += p.V[c][k] * x[c]
-			}
-			uq[k] = so[k] * sum  // A.3
-			uy[k] = x[k] * so[k] // A.4: one reply per cycle, at home
-			qq[k] = rq[k] * sum  // A.5
-			qy[k] = x[k] * ry[k] // A.6
-			if uq[k] > stats.MaxUtil {
-				stats.MaxUtil = uq[k]
-			}
-		}
-		// Handler response times (A.7, A.8) with the §5.2 correction.
-		maxDelta := 0.0
-		for k := 0; k < P; k++ {
-			newRq := so[k] * (1 + qq[k] + qy[k] + (p.C2-1)/2*(uq[k]+uy[k]))
-			newRy := so[k] * (1 + qq[k] + (p.C2-1)/2*uq[k])
-			newRq = damping*newRq + (1-damping)*rq[k]
-			newRy = damping*newRy + (1-damping)*ry[k]
-			maxDelta = math.Max(maxDelta, math.Abs(newRq-rq[k]))
-			maxDelta = math.Max(maxDelta, math.Abs(newRy-ry[k]))
-			rq[k], ry[k] = newRq, newRy
-		}
-		// Thread residence (A.9) and cycle times (A.10).
-		//lopc:allow convergeloop inner per-node pass of the outer iteration, which carries the cap and the NaN/Inf guard; the clamp comparison is not a convergence test
-		for c := 0; c < P; c++ {
-			if !active[c] {
-				continue
-			}
-			if p.ProtocolProcessor {
-				rw[c] = p.W[c]
-			} else {
-				// Early iterates can overshoot Uq past 1 before the
-				// rising cycle times pull throughput back down (a
-				// closed network always has a feasible fixed point).
-				// Clamp the denominator during iteration; a genuinely
-				// saturated *solution* is rejected after convergence.
-				u := uq[c]
-				if u > maxUtil {
-					u = maxUtil
-					stats.GuardTrips++
-				}
-				rw[c] = (p.W[c] + so[c]*qq[c]) / (1 - u)
-			}
-			newR := rw[c] + p.St + ry[c]
-			for k, v := range p.V[c] {
-				newR += v * (p.St + rq[k])
-			}
-			newR = damping*newR + (1-damping)*r[c]
-			maxDelta = math.Max(maxDelta, math.Abs(newR-r[c]))
-			r[c] = newR
-		}
+		maxDelta := generalSweep(p, so, active, s, &stats)
 		stats.Residual = maxDelta
 		// NaN poisons maxDelta and compares false against tol forever;
 		// fail fast instead of spinning to the iteration cap.
@@ -252,28 +275,28 @@ func GeneralObserved(p GeneralParams, o obs.SolveObserver) (GeneralResult, error
 			done(stats, err)
 			return GeneralResult{}, err
 		}
-		if maxDelta < tol {
+		if maxDelta < generalTol {
 			stats.Converged = true
 			for k := 0; k < P; k++ {
-				if uq[k] >= maxUtil {
-					err := fmt.Errorf("core: node %d saturated at the fixed point (Uq = %v)", k, uq[k])
+				if s.uq[k] >= generalMaxUtil {
+					err := fmt.Errorf("core: node %d saturated at the fixed point (Uq = %v)", k, s.uq[k])
 					done(stats, err)
 					return GeneralResult{}, err
 				}
 			}
 			res := GeneralResult{
-				R: r, X: x, Rw: rw, Rq: rq, Ry: ry,
-				Qq: qq, Qy: qy, Uq: uq, Uy: uy,
+				R: s.r, X: s.x, Rw: s.rw, Rq: s.rq, Ry: s.ry,
+				Qq: s.qq, Qy: s.qy, Uq: s.uq, Uy: s.uy,
 				Solve: stats,
 			}
 			for c := 0; c < P; c++ {
-				res.TotalX += x[c]
+				res.TotalX += s.x[c]
 			}
 			done(stats, nil)
 			return res, nil
 		}
 	}
-	err := fmt.Errorf("core: general model did not converge in %d iterations", maxIter)
+	err := fmt.Errorf("core: general model did not converge in %d iterations", generalMaxIter)
 	done(stats, err)
 	return GeneralResult{}, err
 }

@@ -97,6 +97,25 @@ func Lock(p LockParams) (LockResult, error) {
 	return LockObserved(p, nil)
 }
 
+// lockStep evaluates one iterate of the lock model's fixed point: the
+// work-pile iteration (Eq. 6.5 with Little's law) minus the reply
+// handler, with Schweitzer's (N−1)/N arrival scaling already folded
+// into scale. Rs of the returned result holds the next iterate.
+//
+//lopc:hotpath
+func lockStep(p LockParams, n, scale, rs float64) (LockResult, error) {
+	r := p.W + 2*p.St + rs
+	x := n / r
+	u := x * p.So
+	if u >= 1 {
+		//lopc:allow allochot error construction runs only on the saturated-guard path, never on a converged iterate
+		return LockResult{}, fmt.Errorf("core: lock utilization %v >= 1 at Rs=%v", u, rs)
+	}
+	q := x * rs
+	rsNext := p.So * (1 + scale*(q+(p.C2-1)/2*u))
+	return LockResult{X: x, R: r, Rs: rsNext, Q: q, U: u}, nil
+}
+
 // LockObserved is Lock reporting the solve to o (which may be nil).
 //
 // The fixed point is the work-pile iteration (Eq. 6.5 with Little's
@@ -111,20 +130,9 @@ func LockObserved(p LockParams, o obs.SolveObserver) (LockResult, error) {
 	done := beginSolve(o, SolverLock)
 	n := float64(p.Threads)
 	scale := (n - 1) / n // arrival theorem: an arriver never queues behind itself
-	step := func(rs float64) (LockResult, error) {
-		r := p.W + 2*p.St + rs
-		x := n / r
-		u := x * p.So
-		if u >= 1 {
-			return LockResult{}, fmt.Errorf("core: lock utilization %v >= 1 at Rs=%v", u, rs)
-		}
-		q := x * rs
-		rsNext := p.So * (1 + scale*(q+(p.C2-1)/2*u))
-		return LockResult{X: x, R: r, Rs: rsNext, Q: q, U: u}, nil
-	}
 	var stats obs.SolveStats
 	f := func(rs float64) float64 {
-		res, err := step(rs)
+		res, err := lockStep(p, n, scale, rs)
 		if err != nil {
 			stats.GuardTrips++
 			return rs * 2 // push away from the saturated region
@@ -141,7 +149,7 @@ func LockObserved(p LockParams, o obs.SolveObserver) (LockResult, error) {
 		done(stats, err)
 		return LockResult{}, err
 	}
-	res, err := step(rs)
+	res, err := lockStep(p, n, scale, rs)
 	if err != nil {
 		done(stats, err)
 		return LockResult{}, err
@@ -254,6 +262,30 @@ func LockFree(p LockFreeParams) (LockFreeResult, error) {
 	return LockFreeObserved(p, nil)
 }
 
+// lockFreeStep evaluates one iterate of the conflict model's fixed
+// point: given a trial cycle time r it derives the competing commit
+// rate, the conflict probability, and the regenerated work, with R of
+// the returned result holding the next iterate.
+//
+//lopc:hotpath
+func lockFreeStep(p LockFreeParams, n, r float64) (LockFreeResult, error) {
+	x := n / r
+	u := x * p.St
+	if u >= 1 {
+		//lopc:allow allochot error construction runs only on the saturated-guard path, never on a converged iterate
+		return LockFreeResult{}, fmt.Errorf("core: commit serialization utilization %v >= 1 at R=%v", u, r)
+	}
+	lam := x * (n - 1) / n
+	q := lockFreeConflict(lam, p.So, p.C2)
+	if q >= maxConflict {
+		//lopc:allow allochot error construction runs only on the retry-storm guard path, never on a converged iterate
+		return LockFreeResult{}, fmt.Errorf("core: conflict probability %v at R=%v; retry storm", q, r)
+	}
+	a := 1 / (1 - q)
+	rNext := p.W + a*p.So + p.St
+	return LockFreeResult{X: x, R: rNext, Attempts: a, Conflict: q, U: u}, nil
+}
+
 // LockFreeObserved is LockFree reporting the solve to o (which may be
 // nil). The unknown is the cycle time R: throughput X = Threads/R sets
 // the competing commit rate λ = X·(Threads−1)/Threads seen by any one
@@ -265,24 +297,9 @@ func LockFreeObserved(p LockFreeParams, o obs.SolveObserver) (LockFreeResult, er
 	}
 	done := beginSolve(o, SolverLockFree)
 	n := float64(p.Threads)
-	step := func(r float64) (LockFreeResult, error) {
-		x := n / r
-		u := x * p.St
-		if u >= 1 {
-			return LockFreeResult{}, fmt.Errorf("core: commit serialization utilization %v >= 1 at R=%v", u, r)
-		}
-		lam := x * (n - 1) / n
-		q := lockFreeConflict(lam, p.So, p.C2)
-		if q >= maxConflict {
-			return LockFreeResult{}, fmt.Errorf("core: conflict probability %v at R=%v; retry storm", q, r)
-		}
-		a := 1 / (1 - q)
-		rNext := p.W + a*p.So + p.St
-		return LockFreeResult{X: x, R: rNext, Attempts: a, Conflict: q, U: u}, nil
-	}
 	var stats obs.SolveStats
 	f := func(r float64) float64 {
-		res, err := step(r)
+		res, err := lockFreeStep(p, n, r)
 		if err != nil {
 			stats.GuardTrips++
 			return r * 2 // push away from the infeasible region
@@ -300,7 +317,7 @@ func LockFreeObserved(p LockFreeParams, o obs.SolveObserver) (LockFreeResult, er
 		done(stats, err)
 		return LockFreeResult{}, err
 	}
-	res, err := step(r)
+	res, err := lockFreeStep(p, n, r)
 	if err != nil {
 		done(stats, err)
 		return LockFreeResult{}, err

@@ -1,0 +1,573 @@
+package lint
+
+// allochot enforces the ROADMAP's "zero allocs/point in steady state"
+// invariant statically: every function reachable (over the call graph,
+// including function values passed around) from a
+//
+//	//lopc:hotpath
+//
+// doc-comment directive is hot, and any construct in a hot function
+// that may allocate on the heap is a finding:
+//
+//   - make, new, append, slice/map composite literals;
+//   - &T{} and new(T) whose result escapes, by a conservative
+//     intraprocedural escape analysis (a pointer kept in a local and
+//     only ever dereferenced does not escape and is not flagged);
+//   - function literals that capture variables (the closure itself is
+//     a heap object);
+//   - interface boxing at call sites and in explicit conversions;
+//   - string concatenation and string<->[]byte/[]rune conversions;
+//   - calls that cannot be proven allocation-free: anything outside
+//     the module and the whitelisted pure-math packages, calls through
+//     function values, and interface methods with no loaded
+//     implementation. Module callees are not flagged at the call site —
+//     they are hot themselves and audited where their code is.
+//
+// The analysis is deliberately flag-when-unsure: a finding means "the
+// compiler may heap-allocate here", and the audited way out is either
+// restructuring or a justified //lopc:allow allochot comment. CI pins
+// the annotated solver roots to zero unsuppressed findings
+// (TestAllocHotBaseline), so the planned batched solver core lands
+// against a machine-checked baseline.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotPathDirective is the doc-comment line marking a steady-state hot
+// root for the allochot analyzer.
+const HotPathDirective = "lopc:hotpath"
+
+// allocFreePkgs are the external packages allochot trusts not to
+// allocate: pure scalar math.
+var allocFreePkgs = map[string]bool{
+	"math":      true,
+	"math/bits": true,
+}
+
+// AllocHot flags may-allocate constructs in functions reachable from
+// //lopc:hotpath roots.
+type AllocHot struct{}
+
+func (*AllocHot) Name() string { return "allochot" }
+func (*AllocHot) Doc() string {
+	return "heap allocation reachable from a //lopc:hotpath solver loop"
+}
+
+// hasDirective reports whether the doc comment carries the given
+// machine directive (a "//name" line, optionally with trailing text).
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if text == name || strings.HasPrefix(text, name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// hotFuncs returns every call-graph node reachable from a hotpath
+// root, mapped to the (deterministically first) root that reaches it.
+func hotFuncs(g *CallGraph) map[*CGNode]*CGNode {
+	hot := map[*CGNode]*CGNode{}
+	var queue []*CGNode
+	for _, n := range g.Funcs { // declaration order: deterministic
+		if hasDirective(n.Src.Decl.Doc, HotPathDirective) {
+			hot[n] = n
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		root := hot[n]
+		for _, e := range n.Calls {
+			callee := e.Callee
+			if callee.Src == nil {
+				continue // external: flagged at the call site instead
+			}
+			if _, ok := hot[callee]; !ok {
+				hot[callee] = root
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return hot
+}
+
+func (a *AllocHot) Check(l *Loader, pkg *Package) []Diagnostic {
+	g := l.CallGraph()
+	hot := hotFuncs(g)
+	var out []Diagnostic
+	for _, n := range g.Funcs {
+		if n.Src.Pkg != pkg {
+			continue
+		}
+		root, ok := hot[n]
+		if !ok {
+			continue
+		}
+		out = append(out, allocSites(l, g, n, root)...)
+	}
+	return out
+}
+
+// allocSites scans one hot function (closures included: a literal
+// created on the hot path both allocates at creation and typically
+// runs inside the loop) for may-allocate constructs.
+func allocSites(l *Loader, g *CallGraph, n *CGNode, root *CGNode) []Diagnostic {
+	decl := n.Src.Decl
+	if decl.Body == nil {
+		return nil
+	}
+	pkg := n.Src.Pkg
+	parents := buildParents(decl)
+	rootName := funcDisplayName(root.Fn)
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		out = append(out, Diagnostic{
+			Pos:   l.Fset.Position(pos),
+			Check: "allochot",
+			Message: fmt.Sprintf("%s on the hot path (reachable from //lopc:hotpath root %s)",
+				msg, rootName),
+		})
+	}
+	ast.Inspect(decl.Body, func(c ast.Node) bool {
+		switch e := c.(type) {
+		case *ast.CallExpr:
+			allocCallSite(l, g, pkg, parents, e, report)
+		case *ast.CompositeLit:
+			t := pkg.Info.TypeOf(e)
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				report(e.Pos(), "slice literal allocates")
+			case *types.Map:
+				report(e.Pos(), "map literal allocates")
+			default:
+				// Struct/array literals by value live on the stack; the
+				// escaping &T{} case is handled at the UnaryExpr.
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok && addrEscapes(pkg, parents, e) {
+					report(e.Pos(), "&composite literal escapes and allocates")
+				}
+			}
+		case *ast.FuncLit:
+			if capt := capturedVars(pkg, e); len(capt) > 0 {
+				report(e.Pos(), "closure capturing %s allocates", strings.Join(capt, ", "))
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && isStringType(pkg.Info.TypeOf(e)) {
+				report(e.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 && isStringType(pkg.Info.TypeOf(e.Lhs[0])) {
+				report(e.Pos(), "string concatenation allocates")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// allocCallSite handles one call expression: allocating builtins,
+// conversions, unprovable callees, and interface boxing of arguments.
+func allocCallSite(l *Loader, g *CallGraph, pkg *Package, parents map[ast.Node]ast.Node,
+	call *ast.CallExpr, report func(token.Pos, string, ...any)) bool {
+	switch {
+	case isBuiltinCall(pkg, call, "make"):
+		report(call.Pos(), "make allocates")
+		return true
+	case isBuiltinCall(pkg, call, "append"):
+		report(call.Pos(), "append may grow its backing array")
+		return true
+	case isBuiltinCall(pkg, call, "new"):
+		if addrEscapes(pkg, parents, call) {
+			report(call.Pos(), "new(T) escapes and allocates")
+			return true
+		}
+		return false
+	}
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := pkg.Info.Types[fun]; ok && tv.IsType() {
+		// Conversion. String<->byte/rune slices copy; conversions TO an
+		// interface box.
+		if len(call.Args) != 1 {
+			return false
+		}
+		from := pkg.Info.TypeOf(call.Args[0])
+		to := tv.Type
+		switch {
+		case from == nil:
+			return false
+		case isStringType(to) && !isStringType(from), !isStringType(to) && isStringType(from) && isSliceType(to):
+			report(call.Pos(), "string conversion copies and allocates")
+			return true
+		case isInterfaceType(to) && !isInterfaceType(from) && !isUntypedNil(from) && !isPointerLike(from):
+			report(call.Pos(), "conversion boxes %s into %s", types.TypeString(from, types.RelativeTo(pkg.Types)), types.TypeString(to, types.RelativeTo(pkg.Types)))
+			return true
+		}
+		return false
+	}
+	callee := resolveCallee(pkg, call)
+	switch {
+	case callee == nil:
+		report(call.Pos(), "call through a function value cannot be proven allocation-free")
+		return true
+	case callee.isBuiltinLike:
+		return false // len, cap, copy, delete, min, max, ...
+	case callee.iface != nil:
+		impls := g.implementersOf(callee.iface, callee.fn)
+		loaded := 0
+		for _, m := range impls {
+			if g.node(m).Src != nil {
+				loaded++
+			}
+		}
+		if loaded == 0 || loaded != len(impls) {
+			report(call.Pos(), "interface method call %s cannot be proven allocation-free", callee.fn.Name())
+			return true
+		}
+		// All implementations are loaded: they are hot themselves and
+		// audited where their code is. Fall through to boxing checks.
+	case g.node(callee.fn).Src != nil:
+		// Module function: hot itself, flagged at its own sites.
+	case callee.fn.Pkg() != nil && allocFreePkgs[callee.fn.Pkg().Path()]:
+		// Whitelisted pure-math callee.
+	default:
+		report(call.Pos(), "call to %s cannot be proven allocation-free", calleeDisplay(callee.fn))
+		return true
+	}
+	// The call itself is fine; passing a concrete value where the
+	// callee takes an interface still boxes it.
+	sig, ok := pkg.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				param = sig.Params().At(sig.Params().Len() - 1).Type()
+			} else if s, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice); ok {
+				param = s.Elem()
+			}
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		}
+		at := pkg.Info.TypeOf(arg)
+		if param != nil && at != nil && isInterfaceType(param) && !isInterfaceType(at) && !isUntypedNil(at) && !isPointerLike(at) {
+			report(arg.Pos(), "argument boxes %s into %s", types.TypeString(at, types.RelativeTo(pkg.Types)), types.TypeString(param, types.RelativeTo(pkg.Types)))
+		}
+	}
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= sig.Params().Len() {
+		report(call.Pos(), "variadic call allocates its argument slice")
+	}
+	return false
+}
+
+// resolvedCallee describes the outcome of resolving a call's operator.
+type resolvedCallee struct {
+	fn            *types.Func
+	iface         *types.Interface // non-nil for interface-method calls
+	isBuiltinLike bool
+}
+
+// resolveCallee resolves call's operator to a declared function,
+// builtin, or interface method; nil means a function value.
+func resolveCallee(pkg *Package, call *ast.CallExpr) *resolvedCallee {
+	var obj types.Object
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[f.Sel]
+	case *ast.FuncLit:
+		// Immediately-invoked literal: its body is scanned as part of
+		// the enclosing hot function; the literal allocates only if it
+		// captures, which the FuncLit case reports.
+		return &resolvedCallee{isBuiltinLike: true}
+	case *ast.IndexExpr:
+		return resolveGenericCallee(pkg, f.X)
+	case *ast.IndexListExpr:
+		return resolveGenericCallee(pkg, f.X)
+	}
+	switch o := obj.(type) {
+	case *types.Builtin:
+		return &resolvedCallee{isBuiltinLike: true}
+	case *types.Func:
+		return calleeOfFunc(o)
+	}
+	return nil
+}
+
+func resolveGenericCallee(pkg *Package, base ast.Expr) *resolvedCallee {
+	switch b := ast.Unparen(base).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[b].(*types.Func); ok {
+			return calleeOfFunc(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[b.Sel].(*types.Func); ok {
+			return calleeOfFunc(fn)
+		}
+	}
+	return nil
+}
+
+func calleeOfFunc(fn *types.Func) *resolvedCallee {
+	fn = fn.Origin()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if iface, ok := derefType(sig.Recv().Type()).Underlying().(*types.Interface); ok {
+			return &resolvedCallee{fn: fn, iface: iface}
+		}
+	}
+	return &resolvedCallee{fn: fn}
+}
+
+// --- conservative escape analysis ---------------------------------------
+
+// buildParents maps every node under root to its parent.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// addrEscapes reports whether the pointer produced at expression e
+// (&T{} or new(T)) may escape to the heap. The only pattern proven
+// stack-safe is: the pointer is bound by := to a fresh local variable
+// whose every subsequent use is a dereference (field access, index,
+// star) — reads and writes through it — never taken as a value again,
+// and never from inside a closure (a capture heap-allocates the
+// variable). Anything else (returned, passed to a call, stored in a
+// structure, &-ed through, bound via var) conservatively escapes.
+func addrEscapes(pkg *Package, parents map[ast.Node]ast.Node, e ast.Expr) bool {
+	assign, ok := parentExpr(parents, e).(*ast.AssignStmt)
+	if !ok || assign.Tok != token.DEFINE || len(assign.Lhs) != len(assign.Rhs) {
+		return true
+	}
+	var obj types.Object
+	var bind *ast.Ident
+	for i, rhs := range assign.Rhs {
+		if ast.Unparen(rhs) == e {
+			id, ok := assign.Lhs[i].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			bind, obj = id, pkg.Info.Defs[id]
+		}
+	}
+	if obj == nil {
+		return true
+	}
+	// Find the enclosing function body and audit every use of obj.
+	var fnBody *ast.BlockStmt
+	for n := parents[ast.Node(assign)]; n != nil; n = parents[n] {
+		switch f := n.(type) {
+		case *ast.FuncDecl:
+			fnBody = f.Body
+		case *ast.FuncLit:
+			fnBody = f.Body
+		}
+		if fnBody != nil {
+			break
+		}
+	}
+	if fnBody == nil {
+		return true
+	}
+	escapes := false
+	var lits []*ast.FuncLit // closures nested in fnBody (not fnBody itself)
+	ast.Inspect(fnBody, func(c ast.Node) bool {
+		if lit, ok := c.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	ast.Inspect(fnBody, func(c ast.Node) bool {
+		if escapes {
+			return false
+		}
+		id, ok := c.(*ast.Ident)
+		if !ok || id == bind || pkg.Info.Uses[id] != obj {
+			return true
+		}
+		for _, lit := range lits {
+			if id.Pos() >= lit.Pos() && id.End() <= lit.End() {
+				escapes = true // captured by a closure
+				return false
+			}
+		}
+		if useEscapes(parents, id) {
+			escapes = true
+		}
+		return true
+	})
+	return escapes
+}
+
+// useEscapes audits one use of the pointer-holding local: walking up
+// through deref-like parents, the use is safe only if it ends at an
+// ordinary read or write through the pointer; any repackaging of the
+// pointer value itself escapes.
+func useEscapes(parents map[ast.Node]ast.Node, id *ast.Ident) bool {
+	var n ast.Node = id
+	derefed := false
+	for {
+		switch pe := parents[n].(type) {
+		case *ast.ParenExpr:
+			n = pe
+		case *ast.SelectorExpr:
+			if pe.X != n {
+				return false // n is the Sel: not a use of the pointer
+			}
+			derefed = true
+			n = pe
+		case *ast.IndexExpr:
+			if pe.X != n {
+				// Used as an index expression: a plain value read, safe
+				// only after a deref.
+				return !derefed
+			}
+			derefed = true
+			n = pe
+		case *ast.StarExpr:
+			derefed = true
+			n = pe
+		case *ast.UnaryExpr:
+			if pe.Op == token.AND {
+				// &v or &v.f re-exposes memory reachable from the pointer.
+				return true
+			}
+			return !derefed
+		case *ast.AssignStmt:
+			for _, lhs := range pe.Lhs {
+				if lhs == n {
+					return false // writing to v or through v (v.f = x)
+				}
+			}
+			// On the RHS: the (underefed) pointer value is copied out.
+			return !derefed
+		default:
+			// Any other context (call argument, return, send, composite
+			// element, range, comparison, ...): safe if what flows out is
+			// an already-dereferenced value, escaping if it is the
+			// pointer itself.
+			return !derefed
+		}
+	}
+}
+
+// parentExpr returns the nearest non-paren ancestor.
+func parentExpr(parents map[ast.Node]ast.Node, e ast.Node) ast.Node {
+	p := parents[e]
+	for {
+		if _, ok := p.(*ast.ParenExpr); !ok {
+			return p
+		}
+		p = parents[p]
+	}
+}
+
+// capturedVars lists (sorted, deduplicated) the enclosing-function
+// variables a literal captures.
+func capturedVars(pkg *Package, lit *ast.FuncLit) []string {
+	seen := map[string]bool{}
+	var names []string
+	ast.Inspect(lit.Body, func(c ast.Node) bool {
+		id, ok := c.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are not captures.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		if declaredOutside(v, lit) && !seen[v.Name()] {
+			seen[v.Name()] = true
+			names = append(names, v.Name())
+		}
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func isSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func isInterfaceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// isPointerLike reports types whose interface conversion stores the
+// value without a new heap cell (pointers, channels, maps, funcs,
+// unsafe pointers). Everything else — scalars, strings, structs,
+// slices — is copied to the heap when boxed.
+func isPointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// funcDisplayName renders fn as pkg.Name or (pkg.Recv).Name.
+func funcDisplayName(fn *types.Func) string {
+	pkgName := ""
+	if fn.Pkg() != nil {
+		pkgName = fn.Pkg().Name() + "."
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named, ok := derefType(sig.Recv().Type()).(*types.Named); ok {
+			return "(" + pkgName + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return pkgName + fn.Name()
+}
+
+func calleeDisplay(fn *types.Func) string { return funcDisplayName(fn) }

@@ -210,6 +210,50 @@ func TestCFGDefer(t *testing.T) {
 	}
 }
 
+func TestCFGDeferInLoop(t *testing.T) {
+	g := parseBody(t, `
+	for i := 0; i < 3; i++ {
+		defer a()
+	}
+	b()`)
+	// The statement registers one deferred call per iteration at run
+	// time, but syntactically it is a single defer: collected once, and
+	// its block sits on the loop's back-edge path.
+	if len(g.Defers) != 1 {
+		t.Fatalf("collected %d defers, want 1", len(g.Defers))
+	}
+	aBlk, bBlk := callBlock(t, g, "a"), callBlock(t, g, "b")
+	if !reaches(aBlk, aBlk) {
+		t.Error("defer block inside the loop has no back edge")
+	}
+	if !reaches(aBlk, bBlk) {
+		t.Error("loop body does not reach the code after the loop")
+	}
+}
+
+func TestCFGDeferFunctionValue(t *testing.T) {
+	g := parseBody(t, `
+	f := a
+	defer f()
+	if x() {
+		return
+	}
+	b()`)
+	// A defer through a function or method value is still a defer
+	// statement: it must be collected so the balance analyzers can fold
+	// it into every exit path.
+	if len(g.Defers) != 1 {
+		t.Fatalf("collected %d defers, want 1", len(g.Defers))
+	}
+	fBlk, bBlk := callBlock(t, g, "f"), callBlock(t, g, "b")
+	if !reaches(fBlk, g.Exit) {
+		t.Error("defer registration block does not reach exit")
+	}
+	if !reaches(fBlk, bBlk) {
+		t.Error("defer registration block does not reach the fall-through path")
+	}
+}
+
 func TestCFGPanicTerminates(t *testing.T) {
 	g := parseBody(t, `
 	if x() {

@@ -50,25 +50,75 @@ func syncCallOf(pkg *Package, n ast.Node) *syncCall {
 		return nil
 	}
 	obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
-	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+	if !ok || obj.Pkg() == nil {
 		return nil
 	}
 	sig, ok := obj.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
 		return nil
 	}
-	named, ok := derefType(sig.Recv().Type()).(*types.Named)
-	if !ok {
-		return nil
+	recvT := derefType(sig.Recv().Type())
+	var typ string
+	if named, ok := recvT.(*types.Named); ok && obj.Pkg().Path() == "sync" {
+		switch named.Obj().Name() {
+		case "Mutex", "RWMutex", "WaitGroup":
+			typ = named.Obj().Name()
+		}
 	}
-	typ := named.Obj().Name()
-	switch typ {
-	case "Mutex", "RWMutex", "WaitGroup":
-	default:
+	if typ == "" {
+		// The receiver may be interface-typed (sync.Locker, or a lock
+		// interface of the module) with the mutex behind it reached
+		// through the interface: resolve the concrete method set via the
+		// call graph's CHA index.
+		typ = lockIfaceType(pkg, recvT, obj)
+	}
+	if typ == "" {
 		return nil
 	}
 	key, root := exprKey(pkg, sel.X)
 	return &syncCall{recvKey: key, recvObj: root, typ: typ, method: obj.Name(), call: call}
+}
+
+// lockIfaceType resolves a Lock/Unlock-family call through an
+// interface-typed receiver: if every loaded concrete implementation of
+// the interface method is a plain sync.Mutex/sync.RWMutex method
+// (possibly promoted through embedding), the call is that lock's op
+// and the analyzers track it like a direct one. A single non-lock
+// implementation makes the call untrackable (conservatively ignored).
+func lockIfaceType(pkg *Package, recvT types.Type, method *types.Func) string {
+	switch method.Name() {
+	case "Lock", "Unlock", "TryLock", "RLock", "RUnlock", "TryRLock":
+	default:
+		return ""
+	}
+	iface, ok := recvT.Underlying().(*types.Interface)
+	if !ok || pkg.loader == nil {
+		return ""
+	}
+	g := pkg.loader.CallGraph()
+	impls := g.implementersOf(iface, method)
+	if len(impls) == 0 {
+		return ""
+	}
+	typ := "Mutex"
+	for _, m := range impls {
+		sig, ok := m.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return ""
+		}
+		named, ok := derefType(sig.Recv().Type()).(*types.Named)
+		if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+			return ""
+		}
+		switch named.Obj().Name() {
+		case "Mutex":
+		case "RWMutex":
+			typ = "RWMutex"
+		default:
+			return ""
+		}
+	}
+	return typ
 }
 
 // derefType strips one level of pointer.

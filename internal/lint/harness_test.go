@@ -61,6 +61,8 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"waitgroup", &WaitGroup{}},
 		{"goroutineleak", &GoroutineLeak{}},
 		{"loopcapture", &LoopCapture{}},
+		{"allochot", &AllocHot{}},
+		{"deadlock", &Deadlock{}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -64,7 +64,8 @@ type Analyzer interface {
 
 // All returns the full suite in reporting order: the numerical and
 // hygiene checks first, then the CFG/dataflow-based concurrency
-// checks guarding the parallel runner.
+// checks guarding the parallel runner, then the interprocedural
+// call-graph checks.
 func All() []Analyzer {
 	return []Analyzer{
 		&Nondeterminism{},
@@ -77,7 +78,34 @@ func All() []Analyzer {
 		&LoopCapture{},
 		&LockBalance{},
 		&SendClosed{},
+		&AllocHot{},
+		&Deadlock{},
 	}
+}
+
+// ByNames filters All() down to the named checks, preserving suite
+// order; unknown names are an error.
+func ByNames(names []string) ([]Analyzer, error) {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []Analyzer
+	for _, a := range All() {
+		if want[a.Name()] {
+			out = append(out, a)
+			delete(want, a.Name())
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("lint: unknown check(s): %s", strings.Join(unknown, ", "))
+	}
+	return out, nil
 }
 
 // Run executes the analyzers over the packages, drops findings
@@ -85,7 +113,14 @@ func All() []Analyzer {
 // the suppression comments themselves (unknown check names and missing
 // reasons are findings), and returns the remainder sorted by position.
 func Run(l *Loader, pkgs []*Package, analyzers []Analyzer, cfg Config) []Diagnostic {
+	// Allow comments are validated against the full suite, not just the
+	// analyzers selected for this run: running a -checks subset must not
+	// turn every other check's suppressions into "unknown check"
+	// findings.
 	known := make(map[string]bool, len(analyzers))
+	for _, a := range All() {
+		known[a.Name()] = true
+	}
 	for _, a := range analyzers {
 		known[a.Name()] = true
 	}
@@ -197,6 +232,49 @@ func checkAllows(set allowSet, known map[string]bool) []Diagnostic {
 			}
 		}
 	}
+	return out
+}
+
+// AllowRecord is one //lopc:allow suppression with its audited reason,
+// for the lopc-lint -report-allows inventory.
+type AllowRecord struct {
+	// File is the module-relative path of the comment.
+	File string
+	Line int
+	// Check is the suppressed check; Reason the audit justification.
+	Check  string
+	Reason string
+}
+
+// AllowRecords collects every //lopc:allow comment in the packages,
+// sorted by file, line and check, so the full suppression inventory is
+// reviewable per PR.
+func AllowRecords(l *Loader, pkgs []*Package) []AllowRecord {
+	var out []AllowRecord
+	for _, pkg := range pkgs {
+		for _, lines := range collectAllows(l.Fset, pkg) {
+			for _, as := range lines {
+				for _, a := range as {
+					out = append(out, AllowRecord{
+						File:   l.RelPath(a.pos.Filename),
+						Line:   a.pos.Line,
+						Check:  a.check,
+						Reason: a.reason,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Check < b.Check
+	})
 	return out
 }
 

@@ -26,6 +26,11 @@ type Package struct {
 	// Types and Info carry the go/types results.
 	Types *types.Package
 	Info  *types.Info
+	// loader points back at the Loader that produced the package, so
+	// package-scoped helpers (syncCallOf's interface-receiver fallback)
+	// can reach the interprocedural call graph without every caller
+	// threading a Loader through.
+	loader *Loader
 }
 
 // Loader loads and type-checks packages of one module plus their
@@ -44,8 +49,14 @@ type Loader struct {
 	loading map[string]bool
 	std     types.Importer
 	// funcs indexes every function declaration across loaded packages,
-	// for interprocedural analyses (paramvalidate).
+	// for interprocedural analyses (paramvalidate, callgraph).
 	funcs map[*types.Func]*FuncSource
+	// cg caches the interprocedural call graph; cgGen records how many
+	// packages were loaded when it was built, so loading further
+	// packages (the fixture harness loads incrementally into one
+	// Loader) invalidates the cache instead of serving stale edges.
+	cg    *CallGraph
+	cgGen int
 }
 
 // FuncSource ties a function object to its declaration.
@@ -268,7 +279,7 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
-	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info, loader: l}
 	l.pkgs[path] = pkg
 	l.indexFuncs(pkg)
 	return pkg, nil

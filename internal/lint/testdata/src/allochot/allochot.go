@@ -1,0 +1,147 @@
+// Package allochot is the fixture for the allochot analyzer: heap
+// allocation reachable from //lopc:hotpath roots, conservative escape
+// analysis negatives, CHA-resolved interface calls, and audited
+// suppressions.
+package allochot
+
+import "fmt"
+
+type state struct {
+	q, r []float64
+	est  estimator
+	acc  float64
+}
+
+// step is the annotated hot root: pure arithmetic itself, and
+// everything it calls becomes hot.
+//
+//lopc:hotpath
+func step(s *state, v float64) float64 {
+	acc := 0.0
+	for i, q := range s.q {
+		acc += q * v * s.r[i]
+	}
+	acc += scale(acc)
+	acc += slow(acc)
+	acc += closures(acc)
+	acc += concat(acc)
+	acc += toBytes("x")
+	acc += callIface(s.est, acc)
+	acc += spread(acc)
+	acc += suppressed(acc)
+	acc += noEscape(acc)
+	boxes(acc)
+	return acc + escapes(acc).acc
+}
+
+// scale is hot by reachability: every allocating construct is flagged.
+func scale(v float64) float64 {
+	buf := make([]float64, 8)  // want "make allocates"
+	buf = append(buf, v)       // want "append may grow"
+	w := []float64{v, 2 * v}   // want "slice literal allocates"
+	m := map[int]float64{1: v} // want "map literal allocates"
+	return buf[0] + w[0] + m[1]
+}
+
+// slow calls into a package that cannot be proven allocation-free.
+func slow(v float64) float64 {
+	s := fmt.Sprintf("%g", v) // want "cannot be proven allocation-free"
+	return float64(len(s))
+}
+
+// closures allocates the capturing literal at creation and calls it
+// through a function value.
+func closures(v float64) float64 {
+	f := func() float64 { return v } // want "closure capturing v allocates"
+	return f() // want "function value"
+}
+
+// concat builds strings on the hot path.
+func concat(v float64) float64 {
+	s := "x" + fmt.Sprint(v) // want "string concatenation allocates" "cannot be proven allocation-free"
+	return float64(len(s))
+}
+
+// toBytes copies the string into a fresh byte slice.
+func toBytes(s string) float64 {
+	return float64(len([]byte(s))) // want "string conversion copies"
+}
+
+type estimator interface {
+	estimate(q float64) float64
+}
+
+type linear struct{ k float64 }
+
+// estimate is hot through the CHA-resolved interface call; it is
+// allocation-free, so no finding.
+func (l linear) estimate(q float64) float64 {
+	return l.k * q
+}
+
+type padded struct{ k float64 }
+
+// estimate allocates; the finding lands here, not at the interface
+// call site.
+func (p padded) estimate(q float64) float64 {
+	qs := make([]float64, 1) // want "make allocates"
+	qs[0] = q
+	return p.k * qs[0]
+}
+
+// callIface resolves e.estimate to every loaded implementation; since
+// all of them are loaded (and audited in their own bodies), the call
+// site itself is clean.
+func callIface(e estimator, q float64) float64 {
+	return e.estimate(q)
+}
+
+// varargs is a module function, clean in itself.
+func varargs(vs ...float64) float64 {
+	acc := 0.0
+	for _, v := range vs {
+		acc += v
+	}
+	return acc
+}
+
+// spread makes a variadic call: the argument slice is allocated at the
+// call site.
+func spread(v float64) float64 {
+	return varargs(v, 2*v) // want "variadic call allocates its argument slice"
+}
+
+func sink(v any) {}
+
+// boxes passes a concrete scalar where the callee takes an interface.
+func boxes(v float64) {
+	sink(v) // want "boxes float64"
+}
+
+// escapes returns the pointer, so the literal is heap-allocated.
+func escapes(v float64) *state {
+	return &state{acc: v} // want "escapes and allocates"
+}
+
+// noEscape keeps the pointer local and only dereferences it: the
+// escape analysis proves it stack-safe, no finding.
+func noEscape(v float64) float64 {
+	tmp := &state{}
+	tmp.acc = v
+	tmp.acc *= 2
+	return tmp.acc
+}
+
+// suppressed carries an audited allow for a deliberate allocation.
+func suppressed(v float64) float64 {
+	//lopc:allow allochot fixture: setup-time scratch, audited as reused across iterations
+	buf := make([]float64, 1)
+	buf[0] = v
+	return buf[0]
+}
+
+// cold is not reachable from any hotpath root: allocation here is not
+// the analyzer's business.
+func cold() []float64 {
+	return make([]float64, 128)
+}

@@ -1,0 +1,171 @@
+// Package deadlock is the fixture for the deadlock analyzer: cyclic
+// lock acquisition orders (direct and through calls), locks held
+// across blocking channel operations, safe-ordering negatives, and an
+// audited suppression.
+package deadlock
+
+import "sync"
+
+type pair struct {
+	a, b sync.Mutex
+	n    int
+}
+
+// lockAB and lockBA together form the classic AB/BA cycle: each
+// acquire that closes the cycle is flagged.
+func (p *pair) lockAB() {
+	p.a.Lock()
+	p.b.Lock() // want "cyclic lock order"
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) lockBA() {
+	p.b.Lock()
+	p.a.Lock() // want "cyclic lock order"
+	p.n--
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+type front struct {
+	mu sync.Mutex
+	n  int
+}
+
+type back struct {
+	mu sync.Mutex
+	n  int
+}
+
+// pushViaBack and pullViaFront form an interprocedural AB/BA cycle:
+// neither function touches both locks directly, the second acquire
+// happens inside the callee.
+func (f *front) pushViaBack(b *back) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b.grab() // want "cyclic lock order"
+}
+
+func (b *back) grab() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func (b *back) pullViaFront(f *front) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f.grab() // want "cyclic lock order"
+}
+
+func (f *front) grab() {
+	f.mu.Lock()
+	f.n++
+	f.mu.Unlock()
+}
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// sendLocked blocks on an unbuffered send while holding the lock.
+func (b *box) sendLocked() {
+	b.mu.Lock()
+	b.ch <- b.n // want "channel send while holding"
+	b.mu.Unlock()
+}
+
+// recvUnlocked releases before blocking: no finding.
+func (b *box) recvUnlocked() int {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	return <-b.ch
+}
+
+// waitLocked holds the lock across a WaitGroup.Wait.
+func (b *box) waitLocked(wg *sync.WaitGroup) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wg.Wait() // want "while holding"
+}
+
+// nonBlockingSend is exempt: a select with a default case cannot
+// block.
+func (b *box) nonBlockingSend() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- b.n:
+	default:
+	}
+}
+
+// blockingSelect has no default, so it can block; reported once at
+// the select.
+func (b *box) blockingSelect() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want "blocking select while holding"
+	case b.ch <- b.n:
+	case v := <-b.ch:
+		b.n = v
+	}
+}
+
+// notify blocks on its own, with no lock held: fine in itself, but
+// callers holding a lock inherit the blocking fact.
+func (b *box) notify() {
+	b.ch <- b.n
+}
+
+// notifyLocked holds the lock across a call that may block.
+func (b *box) notifyLocked() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.notify() // want "may block on a channel operation"
+}
+
+// spawn hands the blocking call to a new goroutine: the caller itself
+// does not block, no finding.
+func (b *box) spawn() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go b.notify()
+}
+
+// suppressedSend carries an audited allow for a send that cannot in
+// fact block.
+func (b *box) suppressedSend() {
+	b.mu.Lock()
+	//lopc:allow deadlock fixture: the channel is buffered (cap 1) and drained by the sole receiver
+	b.ch <- b.n
+	b.mu.Unlock()
+}
+
+type ordered struct {
+	first, second sync.Mutex
+	n             int
+}
+
+// one and two acquire the pair in the same fixed order everywhere:
+// the order graph stays acyclic, no findings.
+func (o *ordered) one() {
+	o.first.Lock()
+	o.second.Lock()
+	o.n++
+	o.second.Unlock()
+	o.first.Unlock()
+}
+
+func (o *ordered) two() {
+	o.first.Lock()
+	o.second.Lock()
+	o.n--
+	o.second.Unlock()
+	o.first.Unlock()
+}

@@ -54,6 +54,29 @@ func (c *counter) CopyIntoGoroutine(other counter) {
 	}(other) // want "by value"
 }
 
+// LockerLeak reaches the mutex through a sync.Locker interface; the
+// call graph's CHA fallback resolves the concrete method set, so the
+// early-return leak is still caught.
+func (c *counter) LockerLeak(limit int) bool {
+	var l sync.Locker = &c.mu
+	l.Lock() // want "not released on every path"
+	if c.n >= limit {
+		return false
+	}
+	c.n++
+	l.Unlock()
+	return true
+}
+
+// LockerBalanced is the interface-receiver negative control.
+func (c *counter) LockerBalanced() int {
+	var l sync.Locker = &c.mu
+	l.Lock()
+	defer l.Unlock()
+	c.n++
+	return c.n
+}
+
 // ReadLeak holds the read lock on the early-return path.
 func (c *counter) ReadLeak(limit int) int {
 	c.rw.RLock() // want "not released on every path"

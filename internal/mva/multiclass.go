@@ -193,6 +193,61 @@ func multiFinish(p MultiParams, r [][]float64, x []float64, qTot []float64) Mult
 	return res
 }
 
+// multiDamping is the blend factor of the multiclass AMVA sweep.
+const multiDamping = 0.5
+
+// multiSweep runs one damped iteration of the multiclass AMVA fixed
+// point over every class and center, updating q, r and x in place and
+// returning the largest queue-length change.
+//
+//lopc:hotpath
+func multiSweep(p MultiParams, est func(qTot, qSelf float64, nc int) float64, q, r [][]float64, x []float64, stats *obs.SolveStats) float64 {
+	C, K := len(p.N), len(p.Centers)
+	delta := 0.0
+	for c := 0; c < C; c++ {
+		if p.N[c] == 0 {
+			x[c] = 0
+			continue
+		}
+		total := 0.0
+		for k := 0; k < K; k++ {
+			if p.Centers[k].Kind == Delay {
+				r[c][k] = p.Demand[c][k]
+			} else {
+				qTot := 0.0
+				for cc := 0; cc < C; cc++ {
+					qTot += q[cc][k]
+				}
+				//lopc:allow allochot est is multiBardEst or multiSchweitzerEst, one closed-form arithmetic expression each, allocation-free
+				r[c][k] = p.Demand[c][k] * (1 + est(qTot, q[c][k], p.N[c]))
+			}
+			total += r[c][k]
+		}
+		x[c] = float64(p.N[c]) / total
+	}
+	for k := 0; k < K; k++ {
+		if p.Centers[k].Kind != Queueing {
+			continue
+		}
+		u := 0.0
+		for c := 0; c < C; c++ {
+			u += x[c] * p.Demand[c][k]
+		}
+		if u > stats.MaxUtil {
+			stats.MaxUtil = u
+		}
+	}
+	for c := 0; c < C; c++ {
+		for k := 0; k < K; k++ {
+			nq := x[c] * r[c][k]
+			nq = multiDamping*nq + (1-multiDamping)*q[c][k]
+			delta = math.Max(delta, math.Abs(nq-q[c][k]))
+			q[c][k] = nq
+		}
+	}
+	return delta
+}
+
 // multiApproximate runs the multiclass AMVA fixed point with the given
 // arrival-queue estimator est(qTotalK, qSelfK, nc). The returned stats
 // are meaningful on every path, including errors.
@@ -217,51 +272,10 @@ func multiApproximate(p MultiParams, est func(qTot, qSelf float64, nc int) float
 	const (
 		maxIter = 200000
 		tol     = 1e-12
-		damping = 0.5
 	)
 	for iter := 0; iter < maxIter; iter++ {
 		stats.Iters = iter + 1
-		delta := 0.0
-		for c := 0; c < C; c++ {
-			if p.N[c] == 0 {
-				x[c] = 0
-				continue
-			}
-			total := 0.0
-			for k := 0; k < K; k++ {
-				if p.Centers[k].Kind == Delay {
-					r[c][k] = p.Demand[c][k]
-				} else {
-					qTot := 0.0
-					for cc := 0; cc < C; cc++ {
-						qTot += q[cc][k]
-					}
-					r[c][k] = p.Demand[c][k] * (1 + est(qTot, q[c][k], p.N[c]))
-				}
-				total += r[c][k]
-			}
-			x[c] = float64(p.N[c]) / total
-		}
-		for k := 0; k < K; k++ {
-			if p.Centers[k].Kind != Queueing {
-				continue
-			}
-			u := 0.0
-			for c := 0; c < C; c++ {
-				u += x[c] * p.Demand[c][k]
-			}
-			if u > stats.MaxUtil {
-				stats.MaxUtil = u
-			}
-		}
-		for c := 0; c < C; c++ {
-			for k := 0; k < K; k++ {
-				nq := x[c] * r[c][k]
-				nq = damping*nq + (1-damping)*q[c][k]
-				delta = math.Max(delta, math.Abs(nq-q[c][k]))
-				q[c][k] = nq
-			}
-		}
+		delta := multiSweep(p, est, q, r, x, &stats)
 		stats.Residual = delta
 		// NaN compares false against tol forever; fail fast rather than
 		// spin to the iteration cap.

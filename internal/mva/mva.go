@@ -173,6 +173,39 @@ func Exact(centers []Center, n int) (Result, error) {
 	return finish(centers, n, r), nil
 }
 
+// approxSweep runs one iteration of the single-class AMVA fixed point:
+// residence times from the arrival-queue estimate, throughput from the
+// population, and queue lengths back from Little's law. q and r are
+// updated in place; the return value is the largest queue-length
+// change.
+//
+//lopc:hotpath
+func approxSweep(centers []Center, n int, est func(q float64, n int) float64, q, r []float64, stats *obs.SolveStats) float64 {
+	total := 0.0
+	for j, c := range centers {
+		if c.Kind == Delay {
+			r[j] = c.Demand
+		} else {
+			//lopc:allow allochot est is bardEst or schweitzerEst, one closed-form arithmetic expression each, allocation-free
+			r[j] = c.Demand * (1 + est(q[j], n))
+		}
+		total += r[j]
+	}
+	x := float64(n) / total
+	delta := 0.0
+	for j, c := range centers {
+		if c.Kind == Queueing {
+			if u := x * c.Demand; u > stats.MaxUtil {
+				stats.MaxUtil = u
+			}
+		}
+		nq := x * r[j]
+		delta = math.Max(delta, math.Abs(nq-q[j]))
+		q[j] = nq
+	}
+	return delta
+}
+
 // approximate runs the fixed-point AMVA with the given arrival-queue
 // estimator: est(qk, n) is the queue length an arriving customer is
 // assumed to see at a queueing center, given the time-average queue qk
@@ -200,27 +233,7 @@ func approximate(centers []Center, n int, est func(q float64, n int) float64) (R
 	)
 	for iter := 0; iter < maxIter; iter++ {
 		stats.Iters = iter + 1
-		total := 0.0
-		for j, c := range centers {
-			if c.Kind == Delay {
-				r[j] = c.Demand
-			} else {
-				r[j] = c.Demand * (1 + est(q[j], n))
-			}
-			total += r[j]
-		}
-		x := float64(n) / total
-		delta := 0.0
-		for j, c := range centers {
-			if c.Kind == Queueing {
-				if u := x * c.Demand; u > stats.MaxUtil {
-					stats.MaxUtil = u
-				}
-			}
-			nq := x * r[j]
-			delta = math.Max(delta, math.Abs(nq-q[j]))
-			q[j] = nq
-		}
+		delta := approxSweep(centers, n, est, q, r, &stats)
 		stats.Residual = delta
 		// NaN compares false against tol forever; fail fast rather than
 		// spin to the iteration cap.

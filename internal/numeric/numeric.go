@@ -74,16 +74,21 @@ func FixedPoint(f func(float64) float64, x0 float64, opts FixedPointOpts) (float
 // how the iteration behaved — for the convergence observability in
 // internal/obs. The info is meaningful on every return, including the
 // error paths.
+//
+//lopc:hotpath
 func FixedPointTraced(f func(float64) float64, x0 float64, opts FixedPointOpts) (float64, FixedPointInfo, error) {
 	var info FixedPointInfo
 	if opts.Tol <= 0 || opts.MaxIter <= 0 || opts.Damping <= 0 || opts.Damping > 1 {
+		//lopc:allow allochot error construction runs once, before the iteration starts, on the invalid-options path
 		return 0, info, fmt.Errorf("numeric: invalid fixed point options %+v", opts)
 	}
 	x := x0
 	for i := 0; i < opts.MaxIter; i++ {
 		info.Iters = i + 1
+		//lopc:allow allochot f is the model's step closure; the arithmetic lives in its named step function, itself a hotpath root audited where its code is
 		fx := f(x)
 		if math.IsNaN(fx) || math.IsInf(fx, 0) {
+			//lopc:allow allochot error construction runs only on the divergence path, which ends the iteration
 			return 0, info, fmt.Errorf("numeric: fixed point map returned %v at x=%v", fx, x)
 		}
 		next := (1-opts.Damping)*x + opts.Damping*fx
