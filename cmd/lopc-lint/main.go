@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	lopc-lint [-config file] [-format text|json|github] [-checks a,b] [-list] [-report-allows] [patterns...]
+//	lopc-lint [-config file] [-format text|json|github|sarif] [-checks a,b] [-j n] [-strict-allows] [-list] [-report-allows] [patterns...]
 //
 // Patterns default to ./... (every package of the enclosing module,
 // skipping testdata). With the default text format findings print one
@@ -13,8 +13,9 @@
 //	file:line:check: message
 //
 // with file paths relative to the module root; -format json emits a
-// JSON array of findings, and -format github emits ::error workflow
-// annotations for GitHub Actions. The exit status is 0
+// JSON array of findings, -format github emits ::error workflow
+// annotations for GitHub Actions, and -format sarif emits a SARIF
+// 2.1.0 log for code-scanning upload. The exit status is 0
 // when the module is clean, 1 when there are findings, and 2 on usage
 // or load errors. Individual findings are suppressed with a justified
 //
@@ -24,10 +25,15 @@
 // with a -config allowlist ("check path-prefix" lines).
 //
 // -checks restricts the run to a comma-separated subset of analyzers
-// (unknown names are a usage error). -report-allows prints every
-// //lopc:allow suppression in the analyzed packages with its audited
-// reason instead of running the analyzers, so the full suppression
-// inventory is reviewable per PR.
+// (unknown names are a usage error). -j sets how many packages are
+// analyzed concurrently (0 means GOMAXPROCS); output is byte-identical
+// at every job count. -strict-allows reports every //lopc:allow whose
+// check ran but suppressed nothing — a dead suppression that would
+// silently swallow a future regression — and exits 1 when any exist.
+// -report-allows prints every //lopc:allow suppression in the analyzed
+// packages with its audited reason instead of running the analyzers,
+// so the full suppression inventory is reviewable per PR; stale
+// suppressions (per a full-suite run) are marked STALE.
 package main
 
 import (
@@ -50,8 +56,10 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lopc-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	configPath := fs.String("config", "", "path allowlist `file` (lines: check path-prefix)")
-	format := fs.String("format", "text", "output `format`: text, json, or github")
+	format := fs.String("format", "text", "output `format`: text, json, github, or sarif")
 	checks := fs.String("checks", "", "comma-separated `subset` of checks to run (default: all)")
+	jobs := fs.Int("j", 0, "analyze `n` packages concurrently (0 = GOMAXPROCS); output is identical at any value")
+	strictAllows := fs.Bool("strict-allows", false, "report stale //lopc:allow suppressions and exit 1 when any exist")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	reportAllows := fs.Bool("report-allows", false, "print every //lopc:allow suppression with its reason and exit")
 	ver := version.AddFlag(fs)
@@ -62,8 +70,8 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, version.String("lopc-lint"))
 		return 0
 	}
-	if *format != "text" && *format != "json" && *format != "github" {
-		fmt.Fprintf(stderr, "lopc-lint: unknown format %q (want text, json, or github)\n", *format)
+	if *format != "text" && *format != "json" && *format != "github" && *format != "sarif" {
+		fmt.Fprintf(stderr, "lopc-lint: unknown format %q (want text, json, github, or sarif)\n", *format)
 		return 2
 	}
 	analyzers := lint.All()
@@ -118,20 +126,45 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 
 	if *reportAllows {
 		records := lint.AllowRecords(l, pkgs)
-		for _, r := range records {
-			fmt.Fprintf(stdout, "%s:%d: %s: %s\n", r.File, r.Line, r.Check, r.Reason)
+		// Staleness is judged against the full suite regardless of
+		// -checks: an allow is dead only if the check it names found
+		// nothing to suppress when actually run.
+		_, staleRecs := lint.RunParallel(l, pkgs, lint.All(), cfg, *jobs)
+		staleSet := make(map[lint.AllowRecord]bool, len(staleRecs))
+		for _, r := range staleRecs {
+			staleSet[r] = true
 		}
-		fmt.Fprintf(stderr, "lopc-lint: %d suppression(s) in %d package(s)\n", len(records), len(pkgs))
+		for _, r := range records {
+			mark := ""
+			if staleSet[r] {
+				mark = " STALE"
+			}
+			fmt.Fprintf(stdout, "%s:%d: %s: %s%s\n", r.File, r.Line, r.Check, r.Reason, mark)
+		}
+		fmt.Fprintf(stderr, "lopc-lint: %d suppression(s) (%d stale) in %d package(s)\n",
+			len(records), len(staleRecs), len(pkgs))
+		if *strictAllows && len(staleRecs) > 0 {
+			return 1
+		}
 		return 0
 	}
 
-	diags := lint.Run(l, pkgs, analyzers, cfg)
+	diags, stale := lint.RunParallel(l, pkgs, analyzers, cfg, *jobs)
 	if err := emit(stdout, *format, l, diags); err != nil {
 		fmt.Fprintln(stderr, "lopc-lint:", err)
 		return 2
 	}
+	if *strictAllows {
+		for _, r := range stale {
+			fmt.Fprintf(stderr, "lopc-lint: stale allow: %s:%d: //lopc:allow %s suppresses nothing; delete it\n",
+				r.File, r.Line, r.Check)
+		}
+	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "lopc-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	if *strictAllows && len(stale) > 0 {
 		return 1
 	}
 	return 0
@@ -151,6 +184,8 @@ type finding struct {
 // byte-deterministic.
 func emit(w io.Writer, format string, l *lint.Loader, diags []lint.Diagnostic) error {
 	switch format {
+	case "sarif":
+		return emitSARIF(w, l, diags)
 	case "json":
 		out := make([]finding, 0, len(diags))
 		for _, d := range diags {

@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+
+	"repro/internal/lint"
 )
 
 // TestGoldenOutput pins the exact file:line:check: message output of the
@@ -69,6 +71,105 @@ func TestGoldenGitHub(t *testing.T) {
 	}
 }
 
+// TestGoldenSARIF pins the -format sarif rendering byte-for-byte and
+// validates the SARIF 2.1.0 shape: schema URI, version, one run with
+// one rule per analyzer (plus the allow pseudo-check) and one result
+// per finding, each carrying a physical location under %SRCROOT%.
+func TestGoldenSARIF(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden.sarif"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-format", "sarif", "./..."}, filepath.Join("testdata", "fixturemod"), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if stdout.String() != string(want) {
+		t.Errorf("output mismatch\n--- got ---\n%s--- want ---\n%s", stdout.String(), want)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Schema != sarifSchema || log.Version != "2.1.0" {
+		t.Errorf("schema/version = %q/%q, want %q/2.1.0", log.Schema, log.Version, sarifSchema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "lopc-lint" {
+		t.Errorf("driver name = %q, want lopc-lint", r.Tool.Driver.Name)
+	}
+	if want := len(lint.All()) + 1; len(r.Tool.Driver.Rules) != want {
+		t.Errorf("got %d rules, want %d (suite + allow)", len(r.Tool.Driver.Rules), want)
+	}
+	if len(r.Results) == 0 {
+		t.Fatal("SARIF run has zero results")
+	}
+	for i, res := range r.Results {
+		if res.RuleID != r.Tool.Driver.Rules[res.RuleIndex].ID {
+			t.Errorf("result %d: ruleIndex %d resolves to %q, not ruleId %q",
+				i, res.RuleIndex, r.Tool.Driver.Rules[res.RuleIndex].ID, res.RuleID)
+		}
+		if len(res.Locations) != 1 {
+			t.Errorf("result %d: got %d locations, want 1", i, len(res.Locations))
+			continue
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URIBaseID != "%SRCROOT%" || loc.ArtifactLocation.URI == "" || loc.Region.StartLine == 0 {
+			t.Errorf("result %d: incomplete physical location %+v", i, loc)
+		}
+	}
+}
+
+// TestJobsByteIdentical pins the -j contract: output is byte-identical
+// at every job count, so CI can parallelize freely without churning
+// diffs or SARIF uploads.
+func TestJobsByteIdentical(t *testing.T) {
+	runWith := func(jobs string) string {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-j", jobs, "./..."}, filepath.Join("testdata", "fixturemod"), &stdout, &stderr)
+		if code != 1 {
+			t.Fatalf("-j %s: exit code = %d, want 1\nstderr: %s", jobs, code, stderr.String())
+		}
+		return stdout.String()
+	}
+	serial := runWith("1")
+	for _, jobs := range []string{"2", "8"} {
+		if got := runWith(jobs); got != serial {
+			t.Errorf("-j %s output differs from -j 1\n--- j%s ---\n%s--- j1 ---\n%s", jobs, jobs, got, serial)
+		}
+	}
+}
+
+// TestStrictAllows: -strict-allows turns the fixture's deliberately
+// dead suppression into an exit-1 failure and names it on stderr, even
+// when the selected checks report no findings.
+func TestStrictAllows(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-strict-allows", "-checks", "floateq", "./internal/sim"},
+		filepath.Join("testdata", "fixturemod"), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("expected no findings on stdout, got:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "stale allow") || !strings.Contains(stderr.String(), "internal/sim/sim.go:29") {
+		t.Errorf("stderr does not name the stale allow:\n%s", stderr.String())
+	}
+	// Without the flag the same run is clean: stale allows are advisory
+	// by default.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-checks", "floateq", "./internal/sim"},
+		filepath.Join("testdata", "fixturemod"), &stdout, &stderr); code != 0 {
+		t.Fatalf("without -strict-allows: exit code = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+}
+
 // TestBadFormat: an unknown -format is a usage error (exit 2), before
 // any packages load.
 func TestBadFormat(t *testing.T) {
@@ -124,7 +225,10 @@ func TestConfigAllowsEverything(t *testing.T) {
 		"lockbalance fixture\n" +
 		"sendclosed fixture\n" +
 		"allochot fixture\n" +
-		"deadlock fixture\n"
+		"deadlock fixture\n" +
+		"detflow fixture\n" +
+		"clockseam fixture\n" +
+		"rngseam fixture\n"
 	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,139 @@
+package main
+
+// SARIF 2.1.0 output (-format sarif): the interchange format GitHub
+// code scanning and most SARIF viewers ingest. One run, one driver
+// (lopc-lint), one reportingDescriptor per analyzer plus the "allow"
+// pseudo-check for malformed suppression comments, and one result per
+// finding with a physical location relative to the module root
+// (%SRCROOT%). Rules are emitted in suite order and results arrive
+// pre-sorted from the analysis, so the log is byte-deterministic —
+// the same contract every other format honours. The driver version is
+// deliberately omitted: it would vary with the build and break byte
+// comparison of otherwise identical runs.
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/lint"
+)
+
+const (
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifRules builds the reportingDescriptor table: the full suite in
+// reporting order, then the allow pseudo-check. The table is the same
+// for every run so ruleIndex values are stable across invocations.
+func sarifRules() ([]sarifRule, map[string]int) {
+	var rules []sarifRule
+	index := map[string]int{}
+	add := func(id, doc string) {
+		index[id] = len(rules)
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+	}
+	for _, a := range lint.All() {
+		add(a.Name(), a.Doc())
+	}
+	add("allow", "malformed //lopc:allow suppression comment (unknown check or missing reason)")
+	return rules, index
+}
+
+// emitSARIF renders the findings as one SARIF 2.1.0 run.
+func emitSARIF(w io.Writer, l *lint.Loader, diags []lint.Diagnostic) error {
+	rules, index := sarifRules()
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:    d.Check,
+			RuleIndex: index[d.Check],
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       l.RelPath(d.Pos.Filename),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{
+						StartLine:   d.Pos.Line,
+						StartColumn: d.Pos.Column,
+					},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "lopc-lint",
+				InformationURI: "https://github.com/lopc/repro",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,20 @@
+// Package rng is a minimal stand-in for the module's splittable
+// stream package. Its path suffix (internal/rng) is what the rngseam
+// constant-seed check keys on, so the sim fixture can exercise
+// rng.New(42) without importing the real module.
+package rng
+
+// Stream is a SplitMix64 stand-in for the module's xoshiro stream.
+type Stream struct{ state uint64 }
+
+// New returns a stream rooted at seed.
+func New(seed uint64) *Stream { return &Stream{state: seed} }
+
+// Uint64 advances the stream by one SplitMix64 step.
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

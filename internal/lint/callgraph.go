@@ -38,6 +38,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // CGEdgeKind classifies a call-graph edge.
@@ -100,6 +101,13 @@ type CallGraph struct {
 	SCCs [][]*CGNode
 
 	named []*types.Named // CHA candidates, sorted by type string
+	// mu guards the lazily-filled caches (nodes, impls) that analyzer
+	// Check calls can touch after construction: the parallel driver
+	// (parallel.go) runs Checks across packages concurrently, and
+	// implementersOf is exercised per call site. The cache contents are
+	// deterministic functions of the loaded packages, so guarded lazy
+	// fills keep results independent of execution order.
+	mu    sync.Mutex
 	impls map[implKey][]*types.Func
 
 	facts map[*CGNode]*FuncFacts
@@ -214,6 +222,8 @@ func sortedPkgPaths(pkgs map[string]*Package) []string {
 
 func (g *CallGraph) node(fn *types.Func) *CGNode {
 	fn = fn.Origin()
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if n, ok := g.nodes[fn]; ok {
 		return n
 	}
@@ -341,6 +351,8 @@ func (g *CallGraph) funcEdge(n *CGNode, pkg *Package, fn *types.Func, pos token.
 // declaration position.
 func (g *CallGraph) implementersOf(iface *types.Interface, method *types.Func) []*types.Func {
 	key := implKey{iface, method.Name()}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if impls, ok := g.impls[key]; ok {
 		return impls
 	}

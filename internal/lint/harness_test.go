@@ -63,6 +63,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"loopcapture", &LoopCapture{}},
 		{"allochot", &AllocHot{}},
 		{"deadlock", &Deadlock{}},
+		{"detflow", &DetFlow{SinkScope: everywhere, ResultScope: everywhere}},
+		{"clockseam", &ClockSeam{Scope: everywhere}},
+		{"rngseam", &RngSeam{Scope: everywhere}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

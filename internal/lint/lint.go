@@ -65,7 +65,8 @@ type Analyzer interface {
 // All returns the full suite in reporting order: the numerical and
 // hygiene checks first, then the CFG/dataflow-based concurrency
 // checks guarding the parallel runner, then the interprocedural
-// call-graph checks.
+// call-graph checks, then the determinism-contract checks built on
+// the taint engine and the clock/rng seams.
 func All() []Analyzer {
 	return []Analyzer{
 		&Nondeterminism{},
@@ -80,6 +81,9 @@ func All() []Analyzer {
 		&SendClosed{},
 		&AllocHot{},
 		&Deadlock{},
+		&DetFlow{},
+		&ClockSeam{},
+		&RngSeam{},
 	}
 }
 
@@ -113,36 +117,101 @@ func ByNames(names []string) ([]Analyzer, error) {
 // the suppression comments themselves (unknown check names and missing
 // reasons are findings), and returns the remainder sorted by position.
 func Run(l *Loader, pkgs []*Package, analyzers []Analyzer, cfg Config) []Diagnostic {
-	// Allow comments are validated against the full suite, not just the
-	// analyzers selected for this run: running a -checks subset must not
-	// turn every other check's suppressions into "unknown check"
-	// findings.
-	known := make(map[string]bool, len(analyzers))
+	diags, _ := RunWithStale(l, pkgs, analyzers, cfg)
+	return diags
+}
+
+// RunWithStale is Run plus stale-suppression detection: the second
+// result lists every //lopc:allow comment whose check ran in this
+// invocation but which suppressed no finding — dead suppressions that
+// would silently swallow a future regression. Allows for checks not in
+// this run are never reported stale (a deadlock allow is not stale
+// just because only floateq ran).
+func RunWithStale(l *Loader, pkgs []*Package, analyzers []Analyzer, cfg Config) ([]Diagnostic, []AllowRecord) {
+	known, ran := suiteMaps(analyzers)
+	results := make([]pkgResult, len(pkgs))
+	for i, pkg := range pkgs {
+		results[i] = analyzePackage(l, pkg, analyzers, cfg, known, ran)
+	}
+	return mergeResults(results)
+}
+
+// suiteMaps builds the known/ran check-name sets for one invocation.
+// Allow comments are validated against the full suite, not just the
+// analyzers selected for this run: running a -checks subset must not
+// turn every other check's suppressions into "unknown check" findings.
+// Stale detection conversely uses only the checks that ran.
+func suiteMaps(analyzers []Analyzer) (known, ran map[string]bool) {
+	known = make(map[string]bool, len(analyzers))
 	for _, a := range All() {
 		known[a.Name()] = true
 	}
+	ran = make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name()] = true
+		ran[a.Name()] = true
 	}
+	return known, ran
+}
+
+// pkgResult is the analysis output of one package: its surviving
+// diagnostics and its stale suppressions. Allow comments only suppress
+// findings positioned in their own package's files, so the result is
+// self-contained and packages can be analyzed in any order — the basis
+// of RunParallel's byte-identical merge.
+type pkgResult struct {
+	diags []Diagnostic
+	stale []AllowRecord
+}
+
+// analyzePackage runs the analyzers over one package, applying and
+// auditing that package's suppressions.
+func analyzePackage(l *Loader, pkg *Package, analyzers []Analyzer, cfg Config, known, ran map[string]bool) pkgResult {
+	var res pkgResult
+	used := map[allowKey]bool{}
+	allows := collectAllows(l.Fset, pkg)
+	for _, d := range checkAllows(allows, known) {
+		if !cfg.allows(d.Check, l.RelPath(d.Pos.Filename), pkg.Path) {
+			res.diags = append(res.diags, d)
+		}
+	}
+	for _, a := range analyzers {
+		for _, d := range a.Check(l, pkg) {
+			if allows.cover(d.Pos.Filename, d.Pos.Line, d.Check, used) {
+				continue
+			}
+			if cfg.allows(d.Check, l.RelPath(d.Pos.Filename), pkg.Path) {
+				continue
+			}
+			res.diags = append(res.diags, d)
+		}
+	}
+	for file, lines := range allows {
+		for line, as := range lines {
+			for _, a := range as {
+				if ran[a.check] && !used[allowKey{file, line, a.check}] {
+					res.stale = append(res.stale, AllowRecord{
+						File:   l.RelPath(file),
+						Line:   line,
+						Check:  a.check,
+						Reason: a.reason,
+					})
+				}
+			}
+		}
+	}
+	return res
+}
+
+// mergeResults concatenates per-package results and applies the
+// canonical total orders, so the merged output is identical however the
+// per-package work was scheduled.
+func mergeResults(results []pkgResult) ([]Diagnostic, []AllowRecord) {
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		allows := collectAllows(l.Fset, pkg)
-		for _, d := range checkAllows(allows, known) {
-			if !cfg.allows(d.Check, l.RelPath(d.Pos.Filename), pkg.Path) {
-				out = append(out, d)
-			}
-		}
-		for _, a := range analyzers {
-			for _, d := range a.Check(l, pkg) {
-				if allows.covers(d.Pos.Filename, d.Pos.Line, d.Check) {
-					continue
-				}
-				if cfg.allows(d.Check, l.RelPath(d.Pos.Filename), pkg.Path) {
-					continue
-				}
-				out = append(out, d)
-			}
-		}
+	var stale []AllowRecord
+	for _, r := range results {
+		out = append(out, r.diags...)
+		stale = append(stale, r.stale...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -157,7 +226,17 @@ func Run(l *Loader, pkgs []*Package, analyzers []Analyzer, cfg Config) []Diagnos
 		}
 		return a.Message < b.Message
 	})
-	return out
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i], stale[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Check < b.Check
+	})
+	return out, stale
 }
 
 // allowDirective is the comment prefix of a suppression.
@@ -174,15 +253,34 @@ type allow struct {
 // covers findings on L (trailing comment) and L+1 (comment above).
 type allowSet map[string]map[int][]allow
 
-func (s allowSet) covers(file string, line int, check string) bool {
+// allowKey identifies one //lopc:allow comment for usage tracking
+// (file and line of the comment itself, plus the suppressed check).
+type allowKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// cover reports whether an allow suppresses a finding at (file, line,
+// check) and, when used is non-nil, marks every matching allow comment
+// as exercised so stale ones can be reported.
+func (s allowSet) cover(file string, line int, check string, used map[allowKey]bool) bool {
+	hit := false
 	for _, l := range []int{line, line - 1} {
 		for _, a := range s[file][l] {
 			if a.check == check {
-				return true
+				hit = true
+				if used != nil {
+					used[allowKey{file, l, check}] = true
+				}
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+func (s allowSet) covers(file string, line int, check string) bool {
+	return s.cover(file, line, check, nil)
 }
 
 // collectAllows parses every //lopc:allow comment in the package.

@@ -1,0 +1,70 @@
+// Package detflow exercises the interprocedural determinism-taint
+// analyzer: nondeterministic sources flowing into registered sinks and
+// exported results, across call and closure boundaries, with sort
+// sanitization and //lopc:allow suppression.
+package detflow
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// now is the taint source one call away from every sink below: the
+// engine must carry wall-clock taint through the summary.
+func now() int64 {
+	return time.Now().UnixNano()
+}
+
+// describe sends an upstream wall-clock read into an error message.
+func describe() error {
+	t := now()
+	return fmt.Errorf("failed at %d", t) // want "flows into an error message"
+}
+
+// envTag routes an environment read through a closure into formatted
+// output.
+func envTag() string {
+	get := func() string { return os.Getenv("TAG") }
+	v := get()
+	return fmt.Sprintf("tag=%s", v) // want "flows into formatted output"
+}
+
+// Stamp is an exported result carrying wall-clock taint: under the
+// deterministic-package contract, a finding at the declaration.
+func Stamp() int64 { // want "exported detflow.Stamp returns a value derived from wall-clock"
+	return now() + 1
+}
+
+// SortedKeys is the sanitized negative: the keys are accumulated in
+// map order but sorted before they reach the sink, so both the sink
+// and the exported result are clean.
+func SortedKeys(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return fmt.Sprintf("%v", keys)
+}
+
+// Echo is the pure negative: input-derived values are not findings.
+func Echo(name string) error {
+	return fmt.Errorf("unknown name %q", name)
+}
+
+// jitterLog is the suppressed positive: the global-rand flow into
+// formatted output is acknowledged with a justified allow.
+func jitterLog() string {
+	j := rand.Int63()
+	//lopc:allow detflow fixture: suppressed-case coverage for the harness
+	return fmt.Sprintf("jitter=%d", j)
+}
+
+var (
+	_ = describe
+	_ = envTag
+	_ = jitterLog
+)

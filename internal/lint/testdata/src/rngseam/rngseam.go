@@ -1,0 +1,40 @@
+// Package rngseam exercises the rng-seam analyzer: math/rand use and
+// constant-seeded internal/rng streams are findings; streams seeded
+// from configuration or SeedAt derivations are the sanctioned pattern.
+package rngseam
+
+import (
+	"math/rand"
+
+	"repro/internal/rng"
+)
+
+// Jitter draws from the global math/rand source.
+func Jitter() float64 {
+	return rand.Float64() // want "math/rand.Float64 is outside the rng.SeedAt substream scheme"
+}
+
+// Fixed hard-codes the root seed, making every replication identical.
+func Fixed() *rng.Stream {
+	return rng.New(42) // want "rng.New seeded with the constant 42"
+}
+
+// FromConfig derives the stream from a caller-provided seed: the
+// sanctioned pattern.
+func FromConfig(seed uint64) *rng.Stream {
+	return rng.New(seed)
+}
+
+// Replication derives a substream with SeedAt: also sanctioned.
+func Replication(root uint64, i uint64) *rng.Stream {
+	return rng.New(rng.SeedAt(root, i))
+}
+
+// legacy is the suppressed positive: a justified allow keeps the
+// math/rand call.
+func legacy() int {
+	//lopc:allow rngseam fixture: suppressed-case coverage for the harness
+	return rand.Intn(10)
+}
+
+var _ = legacy

@@ -1,0 +1,84 @@
+// Package taint is the engine-level fixture for taint_test.go: each
+// function isolates one propagation mechanism — closures, method
+// values, variadic calls, recursive SCCs, channels, sanitization — so
+// the tests can assert directly on the computed summaries.
+package taint
+
+import "time"
+
+// Closure writes the source through a captured variable.
+func Closure() int64 {
+	var x int64
+	set := func() { x = time.Now().UnixNano() }
+	set()
+	return x
+}
+
+// clock is a method-value source.
+type clock struct{}
+
+func (clock) read() int64 { return time.Now().UnixNano() }
+
+// MethodValue binds a method to an ident and calls through it.
+func MethodValue() int64 {
+	var c clock
+	f := c.read
+	return f()
+}
+
+// total is the variadic carrier.
+func total(vs ...int64) int64 {
+	var t int64
+	for _, v := range vs {
+		t += v
+	}
+	return t
+}
+
+// Variadic hides the source in the middle of the variadic argument
+// list.
+func Variadic() int64 {
+	return total(1, time.Now().UnixNano(), 3)
+}
+
+// Even/Odd form a two-function SCC whose taint enters at the base
+// case; the bottom-up pass must reach the mutual fixed point (and
+// terminate).
+func Even(n int) int64 {
+	if n == 0 {
+		return time.Now().UnixNano()
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) int64 {
+	if n == 0 {
+		return 0
+	}
+	return Even(n - 1)
+}
+
+// Pipe carries taint through a channel.
+func Pipe() int64 {
+	ch := make(chan int64, 1)
+	ch <- time.Now().UnixNano()
+	return <-ch
+}
+
+// store is a receiver write: the summary must record the taint in
+// recvOut.
+type store struct{ at int64 }
+
+func (s *store) stamp() { s.at = time.Now().UnixNano() }
+
+// Stored reads back what the method stored into the receiver.
+func Stored() int64 {
+	var s store
+	s.stamp()
+	return s.at
+}
+
+// Clean is the negative: a pure function of its inputs.
+func Clean(a, b int64) int64 {
+	return a + b
+}

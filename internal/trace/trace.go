@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/machine"
 )
@@ -118,8 +119,15 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	for _, e := range t.events {
 		pids[e.Pid] = true
 	}
-	out := make([]Event, 0, len(t.events)+3*len(pids))
+	// Emit metadata in sorted pid order: map iteration order would make
+	// the trace bytes differ between identical runs.
+	ids := make([]int, 0, len(pids))
 	for pid := range pids {
+		ids = append(ids, pid)
+	}
+	sort.Ints(ids)
+	out := make([]Event, 0, len(t.events)+3*len(ids))
+	for _, pid := range ids {
 		out = append(out,
 			Event{Name: "process_name", Phase: "M", Pid: pid, Tid: 0,
 				Args: map[string]any{"name": fmt.Sprintf("node %d", pid)}},

@@ -50,8 +50,10 @@ func Calibrate() Calibration {
 	var sink uint64
 	n := uint64(1 << 16)
 	for {
+		//lopc:allow clockseam calibration measures real spin throughput; a fake clock would defeat it
 		t0 := time.Now()
 		sink += spin(n)
+		//lopc:allow clockseam calibration measures real spin throughput; a fake clock would defeat it
 		el := time.Since(t0)
 		if el >= 2*time.Millisecond {
 			_ = sink
@@ -155,9 +157,11 @@ func run(cfg Config, cal Calibration, body func(thread int, plan []uint64) (int6
 		}(i)
 	}
 	ready.Wait()
+	//lopc:allow clockseam the benchmark times real hardware contention; wall time is the measurand
 	t0 := time.Now()
 	close(start)
 	wg.Wait()
+	//lopc:allow clockseam the benchmark times real hardware contention; wall time is the measurand
 	elapsed := time.Since(t0)
 	var totalAtt int64
 	var sink uint64
