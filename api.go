@@ -8,6 +8,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/fit"
 	"repro/internal/logp"
+	"repro/internal/psim"
 	"repro/internal/rng"
 	"repro/internal/runner"
 	"repro/internal/trace"
@@ -188,6 +189,22 @@ type SimMultiHopResult = workload.MultiHopResult
 
 // Pattern chooses request destinations in the all-to-all simulator.
 type Pattern = workload.Pattern
+
+// SimPar selects the parallel discrete-event core for a workload run
+// (Sync: "seq" | "cons" | "opt"; Jobs: worker goroutines) and carries
+// its optional outputs. A nil *SimPar — the zero value of every config —
+// runs the legacy sequential engine. Every core produces byte-identical
+// traces and identical measurements for a fixed config and seed.
+type SimPar = workload.ParSim
+
+// SimCoreStats reports parallel-core execution statistics: committed
+// events, barrier rounds, and (optimistic core only) rollbacks.
+type SimCoreStats = psim.RunStats
+
+// SimCoreTrace captures the committed event trace of a parallel-core
+// run, sorted by the canonical global key; two runs agree exactly when
+// their traces are byte-identical under WriteTo.
+type SimCoreTrace = psim.Trace
 
 // SimulateAllToAll runs the event-driven simulator on the homogeneous
 // blocking-request pattern and returns per-cycle measurements directly

@@ -37,6 +37,8 @@ func main() {
 		hops   = flag.Int("hops", 2, "request hops (multihop)")
 		nthr   = flag.Int("T", 2, "threads per node (multithreaded)")
 		traceF = flag.String("trace", "", "write a Chrome trace (chrome://tracing JSON) of the run to this file (alltoall only)")
+		syncF  = flag.String("sync", "", "parallel simulation core: seq | cons | opt (alltoall and workpile only; default: legacy engine)")
+		jobsF  = flag.Int("j", 1, "worker goroutines for the parallel core (with -sync)")
 		ver    = version.AddFlag(flag.CommandLine)
 	)
 	flag.Parse()
@@ -46,17 +48,24 @@ func main() {
 	}
 
 	var err error
-	switch *wl {
-	case "alltoall":
-		err = simAllToAll(*p, *w, *st, *so, *c2, *warmup, *cycles, *seed, *pp, *traceF)
-	case "workpile":
-		err = simWorkpile(*p, *ps, *w, *wc2, *st, *so, *c2, *simT, *seed)
-	case "multihop":
-		err = simMultiHop(*p, *hops, *w, *st, *so, *c2, *warmup, *cycles, *seed)
-	case "multithreaded":
-		err = simMultithreaded(*p, *nthr, *w, *st, *so, *c2, *warmup, *cycles, *seed)
+	switch {
+	case *syncF != "" && *wl != "alltoall" && *wl != "workpile":
+		err = fmt.Errorf("-sync supports only the alltoall and workpile workloads, not %q", *wl)
+	case *syncF != "" && *traceF != "":
+		err = fmt.Errorf("-sync and -trace are mutually exclusive: the parallel core has no Chrome-trace observer")
 	default:
-		err = fmt.Errorf("unknown workload %q", *wl)
+		switch *wl {
+		case "alltoall":
+			err = simAllToAll(*p, *w, *st, *so, *c2, *warmup, *cycles, *seed, *pp, *traceF, *syncF, *jobsF)
+		case "workpile":
+			err = simWorkpile(*p, *ps, *w, *wc2, *st, *so, *c2, *simT, *seed, *syncF, *jobsF)
+		case "multihop":
+			err = simMultiHop(*p, *hops, *w, *st, *so, *c2, *warmup, *cycles, *seed)
+		case "multithreaded":
+			err = simMultithreaded(*p, *nthr, *w, *st, *so, *c2, *warmup, *cycles, *seed)
+		default:
+			err = fmt.Errorf("unknown workload %q", *wl)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lopc-sim:", err)
@@ -64,7 +73,27 @@ func main() {
 	}
 }
 
-func simAllToAll(p int, w, st, so, c2 float64, warmup, cycles int, seed uint64, pp bool, traceFile string) error {
+// parFor builds the parallel-core selection for -sync ("" selects the
+// legacy engine) along with the statistics block reportCore prints.
+func parFor(sync string, jobs int) (*repro.SimPar, *repro.SimCoreStats) {
+	if sync == "" {
+		return nil, nil
+	}
+	cs := &repro.SimCoreStats{}
+	return &repro.SimPar{Sync: sync, Jobs: jobs, Stats: cs}, cs
+}
+
+// reportCore prints the parallel core's execution statistics to stderr,
+// keeping stdout identical to a legacy-engine run.
+func reportCore(sync string, jobs int, cs *repro.SimCoreStats) {
+	if cs == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "psim core=%s j=%d: %d events, %d rounds, %d rollbacks (%d events undone)\n",
+		sync, jobs, cs.Events, cs.Rounds, cs.Rollbacks, cs.RolledBack)
+}
+
+func simAllToAll(p int, w, st, so, c2 float64, warmup, cycles int, seed uint64, pp bool, traceFile, sync string, jobs int) error {
 	cfg := repro.SimAllToAllConfig{
 		P:                 p,
 		Work:              repro.Deterministic(w),
@@ -82,10 +111,13 @@ func simAllToAll(p int, w, st, so, c2 float64, warmup, cycles int, seed uint64, 
 		tracer = &trace.Tracer{MaxEvents: 500_000}
 		cfg.Observer = tracer
 	}
+	par, cs := parFor(sync, jobs)
+	cfg.Par = par
 	sim, err := repro.SimulateAllToAll(cfg)
 	if err != nil {
 		return err
 	}
+	reportCore(sync, jobs, cs)
 	if tracer != nil {
 		f, ferr := os.Create(traceFile)
 		if ferr != nil {
@@ -121,12 +153,13 @@ func simAllToAll(p int, w, st, so, c2 float64, warmup, cycles int, seed uint64, 
 	return nil
 }
 
-func simWorkpile(p, ps int, w, wc2, st, so, c2, window float64, seed uint64) error {
+func simWorkpile(p, ps int, w, wc2, st, so, c2, window float64, seed uint64, sync string, jobs int) error {
 	chunk := repro.Exponential(w)
 	//lopc:allow floateq the flag's default is the exact literal 1 (exponential); any other SCV goes through FromMeanSCV
 	if wc2 != 1 && wc2 >= 0 {
 		chunk = repro.FromMeanSCV(w, wc2)
 	}
+	par, cs := parFor(sync, jobs)
 	sim, err := repro.SimulateWorkpile(repro.SimWorkpileConfig{
 		P: p, Ps: ps,
 		Chunk:      chunk,
@@ -134,10 +167,12 @@ func simWorkpile(p, ps int, w, wc2, st, so, c2, window float64, seed uint64) err
 		Service:    repro.FromMeanSCV(so, c2),
 		WarmupTime: window / 10, MeasureTime: window,
 		Seed: seed,
+		Par:  par,
 	})
 	if err != nil {
 		return err
 	}
+	reportCore(sync, jobs, cs)
 	params := repro.ClientServerParams{P: p, Ps: ps, W: w, St: st, So: so, C2: c2}
 	model, err := repro.ClientServer(params)
 	if err != nil {

@@ -299,6 +299,25 @@ func (d ErlangMix) String() string {
 	return fmt.Sprintf("ErlangMix(k=%d, p=%.4f, λ=%g)", d.K, d.P, d.Lambda)
 }
 
+// LowerBound returns a proven lower bound on every sample d can draw —
+// the lookahead a parallel simulation may bank on when d models a
+// cross-node latency. Deterministic and Uniform have exact bounds;
+// other families (or unknown implementations without a LowerBound
+// method) are unbounded below short of zero, which disables parallel
+// overlap rather than risking a causality violation.
+func LowerBound(d Distribution) float64 {
+	switch v := d.(type) {
+	case Deterministic:
+		return v.Value
+	case Uniform:
+		return v.Low
+	}
+	if b, ok := d.(interface{ LowerBound() float64 }); ok {
+		return b.LowerBound()
+	}
+	return 0
+}
+
 // FromMeanSCV returns a distribution with the exact requested mean and
 // squared coefficient of variation:
 //

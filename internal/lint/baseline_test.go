@@ -12,6 +12,12 @@ var hotBaselinePkgs = []string{
 	"./internal/core",
 	"./internal/mva",
 	"./internal/numeric",
+	// The psim kernel's LP interface is implemented by the workload and
+	// shard packages; they must share the load so CHA can resolve the
+	// kernel's Handle/Start dispatch to concrete, analyzable bodies.
+	"./internal/psim",
+	"./internal/machine/shard",
+	"./internal/workload",
 }
 
 // hotBaselineRoots are the annotated roots that must exist: one per
@@ -27,6 +33,10 @@ var hotBaselineRoots = []string{
 	"lockStep",
 	"multiSweep",
 	"FixedPointTraced",
+	// Parallel simulation core: the sequential oracle's dispatch loop
+	// and the conservative core's per-window drain.
+	"runSeq",
+	"drainWindow",
 }
 
 // TestAllocHotBaseline pins the allocation posture of the solver hot

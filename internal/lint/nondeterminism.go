@@ -24,6 +24,9 @@ var DeterministicPackages = []string{
 	// must be deterministic itself: wall times come from an injected
 	// clock.Clock, never a direct time.Now.
 	"internal/obs",
+	// The parallel simulation core's whole contract is byte-identical
+	// committed traces for every core and job count.
+	"internal/psim",
 }
 
 // suffixScope matches a package path against a list of path suffixes

@@ -1,0 +1,315 @@
+package psim
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/runner"
+)
+
+// optSnap is the state checkpoint taken before each speculative event:
+// the model's snapshot plus the kernel-side context (clock, random
+// stream, send sequence, log lengths) needed to unwind it exactly.
+type optSnap struct {
+	state     any
+	rand      rng.Stream // value copy: rolled-back draws replay identically
+	now       float64
+	sendSeq   uint64
+	processed uint64
+	recLen    int
+	outLen    uint64 // absolute cross-send count at snapshot time (outBase-relative logs shift under fossil collection)
+}
+
+// optLP is the optimistic core's per-LP bookkeeping.
+type optLP struct {
+	// done holds the speculatively processed events in processing order;
+	// snaps[i] is the checkpoint taken before done[i]. A rollback
+	// truncates both and requeues the suffix. Processing order is
+	// nondecreasing in Time but NOT monotone in the local key: a
+	// zero-delay self-send is created by its generator and so runs after
+	// it even when its (Time, Src, Seq) key is smaller. Searches over
+	// done must therefore be linear, never binary on the key.
+	done  []Event
+	snaps []optSnap
+	// outLog records delivered cross-LP sends in send order; a rollback
+	// truncates it and turns the suffix into anti-messages. outBase
+	// counts entries already fossil-collected off the front.
+	outLog  []Event
+	outBase uint64
+}
+
+// runOpt is the optimistic (Time Warp) core with a bounded speculation
+// window. Each round: GVT is the minimum pending head time (all sends
+// are delivered at barriers, so there are no in-transit messages to
+// account for); snapshots and send logs strictly below GVT are fossil-
+// collected, since no straggler or anti-message can ever target them
+// (every future arrival carries a timestamp of at least GVT +
+// lookahead); then every LP with work below GVT + window speculates
+// forward in parallel, checkpointing before each event. The barrier
+// delivers the round's sends in LP index order, rolls back any LP that
+// received a straggler (an event ordered before something it already
+// processed), and cancels the rolled-back speculation's sends with
+// anti-messages, cascading — deterministically, in LP index order — to
+// a fixed point. The window bounds every cascade: nothing can be rolled
+// back below GVT, and nothing was speculated above GVT + window, per
+// the bounded-window discipline for cascade-rollback control.
+//
+// The event at the global minimum key is never rolled back (stragglers
+// arrive at GVT + lookahead at the earliest), so every round commits at
+// least one event and the core terminates exactly like the others.
+func (k *kernel) runOpt() {
+	for i := range k.lps {
+		r := &k.lps[i]
+		r.ctx.q = &r.pq
+	}
+	k.boot()
+
+	jobs := k.jobs()
+	window := k.cfg.Window
+	if window <= 0 {
+		window = 8 * k.cfg.Lookahead
+	}
+	inf := math.Inf(1)
+	opt := make([]optLP, len(k.lps))
+	dirty := make([]bool, len(k.lps))
+	active := make([]int32, 0, len(k.lps))
+	opts := runner.Options{Jobs: jobs, Spans: k.cfg.Spans, Label: "psim-opt"}
+	for {
+		gvt := inf
+		for i := range k.lps {
+			if h := k.lps[i].pq.head(); h != nil && h.Time < gvt {
+				gvt = h.Time
+			}
+		}
+		if gvt > k.until || math.IsInf(gvt, 1) {
+			return
+		}
+		k.fossil(opt, gvt)
+		bound := gvt + window
+		active = active[:0]
+		for i := range k.lps {
+			h := k.lps[i].pq.head()
+			if h != nil && h.Time < bound && h.Time <= k.until {
+				active = append(active, int32(i))
+			}
+		}
+		if len(active) == 1 || jobs == 1 {
+			for _, i := range active {
+				k.drainSpec(&k.lps[i], &opt[i], bound)
+			}
+		} else {
+			a := active
+			_ = runner.Do(len(a), opts, func(j int) error {
+				i := a[j]
+				k.drainSpec(&k.lps[i], &opt[i], bound)
+				return nil
+			})
+		}
+		k.optBarrier(opt, dirty)
+		k.stats.Rounds++
+	}
+}
+
+// drainSpec is drainWindow with a checkpoint before every event: the
+// speculative per-LP loop of the optimistic core. It is not a hot-path
+// root — Save() allocates a snapshot per event by design; that cost is
+// the price of optimism and is bounded by fossil collection.
+func (k *kernel) drainSpec(r *lpRun, o *optLP, bound float64) {
+	c := &r.ctx
+	for {
+		h := r.pq.head()
+		if h == nil || h.Time >= bound || h.Time > k.until {
+			return
+		}
+		ev := r.pq.pop()
+		o.snaps = append(o.snaps, optSnap{
+			state:     r.lp.Save(),
+			rand:      c.rand,
+			now:       c.now,
+			sendSeq:   c.sendSeq,
+			processed: c.processed,
+			recLen:    len(c.rec),
+			// Sends still sitting in the round outbox reach outLog at
+			// the barrier before any rollback can happen, so they count.
+			outLen: o.outBase + uint64(len(o.outLog)) + uint64(len(c.out)),
+		})
+		o.done = append(o.done, ev)
+		c.commit(&ev)
+		r.lp.Handle(c, ev)
+	}
+}
+
+// optBarrier delivers the round's sends and resolves stragglers and
+// anti-messages to a fixed point, all single-threaded and in LP index
+// order, so the outcome is schedule-independent.
+func (k *kernel) optBarrier(opt []optLP, dirty []bool) {
+	// Deliver in source index order, logging each send for potential
+	// cancellation and flagging receivers that got a straggler.
+	for i := range k.lps {
+		c := &k.lps[i].ctx
+		o := &opt[i]
+		for _, ev := range c.out {
+			d := int(ev.Dst)
+			k.lps[d].pq.push(ev)
+			o.outLog = append(o.outLog, ev)
+			od := &opt[d]
+			// done times are nondecreasing, so done[n-1].Time is the
+			// latest processed time; an arrival at or before it might
+			// precede a processed event in key order (keys are not
+			// monotone over done — see optLP). Overmarking is safe:
+			// rollbackStragglers does the precise scan.
+			if n := len(od.done); n > 0 && ev.Time <= od.done[n-1].Time {
+				dirty[d] = true
+			}
+		}
+		c.out = c.out[:0]
+	}
+	// Cascade to a fixed point: roll back dirty LPs (lowest index
+	// first), then annihilate the anti-messages those rollbacks
+	// emitted, which may dirty further LPs or force further rollbacks.
+	var antis []Event
+	for {
+		progress := false
+		for i := range k.lps {
+			if !dirty[i] {
+				continue
+			}
+			dirty[i] = false
+			progress = true
+			k.rollbackStragglers(i, opt, &antis)
+		}
+		if len(antis) == 0 {
+			if !progress {
+				return
+			}
+			continue
+		}
+		a := antis[0]
+		antis = antis[1:]
+		d := int(a.Dst)
+		if k.lps[d].pq.removeBySrcSeq(a.Src, a.Seq) {
+			continue // annihilated while still pending
+		}
+		// The positive was already processed: roll the receiver back to
+		// just before it (which requeues it), then annihilate it. The
+		// scan is linear — done is not key-ordered (see optLP) — and
+		// matches on identity, since (Src, Seq) names a send uniquely.
+		od := &opt[d]
+		idx := -1
+		for j := range od.done {
+			if od.done[j].Src == a.Src && od.done[j].Seq == a.Seq {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			panic("psim: anti-message found neither a pending nor a processed positive")
+		}
+		k.rollbackTo(d, idx, opt, &antis)
+		if !k.lps[d].pq.removeBySrcSeq(a.Src, a.Seq) {
+			panic("psim: rolled-back positive missing from the requeue")
+		}
+		dirty[d] = true // requeued events may now precede the new tail
+	}
+}
+
+// rollbackStragglers unwinds LP i while any pending event precedes a
+// processed one, restoring the checkpoint before the first such
+// processed event. The scan is linear: processing order is not
+// key-ordered (see optLP), so the predicate is not monotone and binary
+// search does not apply. Rolling back the processing-order suffix from
+// the first key-greater entry is exactly right — entries before it all
+// key-precede the straggler and replay identically, while entries after
+// it are either key-greater themselves or causal descendants of the
+// rollback point (zero-delay self-sends), which the requeue turns into
+// phantoms for re-execution to reissue.
+func (k *kernel) rollbackStragglers(i int, opt []optLP, antis *[]Event) {
+	o := &opt[i]
+	for {
+		h := k.lps[i].pq.head()
+		if h == nil || len(o.done) == 0 {
+			return
+		}
+		idx := -1
+		for j := range o.done {
+			if localLess(h, &o.done[j]) {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		k.rollbackTo(i, idx, opt, antis)
+	}
+}
+
+// rollbackTo restores LP i to the checkpoint taken before done[idx]:
+// model state, context, and trace are rewound; the undone events are
+// requeued; sends made after the checkpoint become anti-messages.
+func (k *kernel) rollbackTo(i, idx int, opt []optLP, antis *[]Event) {
+	r := &k.lps[i]
+	c := &r.ctx
+	o := &opt[i]
+	sn := &o.snaps[idx]
+	r.lp.Restore(sn.state)
+	c.rand = sn.rand
+	c.now = sn.now
+	c.sendSeq = sn.sendSeq
+	c.processed = sn.processed
+	c.rec = c.rec[:sn.recLen]
+	// Requeue the undone deliveries — except the LP's own phantom
+	// self-sends (Seq at or beyond the restored send sequence): those
+	// were issued by the execution being undone, and re-execution will
+	// reissue them. Ones still pending in the queue are purged the same
+	// way; cross-LP phantoms are cancelled by the anti-messages below.
+	for j := idx; j < len(o.done); j++ {
+		e := &o.done[j]
+		if e.Src == c.id && e.Seq >= sn.sendSeq {
+			continue
+		}
+		r.pq.push(*e)
+	}
+	r.pq.removePhantoms(c.id, sn.sendSeq)
+	k.stats.RolledBack += uint64(len(o.done) - idx)
+	k.stats.Rollbacks++
+	o.done = o.done[:idx]
+	o.snaps = o.snaps[:idx]
+	cut := int(sn.outLen - o.outBase)
+	*antis = append(*antis, o.outLog[cut:]...)
+	o.outLog = o.outLog[:cut]
+}
+
+// fossil discards checkpoints and send logs that no rollback can reach:
+// everything strictly below GVT. The committed trace is untouched —
+// entries below GVT are final by the same argument.
+func (k *kernel) fossil(opt []optLP, gvt float64) {
+	for i := range opt {
+		o := &opt[i]
+		idx := sort.Search(len(o.done), func(j int) bool {
+			return o.done[j].Time >= gvt
+		})
+		if idx == 0 {
+			continue
+		}
+		var keep uint64
+		if idx < len(o.snaps) {
+			keep = o.snaps[idx].outLen
+		} else {
+			keep = o.outBase + uint64(len(o.outLog))
+		}
+		cut := int(keep - o.outBase)
+		o.outLog = append(o.outLog[:0], o.outLog[cut:]...)
+		o.outBase = keep
+		o.done = append(o.done[:0], o.done[idx:]...)
+		// Truncate via copy so the dropped snapshots (and the model
+		// state they reference) become garbage now, not when the slice
+		// next grows.
+		copy(o.snaps, o.snaps[idx:])
+		for j := len(o.snaps) - idx; j < len(o.snaps); j++ {
+			o.snaps[j] = optSnap{}
+		}
+		o.snaps = o.snaps[:len(o.snaps)-idx]
+	}
+}

@@ -1,0 +1,371 @@
+package psim_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/psim"
+)
+
+// toyLP is an adversarial traffic generator for the determinism tests:
+// every handled event mutates a running hash, draws from the LP's
+// random stream, and schedules both self-events (arbitrarily small
+// delays) and cross-LP events (delays at the lookahead bound and up).
+// Because the sends depend on the hash and the stream, any divergence
+// in commit order or rollback replay snowballs into a different trace
+// rather than hiding.
+type toyLP struct {
+	n         int
+	lookahead float64
+	hash      uint64
+	handled   int
+}
+
+func (l *toyLP) Start(c *psim.Ctx) {
+	// Seed traffic: one self-event and one cross event per LP.
+	c.Send(c.Self(), 0.25*c.Rand().Float64(), 0, psim.Msg{})
+	dst := c.Rand().Intn(l.n)
+	c.Send(dst, l.lookahead*(1+c.Rand().Float64()), 1, psim.Msg{})
+}
+
+func (l *toyLP) Handle(c *psim.Ctx, ev psim.Event) {
+	l.handled++
+	l.hash = l.hash*0x9e3779b97f4a7c15 + math.Float64bits(ev.Time) ^ uint64(ev.Src)<<32 ^ ev.Seq
+	r := c.Rand()
+	// Exactly one send per event keeps the population constant (the
+	// run is bounded by Until, not by traffic dying out or exploding).
+	// Branch on state so a mis-replayed rollback changes the traffic.
+	if (l.hash^r.Uint64())&1 == 0 {
+		c.Send(c.Self(), 0.3*r.Float64(), 0, psim.Msg{U0: l.hash})
+		return
+	}
+	dst := r.Intn(l.n)
+	c.Send(dst, l.lookahead*(1+2*r.Float64()), 1, psim.Msg{U0: l.hash})
+}
+
+func (l *toyLP) Save() any {
+	s := *l
+	return &s
+}
+
+func (l *toyLP) Restore(snapshot any) {
+	*l = *snapshot.(*toyLP)
+}
+
+func toyLPs(n int, lookahead float64) []psim.LP {
+	lps := make([]psim.LP, n)
+	for i := range lps {
+		lps[i] = &toyLP{n: n, lookahead: lookahead}
+	}
+	return lps
+}
+
+// runToy runs the toy model under one core configuration and returns
+// the trace bytes and stats.
+func runToy(t *testing.T, n int, sync psim.Sync, jobs int, window float64) ([]byte, psim.RunStats) {
+	t.Helper()
+	var tr psim.Trace
+	st, err := psim.Run(psim.Config{
+		LPs:       toyLPs(n, 1.0),
+		Lookahead: 1.0,
+		Sync:      sync,
+		Jobs:      jobs,
+		Seed:      42,
+		Until:     40,
+		Window:    window,
+		Trace:     &tr,
+	})
+	if err != nil {
+		t.Fatalf("Run(%v, jobs=%d): %v", sync, jobs, err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if int(st.Events) != tr.Len() {
+		t.Fatalf("stats.Events=%d but trace has %d records", st.Events, tr.Len())
+	}
+	return buf.Bytes(), st
+}
+
+// TestDeterminismContract is the tentpole check: for a fixed seed,
+// every core at every job count commits a byte-identical event trace
+// and identical committed statistics.
+func TestDeterminismContract(t *testing.T) {
+	for _, n := range []int{2, 7, 32} {
+		want, wantSt := runToy(t, n, psim.SyncSeq, 1, 0)
+		if wantSt.Events == 0 {
+			t.Fatalf("n=%d: sequential run committed no events", n)
+		}
+		cases := []struct {
+			name   string
+			sync   psim.Sync
+			jobs   int
+			window float64
+		}{
+			{"cons/j1", psim.SyncCons, 1, 0},
+			{"cons/j8", psim.SyncCons, 8, 0},
+			{"opt/j1", psim.SyncOpt, 1, 0},
+			{"opt/j8", psim.SyncOpt, 8, 0},
+			{"opt/j8/window2", psim.SyncOpt, 8, 2},
+			{"opt/j8/window64", psim.SyncOpt, 8, 64},
+		}
+		for _, tc := range cases {
+			got, gotSt := runToy(t, n, tc.sync, tc.jobs, tc.window)
+			if !bytes.Equal(got, want) {
+				t.Errorf("n=%d %s: trace differs from sequential oracle (%d vs %d bytes)",
+					n, tc.name, len(got), len(want))
+				continue
+			}
+			if gotSt.Events != wantSt.Events || !reflect.DeepEqual(gotSt.PerLP, wantSt.PerLP) || gotSt.MaxTime != wantSt.MaxTime {
+				t.Errorf("n=%d %s: committed stats diverge: got {Events:%d MaxTime:%v} want {Events:%d MaxTime:%v}",
+					n, tc.name, gotSt.Events, gotSt.MaxTime, wantSt.Events, wantSt.MaxTime)
+			}
+		}
+	}
+}
+
+// TestOptimisticRollsBackAndStillMatches pins down that the optimistic
+// core is actually exercising its rollback machinery on this workload —
+// a rollback-free run would make the determinism check vacuous — and
+// that rolled-back work leaves no trace divergence.
+func TestOptimisticRollsBackAndStillMatches(t *testing.T) {
+	want, _ := runToy(t, 16, psim.SyncSeq, 1, 0)
+	// A wide window invites deep speculation and thus stragglers.
+	got, st := runToy(t, 16, psim.SyncOpt, 8, 32)
+	if st.Rollbacks == 0 {
+		t.Fatalf("optimistic run with window 32 had no rollbacks; the workload is not stressing Time Warp")
+	}
+	if st.RolledBack < st.Rollbacks {
+		t.Fatalf("RolledBack=%d < Rollbacks=%d: each episode must undo at least one event", st.RolledBack, st.Rollbacks)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("optimistic trace diverges from sequential oracle despite %d rollbacks", st.Rollbacks)
+	}
+}
+
+// TestConservativeRoundsCounted checks the null-message-equivalent
+// round counter moves under the conservative core and stays zero under
+// the sequential one.
+func TestConservativeRoundsCounted(t *testing.T) {
+	_, seqSt := runToy(t, 8, psim.SyncSeq, 1, 0)
+	if seqSt.Rounds != 0 {
+		t.Errorf("sequential core reported %d sync rounds; want 0", seqSt.Rounds)
+	}
+	_, consSt := runToy(t, 8, psim.SyncCons, 4, 0)
+	if consSt.Rounds == 0 {
+		t.Errorf("conservative core reported 0 sync rounds")
+	}
+	if consSt.Rollbacks != 0 || consSt.RolledBack != 0 {
+		t.Errorf("conservative core reported rollbacks: %+v", consSt)
+	}
+}
+
+// orderLP records the order its events are delivered in.
+type orderLP struct {
+	got *[]psim.Event
+}
+
+func (l *orderLP) Start(*psim.Ctx)                   {}
+func (l *orderLP) Handle(_ *psim.Ctx, ev psim.Event) { *l.got = append(*l.got, ev) }
+func (l *orderLP) Save() any                         { return nil }
+func (l *orderLP) Restore(any)                       {}
+
+// seederLP schedules a fixed fan of same-timestamp events from Start
+// so the tie-break order (Time, Dst, Src, Seq) is observable.
+type seederLP struct {
+	orderLP
+	n int
+}
+
+func (l *seederLP) Start(c *psim.Ctx) {
+	// Two sends to every LP (including self), all arriving at t=1 or
+	// t=2, issued in descending destination order so delivery order
+	// cannot accidentally equal send order.
+	for dst := l.n - 1; dst >= 0; dst-- {
+		delay := 1.0
+		if dst == c.Self() {
+			// Self-sends are exempt from the lookahead bound but share
+			// the arrival instant, joining the tie.
+			delay = 1.0
+		}
+		c.Send(dst, delay+1, 2, psim.Msg{})
+		c.Send(dst, delay, 1, psim.Msg{})
+	}
+}
+
+// TestTieBreakOrder verifies same-timestamp events commit in
+// (Dst, Src, Seq) order on every core.
+func TestTieBreakOrder(t *testing.T) {
+	for _, sync := range []psim.Sync{psim.SyncSeq, psim.SyncCons, psim.SyncOpt} {
+		var got []psim.Event
+		n := 3
+		lps := make([]psim.LP, n)
+		for i := range lps {
+			s := &seederLP{n: n}
+			s.got = &got
+			lps[i] = s
+		}
+		var tr psim.Trace
+		if _, err := psim.Run(psim.Config{
+			LPs: lps, Lookahead: 1, Sync: sync, Jobs: 8, Seed: 1, Until: 10, Trace: &tr,
+		}); err != nil {
+			t.Fatalf("%v: %v", sync, err)
+		}
+		recs := tr.Records()
+		if len(recs) != 2*n*n {
+			t.Fatalf("%v: got %d records, want %d", sync, len(recs), 2*n*n)
+		}
+		for i := 1; i < len(recs); i++ {
+			a, b := recs[i-1], recs[i]
+			if b.Time < a.Time ||
+				(b.Time == a.Time && (b.Dst < a.Dst || (b.Dst == a.Dst && (b.Src < a.Src || (b.Src == a.Src && b.Seq < a.Seq))))) {
+				t.Fatalf("%v: records %d,%d out of canonical order: %+v then %+v", sync, i-1, i, a, b)
+			}
+		}
+	}
+}
+
+// lateLP violates the lookahead contract on its third event.
+type lateLP struct {
+	orderLP
+	count int
+}
+
+func (l *lateLP) Start(c *psim.Ctx) {
+	c.Send(c.Self(), 0.1, 0, psim.Msg{})
+}
+
+func (l *lateLP) Handle(c *psim.Ctx, ev psim.Event) {
+	l.count++
+	if l.count == 3 {
+		c.Send(1, 0.5, 0, psim.Msg{}) // below the declared lookahead of 1
+		return
+	}
+	c.Send(c.Self(), 0.1, 0, psim.Msg{})
+}
+
+// TestSendContractEnforced checks the kernel panics on a cross-LP send
+// below the declared lookahead — in the sequential oracle too, so the
+// bound cannot silently hold only where it is needed.
+func TestSendContractEnforced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("send below lookahead did not panic")
+		}
+	}()
+	lps := []psim.LP{&lateLP{}, &orderLP{got: new([]psim.Event)}}
+	_, _ = psim.Run(psim.Config{LPs: lps, Lookahead: 1, Sync: psim.SyncSeq, Until: 10})
+}
+
+// TestConfigValidation exercises Run's error paths.
+func TestConfigValidation(t *testing.T) {
+	ok := toyLPs(2, 1)
+	cases := []struct {
+		name string
+		cfg  psim.Config
+	}{
+		{"no LPs", psim.Config{Lookahead: 1}},
+		{"nil LP", psim.Config{LPs: []psim.LP{nil}, Lookahead: 1}},
+		{"negative lookahead", psim.Config{LPs: ok, Lookahead: -1}},
+		{"inf lookahead", psim.Config{LPs: ok, Lookahead: math.Inf(1)}},
+		{"NaN until", psim.Config{LPs: ok, Lookahead: 1, Until: math.NaN()}},
+		{"negative window", psim.Config{LPs: ok, Lookahead: 1, Window: -2}},
+		{"bad sync", psim.Config{LPs: ok, Lookahead: 1, Sync: psim.Sync(9)}},
+	}
+	for _, tc := range cases {
+		if _, err := psim.Run(tc.cfg); err == nil {
+			t.Errorf("%s: Run accepted invalid config", tc.name)
+		}
+	}
+}
+
+// TestParseSync round-trips the CLI spellings.
+func TestParseSync(t *testing.T) {
+	for _, s := range []psim.Sync{psim.SyncSeq, psim.SyncCons, psim.SyncOpt} {
+		got, err := psim.ParseSync(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseSync(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := psim.ParseSync("timewarp"); err == nil {
+		t.Errorf("ParseSync accepted unknown spelling")
+	}
+}
+
+// TestMetricsPublished checks the obs counters receive the run totals.
+func TestMetricsPublished(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := psim.NewMetrics(reg)
+	st, err := psim.Run(psim.Config{
+		LPs: toyLPs(4, 1), Lookahead: 1, Sync: psim.SyncCons, Jobs: 2, Seed: 7, Until: 20, Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Events.Value(); got != int64(st.Events) {
+		t.Errorf("events counter = %d, want %d", got, st.Events)
+	}
+	if got := m.Rounds.Value(); got != int64(st.Rounds) {
+		t.Errorf("rounds counter = %d, want %d", got, st.Rounds)
+	}
+}
+
+// TestZeroLookaheadFallsBackToSeq checks the degenerate dispatch: a
+// parallel core with no usable lookahead must run the sequential
+// algorithm (no rounds) and still commit the same trace.
+func TestZeroLookaheadFallsBackToSeq(t *testing.T) {
+	run := func(sync psim.Sync) ([]byte, psim.RunStats) {
+		var tr psim.Trace
+		st, err := psim.Run(psim.Config{
+			LPs: toyLPs(4, 0), Lookahead: 0, Sync: sync, Jobs: 8, Seed: 3, Until: 15, Trace: &tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		tr.WriteTo(&buf)
+		return buf.Bytes(), st
+	}
+	want, _ := run(psim.SyncSeq)
+	for _, sync := range []psim.Sync{psim.SyncCons, psim.SyncOpt} {
+		got, st := run(sync)
+		if st.Rounds != 0 {
+			t.Errorf("%v with zero lookahead ran %d rounds; want sequential fallback", sync, st.Rounds)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%v zero-lookahead trace diverges from sequential", sync)
+		}
+	}
+}
+
+// TestTraceFormat pins the WriteTo line format: exact hex floats keep
+// equal traces equal bytes.
+func TestTraceFormat(t *testing.T) {
+	var tr psim.Trace
+	if _, err := psim.Run(psim.Config{
+		LPs:       []psim.LP{&seederLP{n: 1, orderLP: orderLP{got: new([]psim.Event)}}},
+		Lookahead: 1, Until: 5, Trace: &tr,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil || n != int64(buf.Len()) {
+		t.Fatalf("WriteTo returned (%d, %v), buffer has %d bytes", n, err, buf.Len())
+	}
+	want := "0x1p+00 0 0 1 1\n0x1p+01 0 0 0 2\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("trace text:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func ExampleParseSync() {
+	s, _ := psim.ParseSync("cons")
+	fmt.Println(s)
+	// Output: cons
+}

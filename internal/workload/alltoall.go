@@ -47,6 +47,10 @@ type AllToAllConfig struct {
 	// PairLatency optionally gives every ordered node pair its own wire
 	// time (see machine.Config.PairLatency).
 	PairLatency func(src, dst int) float64
+	// Par, when non-nil, runs the workload through the parallel
+	// discrete-event core instead of the single-threaded engine; see
+	// ParSim for the supported envelope.
+	Par *ParSim
 }
 
 func (c AllToAllConfig) validate() error {
@@ -212,6 +216,9 @@ func (p *atProgram) endCycle(m *machine.Machine) {
 func RunAllToAll(cfg AllToAllConfig) (AllToAllResult, error) {
 	if err := cfg.validate(); err != nil {
 		return AllToAllResult{}, err
+	}
+	if cfg.Par != nil {
+		return runAllToAllPar(cfg)
 	}
 	pattern := cfg.Pattern
 	if pattern == nil {

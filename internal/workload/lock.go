@@ -34,6 +34,9 @@ type LockConfig struct {
 	WarmupTime, MeasureTime float64
 	// Seed roots the run's random streams.
 	Seed uint64
+	// Par, when non-nil, runs the workload through the parallel
+	// discrete-event core; see ParSim.
+	Par *ParSim
 }
 
 func (c LockConfig) validate() error {
@@ -135,6 +138,9 @@ func (p *lockProgram) Next(m *machine.Machine, self int) machine.Action {
 func RunLock(cfg LockConfig) (LockSimResult, error) {
 	if err := cfg.validate(); err != nil {
 		return LockSimResult{}, err
+	}
+	if cfg.Par != nil {
+		return runLockPar(cfg)
 	}
 	m := machine.New(machine.Config{
 		P:          cfg.Threads + 1,

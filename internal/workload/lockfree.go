@@ -34,6 +34,11 @@ type LockFreeConfig struct {
 	WarmupTime, MeasureTime float64
 	// Seed roots the per-thread random streams.
 	Seed uint64
+	// Par, when non-nil, runs the workload through the parallel
+	// discrete-event core as a single logical process; see ParSim and
+	// lfLP. Both paths draw identical samples, so the measurements
+	// match the engine-based run exactly.
+	Par *ParSim
 }
 
 func (c LockFreeConfig) validate() error {
@@ -128,6 +133,9 @@ func (t *lfThread) endRound() {
 func RunLockFree(cfg LockFreeConfig) (LockFreeSimResult, error) {
 	if err := cfg.validate(); err != nil {
 		return LockFreeSimResult{}, err
+	}
+	if cfg.Par != nil {
+		return runLockFreePar(cfg)
 	}
 	eng := sim.NewEngine()
 	st := &lfState{cfg: cfg, eng: eng, res: &LockFreeSimResult{}}

@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/psim"
+	"repro/internal/trace"
+)
+
+// parCases is the core/job matrix every workload must agree across.
+var parCases = []struct {
+	name string
+	sync string
+	jobs int
+}{
+	{"seq", "seq", 1},
+	{"cons/j1", "cons", 1},
+	{"cons/j8", "cons", 8},
+	{"opt/j1", "opt", 1},
+	{"opt/j8", "opt", 8},
+}
+
+// runPar runs one workload under one core and returns its trace bytes,
+// its result, and the core statistics.
+func runPar[T any](t *testing.T, run func(par *ParSim) (T, error), sync string, jobs int) ([]byte, T, psim.RunStats) {
+	t.Helper()
+	var tr psim.Trace
+	var rs psim.RunStats
+	res, err := run(&ParSim{Sync: sync, Jobs: jobs, Trace: &tr, Stats: &rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res, rs
+}
+
+// checkParContract asserts the determinism contract for one workload:
+// byte-identical traces and identical measurements across every core
+// and job count.
+func checkParContract[T any](t *testing.T, run func(par *ParSim) (T, error)) {
+	t.Helper()
+	wantTrace, wantRes, wantRS := runPar(t, run, "seq", 1)
+	if wantRS.Events == 0 {
+		t.Fatal("sequential run committed no events")
+	}
+	for _, tc := range parCases[1:] {
+		gotTrace, gotRes, gotRS := runPar(t, run, tc.sync, tc.jobs)
+		if !bytes.Equal(gotTrace, wantTrace) {
+			t.Errorf("%s: trace differs from sequential (%d vs %d bytes)", tc.name, len(gotTrace), len(wantTrace))
+			continue
+		}
+		if !reflect.DeepEqual(gotRes, wantRes) {
+			t.Errorf("%s: result differs from sequential:\n got %+v\nwant %+v", tc.name, gotRes, wantRes)
+		}
+		if gotRS.Events != wantRS.Events || gotRS.MaxTime != wantRS.MaxTime {
+			t.Errorf("%s: core stats differ: events %d/%d maxtime %v/%v",
+				tc.name, gotRS.Events, wantRS.Events, gotRS.MaxTime, wantRS.MaxTime)
+		}
+	}
+}
+
+func TestAllToAllParContract(t *testing.T) {
+	checkParContract(t, func(par *ParSim) (AllToAllResult, error) {
+		return RunAllToAll(AllToAllConfig{
+			P:             8,
+			Work:          dist.NewDeterministic(100),
+			Latency:       dist.NewDeterministic(10),
+			Service:       dist.NewExponential(20),
+			WarmupCycles:  5,
+			MeasureCycles: 40,
+			Seed:          7,
+			Par:           par,
+		})
+	})
+}
+
+func TestAllToAllParProtocolProcessor(t *testing.T) {
+	checkParContract(t, func(par *ParSim) (AllToAllResult, error) {
+		return RunAllToAll(AllToAllConfig{
+			P:                 6,
+			Work:              dist.NewDeterministic(100),
+			Latency:           dist.NewDeterministic(10),
+			Service:           dist.NewExponential(20),
+			WarmupCycles:      3,
+			MeasureCycles:     25,
+			ProtocolProcessor: true,
+			Pattern:           RingPattern{},
+			Seed:              11,
+			Par:               par,
+		})
+	})
+}
+
+func TestWorkpileParContract(t *testing.T) {
+	checkParContract(t, func(par *ParSim) (WorkpileResult, error) {
+		return RunWorkpile(WorkpileConfig{
+			P: 8, Ps: 2,
+			Chunk:      dist.NewExponential(200),
+			Latency:    dist.NewDeterministic(10),
+			Service:    dist.NewExponential(30),
+			WarmupTime: 500, MeasureTime: 4000,
+			Seed: 3,
+			Par:  par,
+		})
+	})
+}
+
+func TestLockParContract(t *testing.T) {
+	checkParContract(t, func(par *ParSim) (LockSimResult, error) {
+		return RunLock(LockConfig{
+			Threads:    6,
+			Work:       dist.NewExponential(300),
+			Handoff:    dist.NewDeterministic(15),
+			Critical:   dist.NewExponential(50),
+			WarmupTime: 500, MeasureTime: 5000,
+			Seed: 5,
+			Par:  par,
+		})
+	})
+}
+
+func TestLockFreeParContract(t *testing.T) {
+	checkParContract(t, func(par *ParSim) (LockFreeSimResult, error) {
+		return RunLockFree(LockFreeConfig{
+			Threads:    6,
+			Work:       dist.NewExponential(200),
+			Round:      dist.NewExponential(40),
+			Serial:     dist.NewDeterministic(10),
+			WarmupTime: 500, MeasureTime: 5000,
+			Seed: 9,
+			Par:  par,
+		})
+	})
+}
+
+// TestLockFreeParMatchesEngine pins the single-LP lock-free path to the
+// engine-based path: identical stream construction and identical event
+// ordering make the two draws-for-draw equivalent, so every measurement
+// matches exactly.
+func TestLockFreeParMatchesEngine(t *testing.T) {
+	cfg := LockFreeConfig{
+		Threads:    5,
+		Work:       dist.NewExponential(150),
+		Round:      dist.NewExponential(30),
+		Serial:     dist.NewDeterministic(8),
+		WarmupTime: 300, MeasureTime: 4000,
+		Seed: 21,
+	}
+	eng, err := RunLockFree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Par = &ParSim{Sync: "seq"}
+	par, err := RunLockFree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, eng) {
+		t.Errorf("psim path diverges from engine path:\n psim %+v\n  eng %+v", par, eng)
+	}
+}
+
+// TestParRejectsUnsupported checks that the psim path fails fast on
+// machine features outside its envelope.
+func TestParRejectsUnsupported(t *testing.T) {
+	base := AllToAllConfig{
+		P:             4,
+		Work:          dist.NewDeterministic(100),
+		Latency:       dist.NewDeterministic(10),
+		Service:       dist.NewDeterministic(20),
+		MeasureCycles: 5,
+		Par:           &ParSim{},
+	}
+	cases := []struct {
+		name   string
+		mutate func(*AllToAllConfig)
+	}{
+		{"observer", func(c *AllToAllConfig) { c.Observer = &trace.Tracer{} }},
+		{"link occupancy", func(c *AllToAllConfig) { c.LinkOccupancy = 0.5 }},
+		{"ni queue cap", func(c *AllToAllConfig) { c.NIQueueCap = 4 }},
+		{"retry delay", func(c *AllToAllConfig) { c.RetryDelay = 10 }},
+		{"pair latency", func(c *AllToAllConfig) { c.PairLatency = func(a, b int) float64 { return 1 } }},
+		{"bad sync", func(c *AllToAllConfig) { c.Par = &ParSim{Sync: "speculative"} }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if _, err := RunAllToAll(cfg); err == nil {
+			t.Errorf("%s: Par run accepted unsupported config", tc.name)
+		}
+	}
+}

@@ -41,6 +41,9 @@ func RunAllToAllN(cfg AllToAllConfig, reps, jobs int) (ReplicatedAllToAll, error
 	results, err := runner.Map(reps, runner.Options{Jobs: jobs}, func(i int) (AllToAllResult, error) {
 		c := cfg
 		c.Seed = rng.SeedAt(cfg.Seed, uint64(i))
+		// Per-run outputs must not be shared across replications; the
+		// core selection itself carries over.
+		c.Par = cfg.Par.perRep()
 		return RunAllToAll(c)
 	})
 	if err != nil {
@@ -83,6 +86,8 @@ func RunWorkpileN(cfg WorkpileConfig, reps, jobs int) (ReplicatedWorkpile, error
 	results, err := runner.Map(reps, runner.Options{Jobs: jobs}, func(i int) (WorkpileResult, error) {
 		c := cfg
 		c.Seed = rng.SeedAt(cfg.Seed, uint64(i))
+		// Per-run outputs must not be shared across replications.
+		c.Par = cfg.Par.perRep()
 		return RunWorkpile(c)
 	})
 	if err != nil {

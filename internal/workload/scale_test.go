@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// TestAgreementAtScaleViaCons validates the model-vs-sim agreement
+// tolerances through the parallel cores at P >= 1024 — the scale the
+// issue names as the point of sharding the simulator. Each workload
+// keeps the tolerance band its small-P agreement test documents; the
+// lock-free workload runs through the psim path too, which for it is
+// the sequential core by construction (one shared versioned word is one
+// logical process).
+func TestAgreementAtScaleViaCons(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+
+	t.Run("alltoall", func(t *testing.T) {
+		sim, err := RunAllToAll(AllToAllConfig{
+			P:             1024,
+			Work:          dist.NewDeterministic(512),
+			Latency:       dist.NewDeterministic(40),
+			Service:       dist.NewDeterministic(200),
+			WarmupCycles:  30,
+			MeasureCycles: 150,
+			Seed:          1,
+			Par:           &ParSim{Sync: "cons", Jobs: 8},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := core.AllToAll(core.Params{P: 1024, W: 512, St: 40, So: 200, C2: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := (model.R - sim.R.Mean()) / sim.R.Mean()
+		if rel < -0.03 || rel > 0.10 {
+			t.Errorf("P=1024: model R=%.1f vs sim R=%.1f (rel %.1f%%), outside the paper's error band",
+				model.R, sim.R.Mean(), rel*100)
+		}
+	})
+
+	t.Run("workpile", func(t *testing.T) {
+		sim, err := RunWorkpile(WorkpileConfig{
+			P: 1024, Ps: 256,
+			Chunk:      dist.NewExponential(1500),
+			Latency:    dist.NewDeterministic(40),
+			Service:    dist.NewDeterministic(131),
+			WarmupTime: 20_000, MeasureTime: 100_000,
+			Seed: 11,
+			Par:  &ParSim{Sync: "cons", Jobs: 8},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := core.ClientServer(core.ClientServerParams{P: 1024, Ps: 256, W: 1500, St: 40, So: 131, C2: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := (model.X - sim.X) / sim.X; math.Abs(rel) > 0.08 {
+			t.Errorf("P=1024: model X=%.5f vs sim X=%.5f (rel %.1f%%)", model.X, sim.X, rel*100)
+		}
+		if rel := (model.Rs - sim.Rs.Mean()) / sim.Rs.Mean(); math.Abs(rel) > 0.12 {
+			t.Errorf("P=1024: model Rs=%.1f vs sim Rs=%.1f (rel %.1f%%)", model.Rs, sim.Rs.Mean(), rel*100)
+		}
+	})
+
+	t.Run("lock", func(t *testing.T) {
+		// 1024 threads saturate the lock completely; throughput pins to
+		// the serialization bound 1/So, where the AMVA is exact up to
+		// simulation noise.
+		w, st, so := 800.0, 20.0, 100.0
+		sim, err := RunLock(LockConfig{
+			Threads:    1024,
+			Work:       dist.NewExponential(w),
+			Handoff:    dist.NewDeterministic(st),
+			Critical:   dist.NewExponential(so),
+			WarmupTime: 200_000, MeasureTime: 1_000_000,
+			Seed: 7,
+			Par:  &ParSim{Sync: "cons", Jobs: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, err := core.Lock(core.LockParams{Threads: 1024, W: w, St: st, So: so, C2: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(mod.X-sim.X) / sim.X; rel > 0.10 {
+			t.Errorf("Threads=1024: model X=%v vs sim X=%v (rel %.1f%% > 10%%)", mod.X, sim.X, 100*rel)
+		}
+	})
+
+	t.Run("lockfree", func(t *testing.T) {
+		// Work large enough that 1024 threads sit at a moderate conflict
+		// probability rather than livelock-level contention.
+		w, so, st := 200_000.0, 60.0, 5.0
+		sim, err := RunLockFree(LockFreeConfig{
+			Threads:    1024,
+			Work:       dist.NewExponential(w),
+			Round:      dist.NewExponential(so),
+			Serial:     dist.NewDeterministic(st),
+			WarmupTime: 100_000, MeasureTime: 2_000_000,
+			Seed: 7,
+			Par:  &ParSim{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, err := core.LockFree(core.LockFreeParams{Threads: 1024, W: w, St: st, So: so, C2: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(mod.X-sim.X) / sim.X; rel > 0.10 {
+			t.Errorf("Threads=1024: model X=%v vs sim X=%v (rel %.1f%% > 10%%)", mod.X, sim.X, 100*rel)
+		}
+		if sim.Conflict == 0 {
+			t.Error("Threads=1024: no conflicts observed")
+		}
+	})
+}

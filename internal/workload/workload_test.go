@@ -32,14 +32,22 @@ func stdParams(w float64) core.Params {
 // while the contention-free (naive LogP) estimate underpredicts badly
 // at low W.
 func TestAllToAllModelAccuracy(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation-heavy")
-	}
 	// The four sweep points are independent simulations; fan them out
-	// on the parallel engine and assert over the ordered results.
+	// on the parallel engine and assert over the ordered results. The
+	// short tier keeps full fidelity (identical cycle counts) but trims
+	// the sweep to its extremes and runs them through the conservative
+	// core — the parallel path is what the quick tier exercises; the
+	// full tier keeps the legacy engine and the whole sweep.
 	ws := []float64{0, 64, 512, 2048}
+	var par *ParSim
+	if testing.Short() {
+		ws = []float64{0, 512}
+		par = &ParSim{Sync: "cons", Jobs: 2}
+	}
 	sims, err := runner.Map(len(ws), runner.Options{}, func(i int) (AllToAllResult, error) {
-		return RunAllToAll(stdAllToAll(ws[i], 1))
+		cfg := stdAllToAll(ws[i], 1)
+		cfg.Par = par.perRep()
+		return RunAllToAll(cfg)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -282,11 +290,18 @@ func stdCSParams(ps int) core.ClientServerParams {
 // throughput within a few percent across the server-count range
 // (the paper reports the model conservative by at most 3%).
 func TestWorkpileModelAccuracy(t *testing.T) {
+	// Short tier: full fidelity (identical windows) at the saturated and
+	// near-optimal allocations, through the conservative core.
+	pss := []int{2, 5, 9, 16, 24}
+	var par *ParSim
 	if testing.Short() {
-		t.Skip("simulation-heavy")
+		pss = []int{2, 9}
+		par = &ParSim{Sync: "cons", Jobs: 2}
 	}
-	for _, ps := range []int{2, 5, 9, 16, 24} {
-		sim, err := RunWorkpile(stdWorkpile(ps, 11))
+	for _, ps := range pss {
+		cfg := stdWorkpile(ps, 11)
+		cfg.Par = par.perRep()
+		sim, err := RunWorkpile(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

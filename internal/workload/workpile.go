@@ -38,6 +38,9 @@ type WorkpileConfig struct {
 	WarmupTime, MeasureTime float64
 	// Seed roots the run's random streams.
 	Seed uint64
+	// Par, when non-nil, runs the workload through the parallel
+	// discrete-event core; see ParSim.
+	Par *ParSim
 }
 
 func (c WorkpileConfig) validate() error {
@@ -145,6 +148,9 @@ func (p *wpProgram) Next(m *machine.Machine, self int) machine.Action {
 func RunWorkpile(cfg WorkpileConfig) (WorkpileResult, error) {
 	if err := cfg.validate(); err != nil {
 		return WorkpileResult{}, err
+	}
+	if cfg.Par != nil {
+		return runWorkpilePar(cfg)
 	}
 	m := machine.New(machine.Config{
 		P:          cfg.P,
