@@ -8,10 +8,19 @@
 //	           [-timeout 10s] [-cache 1024] [-sweep-points 4096]
 //	           [-sweep-jobs 0] [-solve-est 1ms] [-drain 10s]
 //	           [-pprof] [-convtrace FILE] [-reqtrace FILE]
+//	           [-calib] [-calib-window 256] [-calib-pop 0]
 //
 // Endpoints: POST /v1/alltoall, /v1/workpile, /v1/general, /v1/bounds,
 // /v1/fit, /v1/sweep; GET /metrics, /healthz, /readyz. See the README
 // "Serving predictions" section for request shapes and examples.
+//
+// -calib turns on online model calibration: the server splits its own
+// request timing into queue-wait, service, and overhead streams, refits
+// (W, St, So, C²) every -calib-window solved requests, and watches a
+// CUSUM drift detector (the lopc_model_drift gauge). GET
+// /v1/calibration reports the live fit; POST /v1/whatif answers
+// capacity questions at it. -calib-pop overrides the modeled closed
+// population (default: workers + queue).
 //
 // /metrics content-negotiates: the JSON document by default, Prometheus
 // text exposition for scrapers (Accept: text/plain or
@@ -73,6 +82,9 @@ func run(args []string, stdout, stderr io.Writer, onReady func(addr string)) int
 		pprofOn     = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (unauthenticated; keep off public listeners)")
 		convtr      = fs.String("convtrace", "", "write recent solver convergence traces to this file at shutdown (.csv, else JSON)")
 		reqtrace    = fs.String("reqtrace", "", "write a Chrome-trace span per handled request to this file at shutdown")
+		calibOn     = fs.Bool("calib", false, "refit (W, St, So, C2) online from live traffic; mounts /v1/calibration and /v1/whatif")
+		calibWindow = fs.Int("calib-window", 0, "calibration refit window in solved requests (0: default 256)")
+		calibPop    = fs.Int("calib-pop", 0, "modeled closed client population for calibration (0: workers + queue)")
 		ver         = version.AddFlag(fs)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -103,6 +115,10 @@ func run(args []string, stdout, stderr io.Writer, onReady func(addr string)) int
 		Logf:           logger.Printf,
 		Pprof:          *pprofOn,
 		Spans:          spans,
+
+		Calibration:     *calibOn,
+		CalibWindow:     *calibWindow,
+		CalibPopulation: *calibPop,
 	})
 	// Runtime gauges (goroutines, heap, GC) join the Prometheus
 	// exposition; the JSON document is untouched by them.

@@ -7,14 +7,23 @@
 //	lopc-sim -workload alltoall -P 32 -W 512 -St 40 -So 200 -C2 0 -cycles 2000
 //	lopc-sim -workload workpile -P 32 -Ps 8 -W 1500 -So 131 -time 2e6
 //	lopc-sim -workload multihop -hops 3 -P 16 -W 1000 -So 150
+//
+// With -sync, -metrics FILE additionally writes the parallel core's
+// counters (committed events, synchronization rounds, rollbacks,
+// rolled-back events) as deterministic Prometheus text exposition at
+// exit, so sweep scripts and CI can scrape a batch run the same way
+// they scrape lopc-serve.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
+	"repro/internal/obs"
+	"repro/internal/psim"
 	"repro/internal/trace"
 	"repro/internal/version"
 )
@@ -39,6 +48,7 @@ func main() {
 		traceF = flag.String("trace", "", "write a Chrome trace (chrome://tracing JSON) of the run to this file (alltoall only)")
 		syncF  = flag.String("sync", "", "parallel simulation core: seq | cons | opt (alltoall and workpile only; default: legacy engine)")
 		jobsF  = flag.Int("j", 1, "worker goroutines for the parallel core (with -sync)")
+		metF   = flag.String("metrics", "", "write the parallel core's counters as Prometheus text to this file at exit (requires -sync)")
 		ver    = version.AddFlag(flag.CommandLine)
 	)
 	flag.Parse()
@@ -53,7 +63,10 @@ func main() {
 		err = fmt.Errorf("-sync supports only the alltoall and workpile workloads, not %q", *wl)
 	case *syncF != "" && *traceF != "":
 		err = fmt.Errorf("-sync and -trace are mutually exclusive: the parallel core has no Chrome-trace observer")
+	case *metF != "" && *syncF == "":
+		err = fmt.Errorf("-metrics needs -sync: only the parallel core reports run counters")
 	default:
+		metricsFile = *metF
 		switch *wl {
 		case "alltoall":
 			err = simAllToAll(*p, *w, *st, *so, *c2, *warmup, *cycles, *seed, *pp, *traceF, *syncF, *jobsF)
@@ -83,14 +96,53 @@ func parFor(sync string, jobs int) (*repro.SimPar, *repro.SimCoreStats) {
 	return &repro.SimPar{Sync: sync, Jobs: jobs, Stats: cs}, cs
 }
 
+// metricsFile is the -metrics destination; empty means no dump. It is
+// set once in main before any workload runs.
+var metricsFile string
+
 // reportCore prints the parallel core's execution statistics to stderr,
-// keeping stdout identical to a legacy-engine run.
-func reportCore(sync string, jobs int, cs *repro.SimCoreStats) {
+// keeping stdout identical to a legacy-engine run, and honours -metrics
+// by dumping the same counters as Prometheus text.
+func reportCore(sync string, jobs int, cs *repro.SimCoreStats) error {
 	if cs == nil {
-		return
+		return nil
 	}
 	fmt.Fprintf(os.Stderr, "psim core=%s j=%d: %d events, %d rounds, %d rollbacks (%d events undone)\n",
 		sync, jobs, cs.Events, cs.Rounds, cs.Rollbacks, cs.RolledBack)
+	if metricsFile == "" {
+		return nil
+	}
+	f, err := os.Create(metricsFile)
+	if err != nil {
+		return err
+	}
+	if err := writeCoreMetrics(f, sync, jobs, cs); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", metricsFile)
+	return nil
+}
+
+// writeCoreMetrics renders a finished run's core counters in Prometheus
+// text exposition 0.0.4 through the shared obs registry — the same
+// families lopc-serve registers for its live psim runs, plus a labeled
+// info gauge naming the sync algorithm and a worker-count gauge. The
+// registry sorts families and series, so equal runs yield equal bytes.
+func writeCoreMetrics(w io.Writer, sync string, jobs int, cs *repro.SimCoreStats) error {
+	reg := obs.NewRegistry()
+	m := psim.NewMetrics(reg)
+	m.Events.Add(int64(cs.Events))
+	m.Rounds.Add(int64(cs.Rounds))
+	m.Rollbacks.Add(int64(cs.Rollbacks))
+	m.RolledBack.Add(int64(cs.RolledBack))
+	reg.Gauge("lopc_psim_run_info", "Constant 1, labeled by the sync algorithm the run used.",
+		obs.Labels{"sync": sync}).Set(1)
+	reg.Gauge("lopc_psim_workers", "Worker goroutines the parallel core ran with.", nil).Set(int64(jobs))
+	return reg.WritePrometheus(w)
 }
 
 func simAllToAll(p int, w, st, so, c2 float64, warmup, cycles int, seed uint64, pp bool, traceFile, sync string, jobs int) error {
@@ -117,7 +169,9 @@ func simAllToAll(p int, w, st, so, c2 float64, warmup, cycles int, seed uint64, 
 	if err != nil {
 		return err
 	}
-	reportCore(sync, jobs, cs)
+	if err := reportCore(sync, jobs, cs); err != nil {
+		return err
+	}
 	if tracer != nil {
 		f, ferr := os.Create(traceFile)
 		if ferr != nil {
@@ -172,7 +226,9 @@ func simWorkpile(p, ps int, w, wc2, st, so, c2, window float64, seed uint64, syn
 	if err != nil {
 		return err
 	}
-	reportCore(sync, jobs, cs)
+	if err := reportCore(sync, jobs, cs); err != nil {
+		return err
+	}
 	params := repro.ClientServerParams{P: p, Ps: ps, W: w, St: st, So: so, C2: c2}
 	model, err := repro.ClientServer(params)
 	if err != nil {

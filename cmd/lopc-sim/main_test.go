@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestWriteCoreMetricsGolden pins the -metrics exposition byte-for-byte:
+// the registry sorts families and series, so a run's counters always
+// render to the same text.
+func TestWriteCoreMetricsGolden(t *testing.T) {
+	cs := &repro.SimCoreStats{Events: 1234, Rounds: 56, Rollbacks: 7, RolledBack: 89}
+	var b strings.Builder
+	if err := writeCoreMetrics(&b, "opt", 4, cs); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP lopc_psim_events_total committed simulation events
+# TYPE lopc_psim_events_total counter
+lopc_psim_events_total 1234
+# HELP lopc_psim_rollbacks_total optimistic rollback episodes
+# TYPE lopc_psim_rollbacks_total counter
+lopc_psim_rollbacks_total 7
+# HELP lopc_psim_rolled_back_events_total speculative events undone and re-executed
+# TYPE lopc_psim_rolled_back_events_total counter
+lopc_psim_rolled_back_events_total 89
+# HELP lopc_psim_run_info Constant 1, labeled by the sync algorithm the run used.
+# TYPE lopc_psim_run_info gauge
+lopc_psim_run_info{sync="opt"} 1
+# HELP lopc_psim_sync_rounds_total synchronization rounds (windows/GVT epochs)
+# TYPE lopc_psim_sync_rounds_total counter
+lopc_psim_sync_rounds_total 56
+# HELP lopc_psim_workers Worker goroutines the parallel core ran with.
+# TYPE lopc_psim_workers gauge
+lopc_psim_workers 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

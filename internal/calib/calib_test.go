@@ -1,0 +1,263 @@
+package calib
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// truth is the ground-truth parameterization every synthetic-traffic
+// test generates from: the estimator must invert traffic drawn from the
+// model back to these numbers.
+var truth = core.ClientServerParams{P: 24, Ps: 4, W: 1800, St: 120, So: 400, C2: 1}
+
+// traffic drives synthetic requests generated from a ground-truth model
+// solution into an estimator on a fake clock: inter-arrivals at the
+// model's exact throughput, exponential queue waits around the model's
+// mean wait, service times from the distribution family matching
+// (So, C²) scaled by svcScale, and the constant 2·St overhead.
+type traffic struct {
+	t        *testing.T
+	clk      *clock.Fake
+	e        *Estimator
+	str      *rng.Stream
+	svc      dist.Distribution
+	interUS  float64
+	waitUS   float64
+	svcScale float64
+}
+
+func newTraffic(t *testing.T, e *Estimator, clk *clock.Fake, seed uint64) *traffic {
+	t.Helper()
+	res, err := core.ClientServer(truth)
+	if err != nil {
+		t.Fatalf("solving truth: %v", err)
+	}
+	return &traffic{
+		t:        t,
+		clk:      clk,
+		e:        e,
+		str:      rng.New(seed),
+		svc:      dist.FromMeanSCV(truth.So, truth.C2),
+		interUS:  1 / res.X,
+		waitUS:   res.Rs - truth.So,
+		svcScale: 1,
+	}
+}
+
+// setScale moves the generator to a regime where every service time is
+// k× the truth. The closed clients feel the slowdown, so throughput and
+// queue wait shift with it — the generator re-solves the model at the
+// scaled So to stay self-consistent, exactly as live traffic would.
+func (g *traffic) setScale(k float64) {
+	g.t.Helper()
+	tr := truth
+	tr.So *= k
+	res, err := core.ClientServer(tr)
+	if err != nil {
+		g.t.Fatalf("solving scaled truth: %v", err)
+	}
+	g.interUS = 1 / res.X
+	g.waitUS = res.Rs - tr.So
+	g.svcScale = k
+}
+
+// run feeds n requests.
+func (g *traffic) run(n int) {
+	for i := 0; i < n; i++ {
+		g.clk.Advance(time.Duration(g.interUS * float64(time.Microsecond)))
+		g.e.ObserveWait(g.waitUS * g.str.ExpFloat64())
+		g.e.ObserveOverhead(2 * truth.St)
+		g.e.ObserveService(g.svcScale * g.svc.Sample(g.str))
+	}
+}
+
+func newTestEstimator(t *testing.T, window int, reg *obs.Registry) (*Estimator, *clock.Fake) {
+	t.Helper()
+	clk := clock.NewFake(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	e := New(Config{P: truth.P, Ps: truth.Ps, Window: window, Clock: clk, Registry: reg})
+	return e, clk
+}
+
+// TestEstimatorConvergence: on synthetic traffic with known ground
+// truth, the online estimator converges to (St, So, C²) — and W —
+// within 10% relative error.
+func TestEstimatorConvergence(t *testing.T) {
+	const window = 512
+	e, clk := newTestEstimator(t, window, nil)
+	g := newTraffic(t, e, clk, 7)
+	g.run(20 * window)
+
+	f, ok := e.Params()
+	if !ok {
+		t.Fatal("estimator not ready after 20 windows")
+	}
+	within := func(name string, got, want float64) {
+		t.Helper()
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("%s = %v, want %v within 10%% (off by %.1f%%)", name, got, want, 100*rel)
+		}
+	}
+	within("St", f.St, truth.St)
+	within("So", f.So, truth.So)
+	within("C2", f.C2, truth.C2)
+	within("W", f.W, truth.W)
+
+	s := e.Snapshot()
+	if s.Windows != 20 || s.Refits != 20 || s.RefitFailures != 0 {
+		t.Errorf("windows/refits/failures = %d/%d/%d, want 20/20/0", s.Windows, s.Refits, s.RefitFailures)
+	}
+	if s.Drift.Events != 0 || s.Drift.Active {
+		t.Errorf("stationary convergence run saw drift: %+v", s.Drift)
+	}
+}
+
+// TestEstimatorDriftDetection: a 2× step in injected service time fires
+// the CUSUM detector within 5 windows, the estimator re-adopts the new
+// regime, and the drift flag clears on the next clean window.
+func TestEstimatorDriftDetection(t *testing.T) {
+	const window = 512
+	e, clk := newTestEstimator(t, window, nil)
+	g := newTraffic(t, e, clk, 11)
+	g.run(10 * window) // converge on the stationary regime
+	if s := e.Snapshot(); s.Drift.Events != 0 {
+		t.Fatalf("drift before the step: %+v", s.Drift)
+	}
+
+	g.setScale(2) // the injected step: every service time doubles
+	fired := -1
+	for w := 1; w <= 5; w++ {
+		g.run(window)
+		if s := e.Snapshot(); s.Drift.Events > 0 {
+			fired = w
+			if !s.Drift.Active {
+				t.Error("drift fired but Active is false")
+			}
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatalf("2x service step not detected within 5 windows: %+v", e.Snapshot().Drift)
+	}
+	t.Logf("drift fired %d window(s) after the step", fired)
+
+	// The detector's adoption resets the fit to the new regime…
+	g.run(5 * window)
+	f, _ := e.Params()
+	if rel := math.Abs(f.So-2*truth.So) / (2 * truth.So); rel > 0.10 {
+		t.Errorf("post-drift So = %v, want %v within 10%%", f.So, 2*truth.So)
+	}
+	// …and the flag clears once a clean window confirms it.
+	if s := e.Snapshot(); s.Drift.Active {
+		t.Errorf("drift still active %d windows after adoption: %+v", 5, s.Drift)
+	}
+}
+
+// TestEstimatorStationaryNoFalsePositive: the same horizon as the drift
+// scenario (15 windows) under stationary load fires nothing.
+func TestEstimatorStationaryNoFalsePositive(t *testing.T) {
+	const window = 512
+	e, clk := newTestEstimator(t, window, nil)
+	g := newTraffic(t, e, clk, 11) // the drift test's seed, without the step
+	g.run(15 * window)
+	if s := e.Snapshot(); s.Drift.Events != 0 || s.Drift.Active {
+		t.Errorf("false positive under stationary load: %+v", s.Drift)
+	}
+}
+
+// TestEstimatorMetricsExposition: the calib metrics render
+// deterministically and carry the documented names.
+func TestEstimatorMetricsExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	e, clk := newTestEstimator(t, 4, reg)
+	for i := 0; i < 4; i++ {
+		clk.Advance(1000 * time.Microsecond)
+		e.ObserveWait(50)
+		e.ObserveOverhead(20)
+		e.ObserveService(200)
+	}
+	var a, b strings.Builder
+	if err := reg.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two renders of the same calib state differ")
+	}
+	for _, want := range []string{
+		"\nlopc_model_drift 0\n",
+		"\nlopc_calib_window_refits_total 1\n",
+		"\nlopc_calib_window_refit_failures_total 0\n",
+		"\nlopc_calib_drift_events_total 0\n",
+		`lopc_calib_samples_total{stream="service"} 4`,
+		`lopc_calib_samples_total{stream="wait"} 4`,
+		`lopc_calib_samples_total{stream="overhead"} 4`,
+		"\nlopc_calib_so_us 200\n",
+		"\nlopc_calib_c2 0\n",
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, a.String())
+		}
+	}
+}
+
+// TestEstimatorRefitFailureKeepsFit: a window the model cannot explain
+// (zero elapsed time on the clock) counts a failure and leaves the
+// previous fit untouched.
+func TestEstimatorRefitFailureKeepsFit(t *testing.T) {
+	e, clk := newTestEstimator(t, 4, nil)
+	g := newTraffic(t, e, clk, 3)
+	g.run(4)
+	before, ok := e.Params()
+	if !ok {
+		t.Fatal("no fit after first window")
+	}
+	// Second window with no clock advance: X is undefined (elapsed 0).
+	for i := 0; i < 4; i++ {
+		e.ObserveService(200)
+	}
+	s := e.Snapshot()
+	if s.RefitFailures != 1 {
+		t.Fatalf("refit failures = %d, want 1", s.RefitFailures)
+	}
+	if s.LastWindow.FitOK || s.LastWindow.FitErr == "" {
+		t.Errorf("failed window not reported: %+v", s.LastWindow)
+	}
+	after, _ := e.Params()
+	if after != before {
+		t.Errorf("failed refit changed the fit: %+v -> %+v", before, after)
+	}
+}
+
+// TestEstimatorRejectsBadSamples: NaN and negative samples are dropped
+// before they can poison a window.
+func TestEstimatorRejectsBadSamples(t *testing.T) {
+	e, _ := newTestEstimator(t, 4, nil)
+	e.ObserveService(math.NaN())
+	e.ObserveService(-1)
+	e.ObserveWait(math.NaN())
+	e.ObserveOverhead(-5)
+	s := e.Snapshot()
+	if s.Samples != (Samples{}) || s.Pending != 0 {
+		t.Errorf("bad samples were counted: %+v pending %d", s.Samples, s.Pending)
+	}
+}
+
+// TestNewValidatesPopulation: a wiring error panics.
+func TestNewValidatesPopulation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New accepted Ps >= P")
+		}
+	}()
+	New(Config{P: 2, Ps: 2})
+}

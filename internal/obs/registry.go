@@ -101,6 +101,7 @@ type Histogram struct {
 	count   atomic.Int64
 	sumBits atomic.Uint64 // float64 bits of the running sum
 	maxBits atomic.Uint64 // float64 bits of the largest observation
+	tap     atomic.Pointer[func(float64)]
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -136,6 +137,24 @@ func (h *Histogram) Observe(v float64) {
 			break
 		}
 	}
+	if t := h.tap.Load(); t != nil {
+		(*t)(v)
+	}
+}
+
+// SetTap installs fn as the histogram's sample tap: every subsequent
+// Observe forwards its raw value to fn after recording it, giving
+// consumers (the online calibration estimator) the per-sample stream
+// the cumulative buckets discard. fn runs synchronously on the
+// observing goroutine and must be safe for concurrent use; SetTap(nil)
+// removes the tap. At most one tap is active per histogram — a second
+// SetTap replaces the first.
+func (h *Histogram) SetTap(fn func(v float64)) {
+	if fn == nil {
+		h.tap.Store(nil)
+		return
+	}
+	h.tap.Store(&fn)
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram's state.
@@ -163,6 +182,24 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Counts[i] = h.counts[i].Load()
 	}
 	return s
+}
+
+// Quantile estimates the q-quantile of everything observed so far; it
+// is shorthand for h.Snapshot().Quantile(q). Callers reading several
+// quantiles should take one Snapshot and query that, so all estimates
+// describe the same point in time.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}
+
+// Mean returns the arithmetic mean of the observations in the
+// snapshot, exact (not bucket-estimated) because the histogram tracks
+// the running sum. An empty snapshot returns 0.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
 }
 
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts

@@ -97,6 +97,67 @@ func TestHistogramQuantileOverflow(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileDirect: Histogram.Quantile matches the snapshot
+// estimate, including the empty and single-bucket edge cases.
+func TestHistogramQuantileDirect(t *testing.T) {
+	h := newHistogram([]float64{10})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty direct Quantile = %v, want 0", got)
+	}
+	h.Observe(4)
+	h.Observe(8)
+	// A one-bucket histogram interpolates inside [0, 10]: the median of
+	// two observations at rank 1 is the bucket's midpoint estimate 5.
+	if got, want := h.Quantile(0.5), 5.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("one-bucket direct Quantile(0.5) = %v, want %v", got, want)
+	}
+	if got, want := h.Quantile(0.5), h.Snapshot().Quantile(0.5); got != want {
+		t.Errorf("direct Quantile = %v, snapshot Quantile = %v", got, want)
+	}
+}
+
+// TestHistogramSnapshotMean: exact mean from the running sum; empty
+// snapshots report 0.
+func TestHistogramSnapshotMean(t *testing.T) {
+	h := newHistogram([]float64{10})
+	if got := h.Snapshot().Mean(); got != 0 {
+		t.Errorf("empty Mean = %v, want 0", got)
+	}
+	for _, v := range []float64{2, 4, 12} {
+		h.Observe(v)
+	}
+	if got, want := h.Snapshot().Mean(), 6.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+}
+
+// TestHistogramTap: an installed tap sees every observed value (NaN
+// drops included — they are rejected before the tap), and SetTap(nil)
+// removes it.
+func TestHistogramTap(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	var got []float64
+	h.Observe(0.5) // before the tap: not forwarded
+	h.SetTap(func(v float64) { got = append(got, v) })
+	h.Observe(3)
+	h.Observe(math.NaN()) // dropped by Observe, never reaches the tap
+	h.Observe(42)
+	h.SetTap(nil)
+	h.Observe(7) // after removal: not forwarded
+	want := []float64{3, 42}
+	if len(got) != len(want) {
+		t.Fatalf("tap saw %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tap saw %v, want %v", got, want)
+		}
+	}
+	if n := h.Snapshot().Count; n != 4 {
+		t.Errorf("Count = %d, want 4 (tap must not affect recording)", n)
+	}
+}
+
 // TestExpBuckets: geometric bounds.
 func TestExpBuckets(t *testing.T) {
 	got := ExpBuckets(1, 2, 5)

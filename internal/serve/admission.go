@@ -63,11 +63,28 @@ func (a *admission) retryAfter() int {
 // acquire claims a solver slot, waiting up to queueWait (and no longer
 // than ctx allows). On success it returns a release function; on
 // rejection a *shedError carrying the HTTP status. The queue-depth
-// gauge tracks waiters; shed counters classify every rejection.
+// gauge tracks waiters; shed counters classify every rejection. Every
+// admitted request records its queue wait — zero on the fast path —
+// into the queue-wait histogram and the request's timing carrier.
 func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	start := a.clk.Now()
+	grant := func() func() {
+		// Fractional microseconds: a sub-µs wait must not round to zero,
+		// or the calibrator's windows would lose their timing signal on
+		// fast machines.
+		us := float64(a.clk.Now().Sub(start)) / float64(time.Microsecond)
+		if us < 0 {
+			us = 0
+		}
+		a.met.queueWait.Observe(us)
+		if t := timingFrom(ctx); t != nil {
+			t.waitUS += us
+		}
+		return func() { <-a.sem }
+	}
 	select {
 	case a.sem <- struct{}{}:
-		return func() { <-a.sem }, nil
+		return grant(), nil
 	default:
 	}
 	if depth := a.met.queueDepth.Add(1); depth > int64(a.queueDepth) {
@@ -78,7 +95,7 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 	defer a.met.queueDepth.Add(-1)
 	select {
 	case a.sem <- struct{}{}:
-		return func() { <-a.sem }, nil
+		return grant(), nil
 	case <-ctx.Done():
 		a.met.shedDeadline.Add(1)
 		return nil, &shedError{status: 429, retryAfter: a.retryAfter(), reason: "deadline expired while queued"}

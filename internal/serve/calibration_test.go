@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/calib"
+	"repro/internal/clock"
+)
+
+// warmEstimator builds a fake-clock estimator pre-fed with exactly one
+// window of deterministic synthetic traffic, so the endpoints under
+// test see a ready calibrator without real sleeping.
+func warmEstimator(t *testing.T) *calib.Estimator {
+	t.Helper()
+	const window = 64
+	clk := clock.NewFake(time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC))
+	e := calib.New(calib.Config{P: 16, Ps: 4, Window: window, Clock: clk})
+	for i := 0; i < window; i++ {
+		clk.Advance(2000 * time.Microsecond)
+		e.ObserveWait(100)
+		e.ObserveOverhead(240)
+		e.ObserveService(400)
+	}
+	if _, ok := e.Params(); !ok {
+		t.Fatal("warm estimator did not become ready")
+	}
+	return e
+}
+
+// TestCalibrationEndpoint: /v1/calibration serves the estimator's
+// snapshot, GET-only.
+func TestCalibrationEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{CalibEstimator: warmEstimator(t)})
+
+	resp, err := http.Get(ts.URL + "/v1/calibration")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap calib.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decoding snapshot: %v", err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if !snap.Ready || snap.Windows != 1 || snap.P != 16 || snap.Ps != 4 {
+		t.Errorf("snapshot = %+v, want ready with one window over P=16 Ps=4", snap)
+	}
+	if snap.Fit.So != 400 || snap.Fit.C2 != 0 {
+		t.Errorf("fit = %+v, want the deterministic So=400 C2=0 traffic", snap.Fit)
+	}
+
+	if resp, body := post(t, ts.URL+"/v1/calibration", "{}"); resp.StatusCode != 405 {
+		t.Errorf("POST status = %d, want 405; body %s", resp.StatusCode, body)
+	}
+}
+
+// TestWhatifEndpoint drives the capacity-question surface over a warmed
+// estimator: scenario solves at the live fit, validation failures, and
+// method enforcement.
+func TestWhatifEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{CalibEstimator: warmEstimator(t)})
+
+	resp, body := post(t, ts.URL+"/v1/whatif", `{"add_servers":4}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, want 200; body %s", resp.StatusCode, body)
+	}
+	var out struct {
+		P        int `json:"p"`
+		Baseline struct {
+			Ps int     `json:"ps"`
+			X  float64 `json:"x_per_us"`
+		} `json:"baseline"`
+		Scenario struct {
+			Ps int     `json:"ps"`
+			X  float64 `json:"x_per_us"`
+		} `json:"scenario"`
+		SpeedupX     float64 `json:"speedup_x"`
+		LatencyRatio float64 `json:"latency_ratio"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	if out.P != 16 || out.Baseline.Ps != 4 || out.Scenario.Ps != 8 {
+		t.Errorf("population split = %+v, want P=16, 4 -> 8 servers", out)
+	}
+	if !(out.Baseline.X > 0) || !(out.Scenario.X > 0) {
+		t.Errorf("non-positive throughput: %+v", out)
+	}
+	// The scenario reallocates the fixed population: four more servers
+	// is four fewer clients. Under this fit's low contention that costs
+	// throughput without helping server response much — the model's
+	// answer, not a bug (Eq. 6.8 exists precisely to pick the balance).
+	if out.SpeedupX >= 1 || out.LatencyRatio > 1.001 {
+		t.Errorf("low-contention server add: speedup %v latency ratio %v, want speedup < 1, latency <= 1",
+			out.SpeedupX, out.LatencyRatio)
+	}
+
+	cases := []struct {
+		name, body string
+		status     int
+		want       string
+	}{
+		{"absolute servers", `{"servers":2}`, 200, `"ps":2`},
+		{"scale think", `{"scale_w":0.5}`, 200, `"scenario"`},
+		{"both knobs", `{"servers":2,"add_servers":1}`, 400, "not both"},
+		{"too many servers", `{"servers":16}`, 400, "P=16, got 16"},
+		{"negative delta below 1", `{"add_servers":-4}`, 400, "got 0"},
+		{"bad scale", `{"scale_w":-1}`, 400, "scale_w"},
+		{"unknown field", `{"workers":2}`, 400, "workers"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, body := post(t, ts.URL+"/v1/whatif", c.body)
+			if resp.StatusCode != c.status {
+				t.Fatalf("status = %d, want %d; body %s", resp.StatusCode, c.status, body)
+			}
+			if !strings.Contains(body, c.want) {
+				t.Errorf("body %q missing %q", body, c.want)
+			}
+		})
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/whatif"); err != nil {
+		t.Fatal(err)
+	} else if _ = resp.Body.Close(); resp.StatusCode != 405 {
+		t.Errorf("GET status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestWhatifNotReady: before the first traffic window lands, the
+// endpoint answers 503 with a Retry-After hint rather than guessing.
+func TestWhatifNotReady(t *testing.T) {
+	clk := clock.NewFake(time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC))
+	cold := calib.New(calib.Config{P: 16, Ps: 4, Clock: clk})
+	_, ts, _ := newTestServer(t, Config{CalibEstimator: cold})
+	resp, body := post(t, ts.URL+"/v1/whatif", `{"add_servers":1}`)
+	if resp.StatusCode != 503 || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("status = %d, Retry-After %q, want 503 with a hint; body %s",
+			resp.StatusCode, resp.Header.Get("Retry-After"), body)
+	}
+}
+
+// TestCalibrationDisabled: without the flag the routes do not exist.
+func TestCalibrationDisabled(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	if s.Calibrator() != nil {
+		t.Error("calibrator present without Calibration set")
+	}
+	resp, err := http.Get(ts.URL + "/v1/calibration")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestCalibrationLiveTap: with Calibration on, a solved request feeds
+// one sample into each calibration stream through the histogram taps,
+// and a cache hit — which never occupies a solver slot — feeds none.
+func TestCalibrationLiveTap(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{Calibration: true})
+	est := s.Calibrator()
+	if est == nil {
+		t.Fatal("Calibration did not build an estimator")
+	}
+	if p, ps := est.Population(); ps != 8 || p != 8+64 {
+		t.Errorf("population = (%d, %d), want defaults (72, 8)", p, ps)
+	}
+
+	if resp, body := post(t, ts.URL+"/v1/alltoall", validAllToAll); resp.StatusCode != 200 {
+		t.Fatalf("solve failed: %d %s", resp.StatusCode, body)
+	}
+	got := est.Snapshot().Samples
+	if got != (calib.Samples{Service: 1, Wait: 1, Overhead: 1}) {
+		t.Fatalf("samples after cold solve = %+v, want one per stream", got)
+	}
+
+	if resp, body := post(t, ts.URL+"/v1/alltoall", validAllToAll); resp.StatusCode != 200 {
+		t.Fatalf("cached solve failed: %d %s", resp.StatusCode, body)
+	}
+	if got := est.Snapshot().Samples; got != (calib.Samples{Service: 1, Wait: 1, Overhead: 1}) {
+		t.Errorf("samples after cache hit = %+v, want unchanged: hits are not server visits", got)
+	}
+}

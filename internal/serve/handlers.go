@@ -207,7 +207,7 @@ func (s *Server) cachedAllToAll(p core.Params, n int, admit func(func() ([]byte,
 
 // admitted wraps a solve closure with admission control: it claims a
 // solver slot (respecting the request deadline) for the duration of
-// the solve.
+// the solve, and records the occupancy as the request's service time.
 func (s *Server) admitted(ctx context.Context) func(func() ([]byte, error)) ([]byte, error) {
 	return func(solve func() ([]byte, error)) ([]byte, error) {
 		release, err := s.adm.acquire(ctx)
@@ -215,6 +215,7 @@ func (s *Server) admitted(ctx context.Context) func(func() ([]byte, error)) ([]b
 			return nil, err
 		}
 		defer release()
+		defer s.beginService(ctx)()
 		return solve()
 	}
 }
@@ -529,6 +530,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	// The whole fan-out occupies one slot, so it is one service visit.
+	defer s.beginService(r.Context())()
 
 	results, err := runner.MapCtx(r.Context(), len(params), runner.Options{Jobs: jobs}, func(i int) (json.RawMessage, error) {
 		data, o, err := s.cachedAllToAll(params[i], ns[i], unadmitted)

@@ -90,6 +90,14 @@ type metrics struct {
 	inFlight   *obs.Gauge // requests currently inside a handler
 	queueDepth *obs.Gauge // requests waiting for a solver worker
 
+	// The request timing split: wait for a solver slot, slot occupancy,
+	// and everything else (decode, dispatch, marshal). These are the
+	// sample streams the online calibrator taps — wait and service map
+	// onto the model's Rs components, overhead onto its 2·St trips.
+	queueWait *obs.Histogram
+	service   *obs.Histogram
+	overhead  *obs.Histogram
+
 	cacheHits      *obs.Counter
 	cacheMisses    *obs.Counter
 	cacheCollapsed *obs.Counter // duplicate in-flight solves absorbed
@@ -113,6 +121,9 @@ func newMetrics(start time.Time, reg *obs.Registry) *metrics {
 		reg:            reg,
 		inFlight:       reg.Gauge("lopc_serve_in_flight", "Requests currently inside a handler.", nil),
 		queueDepth:     reg.Gauge("lopc_serve_queue_depth", "Requests waiting for a solver worker.", nil),
+		queueWait:      reg.Histogram("lopc_serve_queue_wait_us", "Time an admitted request waited for a solver worker, microseconds.", nil, latencyBounds),
+		service:        reg.Histogram("lopc_serve_service_us", "Solver-slot occupancy per admitted request, microseconds.", nil, latencyBounds),
+		overhead:       reg.Histogram("lopc_serve_overhead_us", "Per-request time outside queueing and service, microseconds.", nil, latencyBounds),
 		cacheHits:      reg.Counter("lopc_serve_cache_events_total", cacheHelp, obs.Labels{"event": "hit"}),
 		cacheMisses:    reg.Counter("lopc_serve_cache_events_total", cacheHelp, obs.Labels{"event": "miss"}),
 		cacheCollapsed: reg.Counter("lopc_serve_cache_events_total", cacheHelp, obs.Labels{"event": "collapsed"}),
@@ -150,6 +161,9 @@ type metricsJSON struct {
 	Draining      bool        `json:"draining"`
 	Cache         cacheJSON   `json:"cache"`
 	Shed          shedJSON    `json:"shed"`
+	QueueWaitUS   histJSON    `json:"queue_wait_us"`
+	ServiceUS     histJSON    `json:"service_us"`
+	OverheadUS    histJSON    `json:"overhead_us"`
 	Routes        []routeJSON `json:"routes"`
 }
 
@@ -194,6 +208,9 @@ func (m *metrics) snapshot(now time.Time, cacheSize, cacheCap int, draining bool
 			QueueTimeout: m.shedTimeout.Value(),
 			Deadline:     m.shedDeadline.Value(),
 		},
+		QueueWaitUS: legacyHist(m.queueWait.Snapshot()),
+		ServiceUS:   legacyHist(m.service.Snapshot()),
+		OverheadUS:  legacyHist(m.overhead.Snapshot()),
 	}
 	m.mu.Lock()
 	names := make([]string, 0, len(m.routes))

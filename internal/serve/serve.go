@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/calib"
 	"repro/internal/clock"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -90,6 +91,23 @@ type Config struct {
 	// ConvCapacity sizes the ring of recent solver convergence traces;
 	// <= 0 means obs.DefaultConvCapacity.
 	ConvCapacity int
+	// Calibration enables the online model calibrator: the split timing
+	// histograms feed a calib.Estimator that continuously refits
+	// (W, St, So, C²) from live traffic, /v1/calibration and /v1/whatif
+	// are mounted, and the lopc_model_drift gauge joins the exposition.
+	Calibration bool
+	// CalibWindow is the calibrator's refit window in service samples;
+	// <= 0 means calib.DefaultWindow.
+	CalibWindow int
+	// CalibPopulation overrides the modeled closed client population P.
+	// <= Workers (including the zero default) means Workers+QueueDepth —
+	// the most concurrency admission control lets the server absorb.
+	CalibPopulation int
+	// CalibEstimator injects a pre-built estimator instead of
+	// constructing one; it implies Calibration. Tests use this to mount
+	// the endpoints over a fake-clock estimator warmed with synthetic
+	// traffic.
+	CalibEstimator *calib.Estimator
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +158,7 @@ type Server struct {
 	met      *metrics
 	reg      *obs.Registry
 	conv     *obs.ConvRecorder
+	calib    *calib.Estimator // nil unless calibration is enabled
 	draining atomic.Bool
 	active   sync.WaitGroup // one count per in-flight request
 }
@@ -175,10 +194,36 @@ func New(cfg Config) *Server {
 			}
 			return 0
 		})
+	if cfg.CalibEstimator != nil {
+		s.calib = cfg.CalibEstimator
+	} else if cfg.Calibration {
+		pop := cfg.CalibPopulation
+		if pop <= cfg.Workers {
+			pop = cfg.Workers + cfg.QueueDepth
+		}
+		s.calib = calib.New(calib.Config{
+			P: pop, Ps: cfg.Workers,
+			Window:   cfg.CalibWindow,
+			Clock:    cfg.Clock,
+			Registry: reg,
+		})
+	}
+	if s.calib != nil {
+		// The calibrator drinks from the timing histograms' sample taps:
+		// every recorded wait/service/overhead observation is forwarded
+		// as-is, so the estimator sees exactly what /metrics reports.
+		met.queueWait.SetTap(s.calib.ObserveWait)
+		met.service.SetTap(s.calib.ObserveService)
+		met.overhead.SetTap(s.calib.ObserveOverhead)
+	}
 	s.routes()
 	s.logSizing()
 	return s
 }
+
+// Calibrator returns the online estimator, or nil when calibration is
+// disabled.
+func (s *Server) Calibrator() *calib.Estimator { return s.calib }
 
 // Registry returns the server's metrics registry, e.g. so a main
 // package can add runtime gauges (obs.RegisterRuntime) to the
@@ -221,6 +266,10 @@ func (s *Server) routes() {
 	s.mux.Handle("/v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.Handle("/v1/lock", s.instrument("/v1/lock", s.handleLock))
 	s.mux.Handle("/v1/lockfree", s.instrument("/v1/lockfree", s.handleLockFree))
+	if s.calib != nil {
+		s.mux.Handle("/v1/calibration", s.instrument("/v1/calibration", s.handleCalibration))
+		s.mux.Handle("/v1/whatif", s.instrument("/v1/whatif", s.handleWhatif))
+	}
 	if s.cfg.Pprof {
 		// The pprof handlers self-register on http.DefaultServeMux at
 		// import; mount them explicitly so they exist only when asked
@@ -230,6 +279,47 @@ func (s *Server) routes() {
 		s.mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
 		s.mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
+}
+
+// reqTiming carries one request's timing split through its context:
+// admission records the queue wait, the slot-occupancy wrapper records
+// service time, and instrument derives overhead (total − wait −
+// service) at the end. All writes happen on the request goroutine —
+// sweep fan-out workers never touch it — so plain fields suffice.
+type reqTiming struct {
+	waitUS    float64
+	serviceUS float64
+	served    bool // a solver slot was held: the request is model traffic
+}
+
+type timingKey struct{}
+
+// timingFrom returns the request's timing carrier, or nil outside
+// instrumented requests (direct admission tests, background work).
+func timingFrom(ctx context.Context) *reqTiming {
+	t, _ := ctx.Value(timingKey{}).(*reqTiming)
+	return t
+}
+
+// beginService starts a slot-occupancy measurement; the returned func
+// records it when the slot work finishes. Cache hits never hold a slot,
+// so they contribute no service sample — exactly the model's view, in
+// which a memoized answer costs no server visit.
+func (s *Server) beginService(ctx context.Context) func() {
+	start := s.clk.Now()
+	return func() {
+		// Fractional microseconds: a ~1µs solve must stay positive, or
+		// the calibrator would see So = 0 windows it cannot fit.
+		us := float64(s.clk.Now().Sub(start)) / float64(time.Microsecond)
+		if us < 0 {
+			us = 0
+		}
+		s.met.service.Observe(us)
+		if t := timingFrom(ctx); t != nil {
+			t.serviceUS += us
+			t.served = true
+		}
 	}
 }
 
@@ -270,6 +360,8 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		rt := &reqTiming{}
+		ctx = context.WithValue(ctx, timingKey{}, rt)
 		r = r.WithContext(ctx)
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 
@@ -280,7 +372,19 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 		start := s.clk.Now()
 		rec := &statusRecorder{ResponseWriter: w}
 		h(rec, r)
-		observeLatency(rs.latency, s.clk.Now().Sub(start))
+		total := s.clk.Now().Sub(start)
+		observeLatency(rs.latency, total)
+		if rt.served {
+			// Overhead is whatever the request spent outside queueing and
+			// service: decode, dispatch, marshal — the live counterpart of
+			// the model's two St trips. Only solved requests contribute,
+			// so the three calibration streams describe the same traffic.
+			oh := float64(total)/float64(time.Microsecond) - rt.waitUS - rt.serviceUS
+			if oh < 0 {
+				oh = 0
+			}
+			s.met.overhead.Observe(oh)
+		}
 		if endSpan != nil {
 			endSpan(map[string]any{"status": rec.status})
 		}
